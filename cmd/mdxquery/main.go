@@ -1,0 +1,140 @@
+// Command mdxquery evaluates MDX expressions against an mdxopt database,
+// either from the command line or interactively.
+//
+// Usage:
+//
+//	mdxquery -dir ./db [-alg GG] [-paper] [-explain] [-cold] ["MDX expression"]
+//
+// With no expression argument, mdxquery reads expressions from standard
+// input, one per line (a trailing ';' is optional). The special inputs
+// "\views" and "\dims" describe the database; "\quit" exits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"mdxopt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mdxquery: ")
+	dir := flag.String("dir", "mdxdb", "database directory")
+	alg := flag.String("alg", "GG", "optimization algorithm: TPLO, ETPLG, GG, Optimal")
+	paper := flag.Bool("paper", false, "confine the optimizer to the paper's plan space")
+	explain := flag.Bool("explain", false, "print the global plan instead of executing")
+	cold := flag.Bool("cold", false, "flush caches before executing (paper's cold-cache discipline)")
+	maxRows := flag.Int("rows", 20, "maximum result rows to print per query (0 = all)")
+	flag.Parse()
+
+	db, err := mdxopt.Open(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	opts := mdxopt.Options{
+		Algorithm:      mdxopt.Algorithm(*alg),
+		PaperPlanSpace: *paper,
+		ColdCache:      *cold,
+	}
+
+	if flag.NArg() > 0 {
+		src := strings.Join(flag.Args(), " ")
+		if err := run(os.Stdout, db, src, opts, *explain, *maxRows); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("mdxopt: %d facts, %d stored group-bys. Enter MDX; \\views, \\dims, \\stale, \\refresh, \\quit.\n",
+		db.Facts(), len(db.Views()))
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("mdx> ")
+		if !scanner.Scan() {
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\views`:
+			for _, v := range db.Views() {
+				fmt.Printf("  %-16s %10d rows %8d pages\n", v.Name, v.Rows, v.Pages)
+			}
+			continue
+		case line == `\dims`:
+			fmt.Printf("  dimensions: %s; measure: %s\n",
+				strings.Join(db.Dimensions(), ", "), db.Measure())
+			continue
+		case line == `\stale`:
+			stale := db.StaleViews()
+			if len(stale) == 0 {
+				fmt.Println("  all views fresh")
+			}
+			for _, name := range stale {
+				fmt.Printf("  %s is stale\n", name)
+			}
+			continue
+		case line == `\refresh`:
+			if err := db.Refresh(); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			} else {
+				fmt.Println("  views refreshed")
+			}
+			continue
+		}
+		if err := run(os.Stdout, db, line, opts, *explain, *maxRows); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+func run(w io.Writer, db *mdxopt.DB, src string, opts mdxopt.Options, explain bool, maxRows int) error {
+	if explain {
+		planStr, err := db.Explain(src, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, planStr)
+		return nil
+	}
+	start := time.Now()
+	ans, err := db.QueryWith(src, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(w, "plan:\n%s", ans.Plan)
+	for _, cs := range ans.Classes {
+		fmt.Fprintf(w, "  class %s [%s] %v: %d page reads, %d scanned, %d fetched, %.3f sim-s\n",
+			cs.View, cs.Regime, cs.Queries, cs.PageReads, cs.TuplesScanned, cs.TuplesFetched,
+			cs.SimulatedSeconds)
+	}
+	for _, qr := range ans.Queries {
+		fmt.Fprintf(w, "%s [%s] (%s): %d groups\n",
+			qr.Name, qr.GroupBy, strings.Join(qr.Columns, ", "), len(qr.Rows))
+		for i, row := range qr.Rows {
+			if maxRows > 0 && i >= maxRows {
+				fmt.Fprintf(w, "  ... %d more\n", len(qr.Rows)-maxRows)
+				break
+			}
+			fmt.Fprintf(w, "  (%s) = %.2f\n", strings.Join(row.Members, ", "), row.Value)
+		}
+	}
+	fmt.Fprintf(w, "%d page reads, %d tuples scanned, %d fetched; simulated 1998 time %.3fs; wall %s\n",
+		ans.Stats.PageReads, ans.Stats.TuplesScanned, ans.Stats.TuplesFetched,
+		ans.Stats.SimulatedSeconds, elapsed.Round(time.Microsecond))
+	return nil
+}

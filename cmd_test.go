@@ -1,0 +1,81 @@
+package mdxopt
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineTools drives mdxgen, mdxquery and mdxbench end to end.
+// Skipped under -short.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and a database; skipped with -short")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"mdxgen", "mdxquery", "mdxbench"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	dbDir := filepath.Join(t.TempDir(), "db")
+
+	// mdxgen builds a database.
+	out, err := exec.Command(filepath.Join(bin, "mdxgen"), "-dir", dbDir, "-scale", "0.005").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mdxgen: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "A'B'C'D") {
+		t.Fatalf("mdxgen output missing views:\n%s", out)
+	}
+	// Refusing to overwrite.
+	if out, err := exec.Command(filepath.Join(bin, "mdxgen"), "-dir", dbDir).CombinedOutput(); err == nil {
+		t.Fatalf("mdxgen overwrote an existing database:\n%s", out)
+	}
+
+	// mdxquery runs a one-shot expression.
+	out, err = exec.Command(filepath.Join(bin, "mdxquery"), "-dir", dbDir,
+		`{A''.A1} on COLUMNS {B''.B2} on ROWS CONTEXT ABCD FILTER (D'.DD1)`).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mdxquery: %v\n%s", err, out)
+	}
+	for _, want := range []string{"plan:", "groups", "page reads"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("mdxquery output missing %q:\n%s", want, out)
+		}
+	}
+	// Explain mode.
+	out, err = exec.Command(filepath.Join(bin, "mdxquery"), "-dir", dbDir, "-explain",
+		`{A''.A1} on COLUMNS CONTEXT ABCD FILTER (D'.DD1)`).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mdxquery -explain: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "class ") {
+		t.Fatalf("explain output missing plan:\n%s", out)
+	}
+	// Interactive commands via stdin.
+	cmd := exec.Command(filepath.Join(bin, "mdxquery"), "-dir", dbDir)
+	cmd.Stdin = strings.NewReader("\\views\n\\dims\n\\stale\n\\quit\n")
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mdxquery repl: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "dimensions: A, B, C, D") ||
+		!strings.Contains(string(out), "all views fresh") {
+		t.Fatalf("repl output unexpected:\n%s", out)
+	}
+
+	// mdxbench regenerates one figure against the same database.
+	out, err = exec.Command(filepath.Join(bin, "mdxbench"), "-dir", dbDir, "-scale", "0.005",
+		"-exp", "test1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mdxbench: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Test 1 (Figure 10)") {
+		t.Fatalf("mdxbench output missing figure:\n%s", out)
+	}
+}

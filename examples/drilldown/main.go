@@ -1,0 +1,91 @@
+// Drilldown walks a typical OLAP session — start at the top of the A
+// hierarchy, drill into the biggest member twice — and shows how the
+// optimizer routes each step to the cheapest precomputed group-by, with
+// the plan cache kicking in on repeats.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"mdxopt"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "mdxopt-drilldown")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := mdxopt.CreateSample(dir+"/db", 0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Step 1: totals per top-level A member.
+	top, err := db.Query(`{A''.MEMBERS} on COLUMNS CONTEXT ABCD FILTER (D'.DD1)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top level (A''):  plan:", oneLine(top.Plan))
+	biggest := argmax(top)
+	fmt.Printf("  biggest member: %s\n\n", biggest)
+
+	// Step 2: drill into its children (A' level).
+	mid, err := db.Query(`{A''.` + biggest + `.CHILDREN} on COLUMNS CONTEXT ABCD FILTER (D'.DD1)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("children (A'):    plan:", oneLine(mid.Plan))
+	biggestMid := argmax(mid)
+	fmt.Printf("  biggest child: %s\n\n", biggestMid)
+
+	// Step 3: drill to the base level under that child.
+	base, err := db.Query(`{A'.` + biggestMid + `.CHILDREN} on COLUMNS CONTEXT ABCD FILTER (D'.DD1)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("base members (A): plan:", oneLine(base.Plan))
+	rows := base.Queries[0].Rows
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Value > rows[j].Value })
+	for i, row := range rows {
+		if i == 5 {
+			fmt.Printf("  ... %d more\n", len(rows)-5)
+			break
+		}
+		fmt.Printf("  %-8s = %.0f\n", row.Members[0], row.Value)
+	}
+
+	// Re-running a step is free to plan: the plan cache serves it.
+	if _, err := db.Query(`{A''.MEMBERS} on COLUMNS CONTEXT ABCD FILTER (D'.DD1)`); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan cache hits this session: %d\n", db.PlanCacheHits())
+}
+
+func argmax(ans *mdxopt.Answer) string {
+	best, bestV := "", -1.0
+	for _, row := range ans.Queries[0].Rows {
+		if row.Value > bestV {
+			best, bestV = row.Members[0], row.Value
+		}
+	}
+	return best
+}
+
+func oneLine(s string) string {
+	out := ""
+	for _, r := range s {
+		if r == '\n' {
+			out += " | "
+			continue
+		}
+		out += string(r)
+	}
+	return out
+}

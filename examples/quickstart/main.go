@@ -1,0 +1,54 @@
+// Quickstart: build the paper's sample star database at a small scale,
+// ask one MDX question, and print the answer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mdxopt"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "mdxopt-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// The sample database is the paper's test configuration: dimensions
+	// A, B, C with hierarchies A -> A' -> A'' (and likewise B, C), a
+	// date-like dimension D, materialized group-bys, and bitmap join
+	// indexes on A'B'C'D.
+	db, err := mdxopt.CreateSample(dir+"/db", 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	fmt.Printf("loaded %d facts across %d stored group-bys\n\n", db.Facts(), len(db.Views()))
+
+	// "Total dollars for each child of A1, for B1 and C1, in DD1."
+	ans, err := db.Query(`
+		{A''.A1.CHILDREN} on COLUMNS
+		{B''.B1} on ROWS
+		{C''.C1} on PAGES
+		CONTEXT ABCD FILTER (D'.DD1)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("global plan:")
+	fmt.Print(ans.Plan)
+	fmt.Println()
+	for _, qr := range ans.Queries {
+		fmt.Printf("%s — group by %s:\n", qr.Name, qr.GroupBy)
+		for _, row := range qr.Rows {
+			fmt.Printf("  %v = %.0f\n", row.Members, row.Value)
+		}
+	}
+	fmt.Printf("\n%d page reads, %.3f simulated 1998-seconds\n",
+		ans.Stats.PageReads, ans.Stats.SimulatedSeconds)
+}

@@ -1,0 +1,55 @@
+package mdxopt
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun builds and runs every example end to end. Skipped
+// under -short (each example builds its own sample database).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build sample databases; skipped with -short")
+	}
+	examples, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(examples) < 5 {
+		t.Fatalf("found only %d examples: %v", len(examples), examples)
+	}
+	for _, dir := range examples {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			bin := filepath.Join(t.TempDir(), "example")
+			build := exec.Command("go", "build", "-o", bin, "./"+dir)
+			build.Env = os.Environ()
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			done := make(chan error, 1)
+			var out []byte
+			go func() {
+				var err error
+				out, err = cmd.CombinedOutput()
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("run: %v\n%s", err, out)
+				}
+			case <-time.After(2 * time.Minute):
+				cmd.Process.Kill()
+				t.Fatal("example timed out")
+			}
+			if len(out) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module mdxopt
+
+go 1.22

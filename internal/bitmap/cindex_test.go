@@ -1,0 +1,139 @@
+package bitmap
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mdxopt/internal/storage"
+)
+
+func buildBothIndexes(t *testing.T, n, card int) (JoinIndex, JoinIndex, *storage.Pool) {
+	t.Helper()
+	pool := storage.NewPool(256)
+	h := buildHeap(t, pool, n, card)
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.idx")
+	comp := filepath.Join(dir, "comp.idx")
+	if err := BuildAndCreate(pool, plain, h, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := BuildAndCreateCompressed(pool, comp, h, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Open(pool, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(pool, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, c, pool
+}
+
+func TestCompressedIndexMatchesUncompressed(t *testing.T) {
+	plain, comp, _ := buildBothIndexes(t, 9000, 17)
+	if _, ok := plain.(*Index); !ok {
+		t.Fatalf("plain index dispatched to %T", plain)
+	}
+	if _, ok := comp.(*CIndex); !ok {
+		t.Fatalf("compressed index dispatched to %T", comp)
+	}
+	if comp.ColName() != plain.ColName() || comp.NBits() != plain.NBits() {
+		t.Fatal("metadata differs between formats")
+	}
+	if len(comp.Values()) != len(plain.Values()) {
+		t.Fatal("value sets differ")
+	}
+	for _, v := range plain.Values() {
+		pb, ok, err := plain.Lookup(v)
+		if err != nil || !ok {
+			t.Fatal(err)
+		}
+		cb, ok, err := comp.Lookup(v)
+		if err != nil || !ok {
+			t.Fatal(err)
+		}
+		if !pb.Equal(cb) {
+			t.Fatalf("bitmaps differ for value %d", v)
+		}
+	}
+	// Absent value.
+	if _, ok, err := comp.Lookup(999); err != nil || ok {
+		t.Fatal("absent value found in compressed index")
+	}
+	// OrOf agrees.
+	pu, _, err := plain.OrOf([]int32{1, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, words, err := comp.OrOf([]int32{1, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words == 0 || !pu.Equal(cu) {
+		t.Fatal("OrOf differs between formats")
+	}
+}
+
+func TestCompressedIndexIsSmallerForHighCardinality(t *testing.T) {
+	// 600 values over 60000 rows: each bitmap is sparse (~0.17% density,
+	// one set bit per ~9 words), the regime bitmap join indexes on
+	// high-cardinality columns live in.
+	plain, comp, _ := buildBothIndexes(t, 60000, 600)
+	pi := plain.(*Index)
+	ci := comp.(*CIndex)
+	pPages := pi.File().NumPages()
+	cPages := ci.File().NumPages()
+	if cPages*2 >= pPages {
+		t.Fatalf("compressed index %d pages, uncompressed %d: expected >2x saving", cPages, pPages)
+	}
+	if ci.PagesPerBitmap() > pi.PagesPerBitmap() {
+		t.Fatal("compressed PagesPerBitmap larger than uncompressed")
+	}
+}
+
+func TestCompressedIndexColdLookupReadsFewerPages(t *testing.T) {
+	plain, comp, pool := buildBothIndexes(t, 240000, 600)
+	measure := func(ix JoinIndex) int64 {
+		ix.DropCache()
+		if err := pool.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		pool.ResetStats()
+		if _, ok, err := ix.Lookup(7); err != nil || !ok {
+			t.Fatal(err)
+		}
+		return pool.Stats().Reads()
+	}
+	pr := measure(plain)
+	cr := measure(comp)
+	if cr >= pr {
+		t.Fatalf("compressed cold lookup read %d pages, uncompressed %d", cr, pr)
+	}
+}
+
+func TestCompressedIndexCacheAndDrop(t *testing.T) {
+	_, comp, pool := buildBothIndexes(t, 20000, 10)
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	comp.DropCache()
+	pool.ResetStats()
+	if _, _, err := comp.Lookup(3); err != nil {
+		t.Fatal(err)
+	}
+	cold := pool.Stats().Reads()
+	if cold == 0 {
+		t.Fatal("cold lookup performed no reads")
+	}
+	if _, _, err := comp.Lookup(3); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Stats().Reads() != cold {
+		t.Fatal("cached lookup hit disk")
+	}
+}

@@ -1,0 +1,146 @@
+package bitmap
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// EWAH-style word-aligned run-length compression.
+//
+// A compressed stream is a sequence of records. Each record starts with
+// a marker word followed by literal words:
+//
+//	bit  63     value of the run (all-zero or all-one words)
+//	bits 32–62  run length in words (31 bits)
+//	bits 0–31   number of literal words following the marker
+//
+// Sparse bitmaps — the common case for bitmap join indexes, where each
+// member selects a small fraction of rows — compress to a small multiple
+// of their set-bit count.
+
+const (
+	runValueBit = 63
+	runLenShift = 32
+	runLenMask  = (1 << 31) - 1
+	literalMask = (1 << 32) - 1
+	maxRunLen   = runLenMask
+	maxLiterals = literalMask
+	allOnes     = ^uint64(0)
+)
+
+// CompressWords encodes words into a compressed stream.
+func CompressWords(words []uint64) []uint64 {
+	var out []uint64
+	pos := 0
+	for pos < len(words) {
+		// Count the leading clean run.
+		runVal := uint64(0)
+		runLen := 0
+		if words[pos] == 0 || words[pos] == allOnes {
+			if words[pos] == allOnes {
+				runVal = 1
+			}
+			probe := words[pos]
+			for pos+runLen < len(words) && words[pos+runLen] == probe && runLen < maxRunLen {
+				runLen++
+			}
+		}
+		// Count following literals until the next clean word.
+		litStart := pos + runLen
+		litLen := 0
+		for litStart+litLen < len(words) && litLen < maxLiterals {
+			w := words[litStart+litLen]
+			if w == 0 || w == allOnes {
+				break
+			}
+			litLen++
+		}
+		marker := runVal<<runValueBit | uint64(runLen)<<runLenShift | uint64(litLen)
+		out = append(out, marker)
+		out = append(out, words[litStart:litStart+litLen]...)
+		pos = litStart + litLen
+	}
+	return out
+}
+
+// ErrCorruptStream reports a malformed compressed stream.
+var ErrCorruptStream = errors.New("bitmap: corrupt compressed stream")
+
+// DecompressWords decodes a compressed stream into dst, which must have
+// exactly the original word count.
+func DecompressWords(stream []uint64, dst []uint64) error {
+	di := 0
+	si := 0
+	for si < len(stream) {
+		marker := stream[si]
+		si++
+		runVal := marker >> runValueBit
+		runLen := int(marker >> runLenShift & runLenMask)
+		litLen := int(marker & literalMask)
+		if di+runLen+litLen > len(dst) || si+litLen > len(stream) {
+			return fmt.Errorf("%w: record overruns (run %d, lit %d at word %d of %d)",
+				ErrCorruptStream, runLen, litLen, di, len(dst))
+		}
+		fill := uint64(0)
+		if runVal == 1 {
+			fill = allOnes
+		}
+		for i := 0; i < runLen; i++ {
+			dst[di] = fill
+			di++
+		}
+		copy(dst[di:], stream[si:si+litLen])
+		di += litLen
+		si += litLen
+	}
+	if di != len(dst) {
+		return fmt.Errorf("%w: stream ends at word %d of %d", ErrCorruptStream, di, len(dst))
+	}
+	return nil
+}
+
+// Compress returns an EWAH-compressed copy of b's words.
+func Compress(b *Bitset) []uint64 {
+	return CompressWords(b.words)
+}
+
+// Decompress reconstructs a bitset of n bits from a compressed stream.
+func Decompress(stream []uint64, n int64) (*Bitset, error) {
+	b := New(n)
+	if err := DecompressWords(stream, b.words); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// CompressedSizeWords returns the stream length Compress would produce
+// without materializing it (used for sizing reports).
+func CompressedSizeWords(b *Bitset) int64 {
+	return int64(len(CompressWords(b.words)))
+}
+
+// popcountStream counts set bits directly on a compressed stream; used
+// by tests to validate streams without decompressing.
+func popcountStream(stream []uint64) (int64, error) {
+	var total int64
+	si := 0
+	for si < len(stream) {
+		marker := stream[si]
+		si++
+		runVal := marker >> runValueBit
+		runLen := int64(marker >> runLenShift & runLenMask)
+		litLen := int(marker & literalMask)
+		if si+litLen > len(stream) {
+			return 0, ErrCorruptStream
+		}
+		if runVal == 1 {
+			total += runLen * 64
+		}
+		for i := 0; i < litLen; i++ {
+			total += int64(bits.OnesCount64(stream[si+i]))
+		}
+		si += litLen
+	}
+	return total, nil
+}

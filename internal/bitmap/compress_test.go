@@ -1,0 +1,124 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, words []uint64) []uint64 {
+	t.Helper()
+	stream := CompressWords(words)
+	out := make([]uint64, len(words))
+	if err := DecompressWords(stream, out); err != nil {
+		t.Fatalf("DecompressWords: %v", err)
+	}
+	for i := range words {
+		if out[i] != words[i] {
+			t.Fatalf("word %d = %#x, want %#x", i, out[i], words[i])
+		}
+	}
+	return stream
+}
+
+func TestCompressRoundTripPatterns(t *testing.T) {
+	cases := map[string][]uint64{
+		"empty":     {},
+		"all zero":  make([]uint64, 100),
+		"all ones":  {allOnes, allOnes, allOnes},
+		"single":    {0xDEADBEEF},
+		"clean mix": {0, 0, allOnes, allOnes, 0},
+		"lit only":  {1, 2, 3, 4, 5},
+		"alternate": {0, 7, 0, 7, allOnes, 7},
+		"long run":  append(make([]uint64, 5000), 0x123456789ABCDEF0),
+		"ones tail": {5, allOnes, allOnes},
+	}
+	for name, words := range cases {
+		stream := roundTrip(t, words)
+		if name == "all zero" && len(stream) != 1 {
+			t.Fatalf("all-zero compressed to %d words, want 1", len(stream))
+		}
+	}
+}
+
+func TestCompressRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		words := make([]uint64, n%512)
+		for i := range words {
+			switch rng.Intn(4) {
+			case 0:
+				words[i] = 0
+			case 1:
+				words[i] = allOnes
+			default:
+				words[i] = rng.Uint64()
+			}
+		}
+		stream := CompressWords(words)
+		out := make([]uint64, len(words))
+		if err := DecompressWords(stream, out); err != nil {
+			return false
+		}
+		for i := range words {
+			if out[i] != words[i] {
+				return false
+			}
+		}
+		// popcount agrees without decompressing.
+		var want int64
+		b := &Bitset{n: int64(len(words)) * 64, words: words}
+		want = b.Count()
+		got, err := popcountStream(stream)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressSparseIsSmall(t *testing.T) {
+	// A join-index-like bitmap: 1M bits, 1000 scattered set bits.
+	b := New(1 << 20)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		b.Set(int64(rng.Intn(1 << 20)))
+	}
+	comp := Compress(b)
+	if int64(len(comp)) >= b.WordCount()/4 {
+		t.Fatalf("sparse bitmap compressed to %d of %d words", len(comp), b.WordCount())
+	}
+	got, err := Decompress(comp, b.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(b) {
+		t.Fatal("sparse round trip wrong")
+	}
+	if CompressedSizeWords(b) != int64(len(comp)) {
+		t.Fatal("CompressedSizeWords inconsistent")
+	}
+}
+
+func TestDecompressRejectsCorruptStreams(t *testing.T) {
+	words := []uint64{1, 2, 0, 0, allOnes}
+	stream := CompressWords(words)
+	out := make([]uint64, len(words))
+
+	// Truncated stream.
+	if err := DecompressWords(stream[:len(stream)-1], out); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	// Wrong destination size.
+	if err := DecompressWords(stream, make([]uint64, len(words)-1)); err == nil {
+		t.Fatal("short destination accepted")
+	}
+	if err := DecompressWords(stream, make([]uint64, len(words)+3)); err == nil {
+		t.Fatal("long destination accepted")
+	}
+	// Marker overrunning the destination: run length 100 into 2 words.
+	bogus := uint64(100) << runLenShift
+	if err := DecompressWords([]uint64{bogus}, make([]uint64, 2)); err == nil {
+		t.Fatal("overrunning marker accepted")
+	}
+}

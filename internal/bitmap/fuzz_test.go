@@ -1,0 +1,45 @@
+package bitmap
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecompressWords feeds arbitrary byte strings to the decompressor:
+// it must either reconstruct cleanly or reject with ErrCorruptStream,
+// never panic or overrun.
+func FuzzDecompressWords(f *testing.F) {
+	good := CompressWords([]uint64{0, 5, allOnes, allOnes, 7, 0, 0, 0})
+	seed := make([]byte, len(good)*8)
+	for i, w := range good {
+		binary.LittleEndian.PutUint64(seed[i*8:], w)
+	}
+	f.Add(seed, 8)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 100)
+
+	f.Fuzz(func(t *testing.T, raw []byte, n int) {
+		if n < 0 || n > 1<<16 {
+			return
+		}
+		stream := make([]uint64, len(raw)/8)
+		for i := range stream {
+			stream[i] = binary.LittleEndian.Uint64(raw[i*8:])
+		}
+		dst := make([]uint64, n)
+		if err := DecompressWords(stream, dst); err != nil {
+			return // rejection is fine
+		}
+		// Accepted streams must round-trip through re-compression.
+		again := CompressWords(dst)
+		dst2 := make([]uint64, n)
+		if err := DecompressWords(again, dst2); err != nil {
+			t.Fatalf("re-compressed stream rejected: %v", err)
+		}
+		for i := range dst {
+			if dst[i] != dst2[i] {
+				t.Fatalf("round trip diverged at word %d", i)
+			}
+		}
+	})
+}

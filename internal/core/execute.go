@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"mdxopt/internal/exec"
+	"mdxopt/internal/plan"
+	"mdxopt/internal/query"
+)
+
+// ClassStat records the work one class's shared pass performed — the
+// per-class breakdown behind an EXPLAIN ANALYZE.
+type ClassStat struct {
+	View    string
+	Regime  string
+	Queries []string
+	Stats   exec.Stats
+}
+
+// Execute runs a global plan with the §3 shared operators — one shared
+// pass per class — and returns results ordered to match queries. Work is
+// accumulated into stats.
+func Execute(env *exec.Env, g *plan.Global, queries []*query.Query, stats *exec.Stats) ([]*exec.Result, error) {
+	results, _, err := ExecuteDetailed(env, g, queries, stats)
+	return results, err
+}
+
+// ExecuteDetailed is Execute returning the per-class work breakdown
+// alongside the results.
+func ExecuteDetailed(env *exec.Env, g *plan.Global, queries []*query.Query, stats *exec.Stats) ([]*exec.Result, []ClassStat, error) {
+	byQuery := map[*query.Query]*exec.Result{}
+	classStats := make([]ClassStat, 0, len(g.Classes))
+	for _, c := range g.Classes {
+		hashQs := plansQueries(c.HashPlans())
+		indexQs := plansQueries(c.IndexPlans())
+		var cs exec.Stats
+		if c.Regime == plan.ProbeRegime {
+			if len(hashQs) > 0 {
+				return nil, nil, fmt.Errorf("core: class %s: probe regime with hash members", c.View.Name)
+			}
+			rs, err := exec.SharedIndex(env, c.View, indexQs, &cs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: class %s: %w", c.View.Name, err)
+			}
+			for i, r := range rs {
+				byQuery[indexQs[i]] = r
+			}
+		} else {
+			hr, ir, err := exec.SharedMixed(env, c.View, hashQs, indexQs, &cs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: class %s: %w", c.View.Name, err)
+			}
+			for i, r := range hr {
+				byQuery[hashQs[i]] = r
+			}
+			for i, r := range ir {
+				byQuery[indexQs[i]] = r
+			}
+		}
+		stats.Add(cs)
+		names := make([]string, 0, len(c.Plans))
+		for _, p := range c.Plans {
+			names = append(names, p.Query.Name)
+		}
+		classStats = append(classStats, ClassStat{
+			View:    c.View.Name,
+			Regime:  c.Regime.String(),
+			Queries: names,
+			Stats:   cs,
+		})
+	}
+	out := make([]*exec.Result, len(queries))
+	for i, q := range queries {
+		r, ok := byQuery[q]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: plan has no result for %s", q)
+		}
+		out[i] = r
+	}
+	return out, classStats, nil
+}
+
+// ExecuteSeparately runs every query standalone with its locally chosen
+// plan, cold-resetting the cache between queries — the paper's "queries
+// running separately" baseline.
+func ExecuteSeparately(env *exec.Env, est *plan.Estimator, queries []*query.Query, stats *exec.Stats) ([]*exec.Result, error) {
+	out := make([]*exec.Result, len(queries))
+	for i, q := range queries {
+		if err := env.DB.ColdReset(); err != nil {
+			return nil, err
+		}
+		local, _, err := est.BestLocal(q, est.DB.Views)
+		if err != nil {
+			return nil, err
+		}
+		var r *exec.Result
+		switch local.Method {
+		case plan.HashSJ:
+			r, err = exec.HashJoinQuery(env, local.View, q, stats)
+		case plan.IndexSJ:
+			r, err = exec.IndexJoinQuery(env, local.View, q, stats)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func plansQueries(plans []*plan.Local) []*query.Query {
+	out := make([]*query.Query, len(plans))
+	for i, p := range plans {
+		out[i] = p.Query
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+
+	"mdxopt/internal/plan"
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+)
+
+// GGI — Global Greedy with Iterative improvement — is this repository's
+// answer to the paper's §8 closing question ("the study of this
+// trade-off may lead to the discovery of new algorithms"): it
+// hill-climbs from both greedy starting points (GG and ETPLG),
+// repeatedly trying to move a single query to another class (re-basing
+// the target if profitable) or to a fresh class on an unused view,
+// accepting any move that lowers the global cost until a pass makes no
+// progress, and returns the cheaper of the two climbs. It searches far
+// fewer plans than the exhaustive optimum while recovering most of the
+// gap the greedy algorithms leave.
+const GGI Algorithm = "GGI"
+
+// optimizeImproved hill-climbs from both greedy starts.
+func optimizeImproved(est *plan.Estimator, queries []*query.Query, opts Options) (*plan.Global, error) {
+	var best *plan.Global
+	bestCost := 0.0
+	for _, rebase := range []bool{true, false} {
+		g, err := optimizeGreedy(est, queries, rebase, opts)
+		if err != nil {
+			return nil, err
+		}
+		const maxPasses = 8
+		for pass := 0; pass < maxPasses; pass++ {
+			if !improvePass(est, g) {
+				break
+			}
+		}
+		if c := est.GlobalCost(g); best == nil || c < bestCost {
+			best, bestCost = g, c
+		}
+	}
+	est.GlobalCost(best)
+	return best, nil
+}
+
+// improvePass tries to relocate each planned query once; reports whether
+// any move was accepted.
+func improvePass(est *plan.Estimator, g *plan.Global) bool {
+	improved := false
+	for qi := 0; qi < numPlans(g); qi++ {
+		if tryMove(est, g, qi) {
+			improved = true
+		}
+	}
+	return improved
+}
+
+func numPlans(g *plan.Global) int {
+	n := 0
+	for _, c := range g.Classes {
+		n += len(c.Plans)
+	}
+	return n
+}
+
+// cloneGlobal deep-copies a plan's class and local structure (views and
+// queries are shared references).
+func cloneGlobal(g *plan.Global) *plan.Global {
+	out := &plan.Global{Classes: make([]*plan.Class, len(g.Classes))}
+	for i, c := range g.Classes {
+		nc := &plan.Class{View: c.View, Regime: c.Regime, Plans: make([]*plan.Local, len(c.Plans))}
+		for j, p := range c.Plans {
+			cp := *p
+			nc.Plans[j] = &cp
+		}
+		out.Classes[i] = nc
+	}
+	return out
+}
+
+// tryMove attempts the best single relocation of the qi-th planned
+// query, applying it to g only when the recomputed global cost strictly
+// improves.
+func tryMove(est *plan.Estimator, g *plan.Global, qi int) bool {
+	current := est.GlobalCost(g)
+	clone := cloneGlobal(g)
+
+	// Locate the query in the clone.
+	var from *plan.Class
+	var q *query.Query
+	i := qi
+	for _, c := range clone.Classes {
+		if i < len(c.Plans) {
+			from = c
+			q = c.Plans[i].Query
+			break
+		}
+		i -= len(c.Plans)
+	}
+	if q == nil {
+		return false
+	}
+
+	used := map[*star.View]bool{}
+	for _, c := range clone.Classes {
+		used[c.View] = true
+	}
+
+	// Remove q from its class in the clone.
+	from.Plans = withoutQuery(from, q).Plans
+	if len(from.Plans) == 0 {
+		clone.Classes = removeClass(clone.Classes, from)
+		used[from.View] = false
+	}
+
+	// Candidate 1: the best other class to join, with re-basing.
+	var bestClass *plan.Class
+	var bestView *star.View
+	bestAdd := math.Inf(1)
+	for _, c := range clone.Classes {
+		if c == from {
+			continue
+		}
+		newBase, addCost := bestRebaseFor(est, c, q, used)
+		if newBase != nil && addCost < bestAdd {
+			bestClass, bestView, bestAdd = c, newBase, addCost
+		}
+	}
+	// Candidate 2: a fresh class on the best unused view.
+	freshView, freshCost := bestUnused(est, q, used)
+
+	switch {
+	case bestClass != nil && bestAdd <= freshCost:
+		if bestView != bestClass.View {
+			used[bestClass.View] = false
+			used[bestView] = true
+			setClassView(bestClass, bestView)
+			clone.Classes = mergeClasses(clone.Classes, bestClass)
+		}
+		bestClass.Plans = append(bestClass.Plans, &plan.Local{Query: q, View: bestClass.View})
+	case freshView != nil:
+		clone.Classes = append(clone.Classes, &plan.Class{
+			View:  freshView,
+			Plans: []*plan.Local{{Query: q, View: freshView}},
+		})
+	default:
+		return false
+	}
+
+	if est.GlobalCost(clone) < current-1e-9 {
+		*g = *clone
+		return true
+	}
+	return false
+}
+
+func withoutQuery(c *plan.Class, q *query.Query) *plan.Class {
+	out := &plan.Class{View: c.View}
+	for _, p := range c.Plans {
+		if p.Query != q {
+			out.Plans = append(out.Plans, p)
+		}
+	}
+	return out
+}
+
+func removeClass(classes []*plan.Class, victim *plan.Class) []*plan.Class {
+	out := make([]*plan.Class, 0, len(classes))
+	for _, c := range classes {
+		if c != victim {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,340 @@
+// Package core implements the paper's contribution: the three
+// multiple-dimensional-query optimization algorithms — TPLO (Two Phase
+// Local Optimal, §4), ETPLG (Extended Two Phase Local Greedy, §5) and GG
+// (Global Greedy, §6) — plus the exhaustive Optimal baseline used in the
+// paper's Table 2, and the executor that runs a global plan with the §3
+// shared operators.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mdxopt/internal/plan"
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+)
+
+// Algorithm selects an optimization strategy.
+type Algorithm string
+
+const (
+	// TPLO picks the best local plan per query independently, then
+	// merges plans that happen to share a base table.
+	TPLO Algorithm = "TPLO"
+	// ETPLG greedily grows classes of queries sharing a base table; a
+	// class never changes its base.
+	ETPLG Algorithm = "ETPLG"
+	// GG is ETPLG extended so a class may re-base onto a different
+	// materialized group-by (and classes with equal bases merge).
+	GG Algorithm = "GG"
+	// Optimal exhaustively searches query partitions and base
+	// assignments; exponential, only for small query sets.
+	Optimal Algorithm = "Optimal"
+)
+
+// Algorithms lists all algorithms in presentation order.
+func Algorithms() []Algorithm { return []Algorithm{TPLO, ETPLG, GG, Optimal} }
+
+// Options tunes the greedy algorithms.
+type Options struct {
+	// CoarsestFirst reverses the paper's GroupbyLevel insertion order
+	// (finest group-bys first). Exposed for the ablation study.
+	CoarsestFirst bool
+}
+
+// Optimize produces a global plan for the query set with the chosen
+// algorithm. The returned plan's local methods are assigned by the cost
+// model. Queries must be non-empty.
+func Optimize(est *plan.Estimator, queries []*query.Query, alg Algorithm) (*plan.Global, error) {
+	return OptimizeWith(est, queries, alg, Options{})
+}
+
+// OptimizeWith is Optimize with explicit Options.
+func OptimizeWith(est *plan.Estimator, queries []*query.Query, alg Algorithm, opts Options) (*plan.Global, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("core: no queries to optimize")
+	}
+	switch alg {
+	case TPLO:
+		return optimizeTPLO(est, queries)
+	case ETPLG:
+		return optimizeGreedy(est, queries, false, opts)
+	case GG:
+		return optimizeGreedy(est, queries, true, opts)
+	case GGI:
+		return optimizeImproved(est, queries, opts)
+	case Optimal:
+		return optimizeExhaustive(est, queries)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+}
+
+// sortForGreedy orders queries by the paper's GroupbyLevel: finest
+// group-bys first (they need the largest views and so anchor classes),
+// name as the deterministic tie-break.
+func sortForGreedy(queries []*query.Query, coarsestFirst bool) []*query.Query {
+	out := append([]*query.Query(nil), queries...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TotalLevel() != out[j].TotalLevel() {
+			if coarsestFirst {
+				return out[i].TotalLevel() > out[j].TotalLevel()
+			}
+			return out[i].TotalLevel() < out[j].TotalLevel()
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// optimizeTPLO: phase one picks each query's locally optimal
+// (view, method); phase two merges plans with a common base table into
+// classes so the shared operators apply.
+func optimizeTPLO(est *plan.Estimator, queries []*query.Query) (*plan.Global, error) {
+	byView := map[*star.View]*plan.Class{}
+	var order []*star.View
+	for _, q := range queries {
+		local, _, err := est.BestLocal(q, est.DB.Views)
+		if err != nil {
+			return nil, err
+		}
+		c, ok := byView[local.View]
+		if !ok {
+			c = &plan.Class{View: local.View}
+			byView[local.View] = c
+			order = append(order, local.View)
+		}
+		c.Plans = append(c.Plans, local)
+	}
+	g := &plan.Global{}
+	for _, v := range order {
+		g.Classes = append(g.Classes, byView[v])
+	}
+	est.GlobalCost(g) // assign shared-execution methods
+	return g, nil
+}
+
+// optimizeGreedy implements ETPLG (rebase=false, §5) and GG
+// (rebase=true, §6). Both grow the global plan one query at a time:
+//
+//	ETPLG: join the class whose shared base is cheapest to use, unless
+//	an unused materialized group-by is cheaper standalone; a class's
+//	base never changes.
+//
+//	GG: additionally consider re-basing each class onto the view that
+//	minimizes the cost of the whole class plus the new query; when a
+//	class re-bases, its old base returns to the unused set, and if the
+//	new base is already another class's base the two classes merge.
+func optimizeGreedy(est *plan.Estimator, queries []*query.Query, rebase bool, opts Options) (*plan.Global, error) {
+	ordered := sortForGreedy(queries, opts.CoarsestFirst)
+	used := map[*star.View]bool{}
+	var classes []*plan.Class
+
+	for _, q := range ordered {
+		// Best unused materialized group-by (the paper's MSet).
+		bestView, bestViewCost := bestUnused(est, q, used)
+
+		// Best class to host q.
+		var bestClass *plan.Class
+		bestAddCost := math.Inf(1)
+		var bestRebase *star.View
+		for _, c := range classes {
+			if rebase {
+				newBase, addCost := bestRebaseFor(est, c, q, used)
+				if addCost < bestAddCost {
+					bestClass, bestAddCost, bestRebase = c, addCost, newBase
+				}
+			} else {
+				addCost := est.CostOfAdd(c, q)
+				if addCost < bestAddCost {
+					bestClass, bestAddCost, bestRebase = c, addCost, c.View
+				}
+			}
+		}
+
+		switch {
+		case bestClass == nil && bestView == nil:
+			return nil, fmt.Errorf("core: no view can answer %s", q)
+		case bestClass == nil || (bestView != nil && bestViewCost < bestAddCost):
+			// Open a new class on the unused view.
+			used[bestView] = true
+			classes = append(classes, &plan.Class{
+				View:  bestView,
+				Plans: []*plan.Local{{Query: q, View: bestView}},
+			})
+		default:
+			// Join (and possibly re-base) the best class.
+			if bestRebase != bestClass.View {
+				used[bestClass.View] = false
+				used[bestRebase] = true
+				setClassView(bestClass, bestRebase)
+				classes = mergeClasses(classes, bestClass)
+			}
+			bestClass.Plans = append(bestClass.Plans, &plan.Local{Query: q, View: bestClass.View})
+		}
+	}
+
+	g := &plan.Global{Classes: classes}
+	est.GlobalCost(g)
+	return g, nil
+}
+
+// bestUnused finds the unused view with the cheapest standalone plan for
+// q. Returns (nil, +Inf) when no unused view can answer q.
+func bestUnused(est *plan.Estimator, q *query.Query, used map[*star.View]bool) (*star.View, float64) {
+	var best *star.View
+	bestCost := math.Inf(1)
+	for _, v := range est.DB.Views {
+		if used[v] {
+			continue
+		}
+		_, c, ok := est.BestMethod(q, v)
+		if !ok {
+			continue
+		}
+		if c < bestCost {
+			best, bestCost = v, c
+		}
+	}
+	return best, bestCost
+}
+
+// bestRebaseFor finds, for class c and new query q, the base view S'
+// minimizing Cost(c ∪ q | S') over views answering every member and q.
+// Candidates are the class's current base plus any view not used by
+// *another* class (GG may pick a locally sub-optimal unused view, or
+// another class's base — which triggers a merge). Returns the chosen
+// base and the marginal cost Cost(c ∪ q | S') - Cost(c | S).
+func bestRebaseFor(est *plan.Estimator, c *plan.Class, q *query.Query, used map[*star.View]bool) (*star.View, float64) {
+	current := est.ClassCost(c)
+	var best *star.View
+	bestAfter := math.Inf(1)
+	for _, v := range est.DB.Views {
+		if !q.AnswerableFrom(v.Levels) {
+			continue
+		}
+		ok := true
+		for _, p := range c.Plans {
+			if !p.Query.AnswerableFrom(v.Levels) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		trial := &plan.Class{View: v}
+		for _, p := range c.Plans {
+			trial.Plans = append(trial.Plans, &plan.Local{Query: p.Query, View: v})
+		}
+		trial.Plans = append(trial.Plans, &plan.Local{Query: q, View: v})
+		after := est.ClassCost(trial)
+		if after < bestAfter {
+			best, bestAfter = v, after
+		}
+	}
+	return best, bestAfter - current
+}
+
+// setClassView re-bases every plan of c onto v.
+func setClassView(c *plan.Class, v *star.View) {
+	c.View = v
+	for _, p := range c.Plans {
+		p.View = v
+	}
+}
+
+// mergeClasses folds any other class with the same base view into
+// keep (the paper's MergeClass step) and returns the surviving classes.
+func mergeClasses(classes []*plan.Class, keep *plan.Class) []*plan.Class {
+	out := classes[:0]
+	for _, c := range classes {
+		if c != keep && c.View == keep.View {
+			keep.Plans = append(keep.Plans, c.Plans...)
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// optimizeExhaustive enumerates all partitions of the query set into
+// classes and, for each class, every candidate base view, taking the
+// cheapest global plan. Exponential in the number of queries; the
+// experiment harness uses it as the paper's "optimal global plan".
+func optimizeExhaustive(est *plan.Estimator, queries []*query.Query) (*plan.Global, error) {
+	if len(queries) > 10 {
+		return nil, fmt.Errorf("core: Optimal limited to 10 queries, got %d", len(queries))
+	}
+	var best *plan.Global
+	bestCost := math.Inf(1)
+
+	var groups [][]*query.Query
+	var recurse func(i int)
+	recurse = func(i int) {
+		if i == len(queries) {
+			g := &plan.Global{}
+			total := 0.0
+			for _, grp := range groups {
+				c, cCost := bestClassFor(est, grp)
+				if c == nil {
+					return
+				}
+				g.Classes = append(g.Classes, c)
+				total += cCost
+				if total >= bestCost {
+					return
+				}
+			}
+			if total < bestCost {
+				best, bestCost = g, total
+			}
+			return
+		}
+		q := queries[i]
+		for gi := range groups {
+			groups[gi] = append(groups[gi], q)
+			recurse(i + 1)
+			groups[gi] = groups[gi][:len(groups[gi])-1]
+		}
+		groups = append(groups, []*query.Query{q})
+		recurse(i + 1)
+		groups = groups[:len(groups)-1]
+	}
+	recurse(0)
+
+	if best == nil {
+		return nil, fmt.Errorf("core: no feasible global plan")
+	}
+	est.GlobalCost(best)
+	return best, nil
+}
+
+// bestClassFor picks the cheapest base view for a fixed query group.
+func bestClassFor(est *plan.Estimator, group []*query.Query) (*plan.Class, float64) {
+	var best *plan.Class
+	bestCost := math.Inf(1)
+	for _, v := range est.DB.Views {
+		ok := true
+		for _, q := range group {
+			if !q.AnswerableFrom(v.Levels) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		c := &plan.Class{View: v}
+		for _, q := range group {
+			c.Plans = append(c.Plans, &plan.Local{Query: q, View: v})
+		}
+		cc := est.ClassCost(c)
+		if cc < bestCost {
+			best, bestCost = c, cc
+		}
+	}
+	return best, bestCost
+}

@@ -1,0 +1,81 @@
+// Package cost implements the optimizer's cost model (paper §5.1) and the
+// conversion of measured execution counts into simulated 1998-hardware
+// seconds.
+//
+// All costs are expressed in microseconds of simulated time on the
+// paper's platform (200 MHz Pentium Pro, a ~8 MB/s IDE-era disk, cold
+// caches). The absolute constants only anchor the scale; what the
+// optimization algorithms rely on is their *ratios* — a random page read
+// costs an order of magnitude more than a sequential one, and per-tuple
+// CPU is "not small" (§7.4 Test 1) but far below per-page I/O.
+package cost
+
+import "math"
+
+// Model holds the primitive cost constants, in simulated microseconds.
+type Model struct {
+	// SeqPage is the cost of reading one 8 KiB page during a sequential
+	// scan (~1 ms at ~8 MB/s).
+	SeqPage float64
+	// RandPage is the cost of a random page read (seek + rotation).
+	RandPage float64
+	// TupleCPU is the CPU cost of pushing one scanned tuple through a
+	// hash star join pipeline for one query: predicate rollup, hash
+	// probes, and result construction.
+	TupleCPU float64
+	// AggCPU is the CPU cost of aggregating one qualifying tuple into a
+	// group-by hash table.
+	AggCPU float64
+	// FetchCPU is the CPU cost of extracting one tuple fetched via a
+	// bitmap probe and routing it (§3.2's "Filter tuples" step).
+	FetchCPU float64
+	// BuildCPU is the CPU cost of inserting one dimension-table row into
+	// a join hash table.
+	BuildCPU float64
+	// BitmapWord is the CPU cost of one 64-bit word of bitmap AND/OR.
+	BitmapWord float64
+	// BitTest is the CPU cost of testing one scanned tuple against a
+	// result bitmap (§3.3's scan-with-filter conversion).
+	BitTest float64
+}
+
+// Default returns the 1998-calibrated model used throughout the
+// benchmarks.
+func Default() *Model {
+	return &Model{
+		SeqPage:    1000,  // 1 ms
+		RandPage:   10000, // 10 ms
+		TupleCPU:   4.5,
+		AggCPU:     1.5,
+		FetchCPU:   3.0,
+		BuildCPU:   2.0,
+		BitmapWord: 0.05,
+		BitTest:    0.15,
+	}
+}
+
+// YaoPages estimates how many of the pages pages are touched when k
+// tuples are selected uniformly at random from rows tuples (Yao's
+// approximation). It is the optimizer's estimate for bitmap-probe I/O.
+func YaoPages(rows, pages, k int64) float64 {
+	if pages <= 0 || rows <= 0 || k <= 0 {
+		return 0
+	}
+	if k >= rows {
+		return float64(pages)
+	}
+	perPage := float64(rows) / float64(pages)
+	// P(page untouched) = ((rows - perPage) / rows)^k approximately.
+	p := math.Pow(1-perPage/float64(rows), float64(k))
+	return float64(pages) * (1 - p)
+}
+
+// ScanIO returns the I/O cost of sequentially scanning pages pages.
+func (m *Model) ScanIO(pages int64) float64 { return float64(pages) * m.SeqPage }
+
+// ProbeIO returns the I/O cost of randomly probing the given estimated
+// number of pages.
+func (m *Model) ProbeIO(pages float64) float64 { return pages * m.RandPage }
+
+// Micros formats a microsecond cost as seconds.
+func Micros(us float64) float64 { return us / 1e6 }

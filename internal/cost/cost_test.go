@@ -1,0 +1,89 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultModelRatios(t *testing.T) {
+	m := Default()
+	// The ratios the optimization behavior depends on: random I/O an
+	// order of magnitude above sequential; per-tuple CPU "not small" but
+	// far below per-page I/O.
+	if m.RandPage < 4*m.SeqPage {
+		t.Fatalf("RandPage %v not well above SeqPage %v", m.RandPage, m.SeqPage)
+	}
+	if m.TupleCPU <= 0 || m.TupleCPU > m.SeqPage/10 {
+		t.Fatalf("TupleCPU %v out of band", m.TupleCPU)
+	}
+	for name, v := range map[string]float64{
+		"SeqPage": m.SeqPage, "RandPage": m.RandPage, "TupleCPU": m.TupleCPU,
+		"AggCPU": m.AggCPU, "FetchCPU": m.FetchCPU, "BuildCPU": m.BuildCPU,
+		"BitmapWord": m.BitmapWord, "BitTest": m.BitTest,
+	} {
+		if v <= 0 {
+			t.Fatalf("%s = %v, want positive", name, v)
+		}
+	}
+}
+
+func TestYaoPagesBounds(t *testing.T) {
+	cases := []struct {
+		rows, pages, k int64
+	}{
+		{1000, 100, 1}, {1000, 100, 50}, {1000, 100, 999},
+		{10, 1, 5}, {1 << 20, 4096, 1234},
+	}
+	for _, c := range cases {
+		got := YaoPages(c.rows, c.pages, c.k)
+		if got <= 0 || got > float64(c.pages) {
+			t.Fatalf("YaoPages(%v) = %v out of (0, pages]", c, got)
+		}
+		// Never meaningfully more pages than tuples selected (float
+		// rounding allowed).
+		if got > float64(c.k)*(1+1e-9) {
+			t.Fatalf("YaoPages(%v) = %v exceeds k", c, got)
+		}
+	}
+	if YaoPages(100, 10, 0) != 0 {
+		t.Fatal("k=0 should touch no pages")
+	}
+	if YaoPages(100, 10, 200) != 10 {
+		t.Fatal("k>rows should touch all pages")
+	}
+	if YaoPages(0, 10, 5) != 0 || YaoPages(100, 0, 5) != 0 {
+		t.Fatal("degenerate table should touch no pages")
+	}
+}
+
+func TestYaoPagesMonotoneQuick(t *testing.T) {
+	f := func(a, b uint16) bool {
+		k1, k2 := int64(a%1000), int64(b%1000)
+		if k1 > k2 {
+			k1, k2 = k2, k1
+		}
+		return YaoPages(1000, 100, k1) <= YaoPages(1000, 100, k2)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanAndProbeCosts(t *testing.T) {
+	m := Default()
+	if got := m.ScanIO(100); got != 100*m.SeqPage {
+		t.Fatalf("ScanIO = %v", got)
+	}
+	if got := m.ProbeIO(7.5); got != 7.5*m.RandPage {
+		t.Fatalf("ProbeIO = %v", got)
+	}
+	if Micros(2_000_000) != 2 {
+		t.Fatalf("Micros = %v", Micros(2_000_000))
+	}
+	// Yao approaches the binomial expectation for small k.
+	small := YaoPages(1000, 100, 1)
+	if math.Abs(small-1) > 0.01 {
+		t.Fatalf("YaoPages(k=1) = %v, want ~1", small)
+	}
+}

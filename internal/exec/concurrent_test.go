@@ -1,0 +1,78 @@
+package exec
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"mdxopt/internal/query"
+)
+
+// TestConcurrentQueries runs different operators concurrently against
+// one database (one shared buffer pool, shared bitmap index caches,
+// shared dimension metadata) and checks results stay oracle-correct.
+// Run with -race to exercise the synchronization.
+func TestConcurrentQueries(t *testing.T) {
+	db, qs := testDB(t)
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+
+	// Precompute oracles serially.
+	env0 := NewEnv(db)
+	want := map[string]*Result{}
+	for name, q := range qs {
+		r, err := Naive(env0, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = r
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	check := func(name string, got *Result) {
+		if !got.Equal(want[name]) {
+			errs <- errors.New(name + ": wrong result under concurrency")
+		}
+	}
+	for worker := 0; worker < 6; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			env := NewEnv(db) // stats are per-env; the pool is shared
+			for iter := 0; iter < 4; iter++ {
+				var st Stats
+				switch worker % 3 {
+				case 0:
+					r, err := HashJoinQuery(env, db.Base(), qs["Q1"], &st)
+					if err != nil {
+						errs <- err
+						return
+					}
+					check("Q1", r)
+				case 1:
+					r, err := IndexJoinQuery(env, view, qs["Q7"], &st)
+					if err != nil {
+						errs <- err
+						return
+					}
+					check("Q7", r)
+				case 2:
+					group := []*query.Query{qs["Q5"], qs["Q6"], qs["Q8"]}
+					rs, err := SharedIndex(env, view, group, &st)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for i, q := range group {
+						check(q.Name, rs[i])
+					}
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,396 @@
+package exec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mdxopt/internal/cost"
+	"mdxopt/internal/datagen"
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+	"mdxopt/internal/workload"
+)
+
+// testDB builds a small paper-shaped database once per test binary.
+var sharedDB *star.Database
+var sharedQueries map[string]*query.Query
+var sharedDir string
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if sharedDir != "" {
+		os.RemoveAll(sharedDir)
+	}
+	os.Exit(code)
+}
+
+func testDB(t *testing.T) (*star.Database, map[string]*query.Query) {
+	t.Helper()
+	if sharedDB != nil {
+		return sharedDB, sharedQueries
+	}
+	spec := datagen.PaperSpec(0.005) // 10k rows
+	spec.PoolFrames = 256
+	// Not t.TempDir(): the database outlives the first test that builds
+	// it, and later tests create files (view materialization) in it.
+	dir, err := os.MkdirTemp("", "mdxopt-exec-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedDir = dir
+	db, err := datagen.Build(filepath.Join(dir, "db"), spec)
+	if err != nil {
+		t.Fatalf("datagen.Build: %v", err)
+	}
+	qs, err := workload.PaperQueries(db.Schema)
+	if err != nil {
+		t.Fatalf("PaperQueries: %v", err)
+	}
+	sharedDB, sharedQueries = db, qs
+	return db, qs
+}
+
+func oracle(t *testing.T, env *Env, q *query.Query) *Result {
+	t.Helper()
+	r, err := Naive(env, q)
+	if err != nil {
+		t.Fatalf("Naive(%s): %v", q.Name, err)
+	}
+	return r
+}
+
+func checkAgainstOracle(t *testing.T, env *Env, got *Result) {
+	t.Helper()
+	want := oracle(t, env, got.Query)
+	if !got.Equal(want) {
+		t.Fatalf("%s: result mismatch\n got %d groups total %.4f\nwant %d groups total %.4f",
+			got.Query.Name, len(got.Groups), got.Total(), len(want.Groups), want.Total())
+	}
+	if len(got.Groups) == 0 {
+		t.Fatalf("%s: empty result (workload bug: predicate selects nothing)", got.Query.Name)
+	}
+}
+
+func TestHashJoinMatchesOracleOnBase(t *testing.T) {
+	db, qs := testDB(t)
+	env := NewEnv(db)
+	for _, name := range []string{"Q1", "Q2", "Q3", "Q4", "Q9"} {
+		var st Stats
+		r, err := HashJoinQuery(env, db.Base(), qs[name], &st)
+		if err != nil {
+			t.Fatalf("HashJoinQuery(%s): %v", name, err)
+		}
+		checkAgainstOracle(t, env, r)
+		if st.TuplesScanned != db.Base().Rows() {
+			t.Fatalf("%s scanned %d tuples, want %d", name, st.TuplesScanned, db.Base().Rows())
+		}
+	}
+}
+
+func TestHashJoinMatchesOracleOnViews(t *testing.T) {
+	db, qs := testDB(t)
+	env := NewEnv(db)
+	// Every query evaluated on every view that can answer it must agree
+	// with the oracle.
+	for _, q := range qs {
+		for _, v := range db.Views {
+			if !q.AnswerableFrom(v.Levels) {
+				continue
+			}
+			var st Stats
+			r, err := HashJoinQuery(env, v, q, &st)
+			if err != nil {
+				t.Fatalf("HashJoinQuery(%s on %s): %v", q.Name, v.Name, err)
+			}
+			checkAgainstOracle(t, env, r)
+		}
+	}
+}
+
+func TestHashJoinRejectsNonDerivingView(t *testing.T) {
+	db, qs := testDB(t)
+	env := NewEnv(db)
+	coarse := db.ViewByLevels([]int{2, 2, 1, 0})
+	if coarse == nil {
+		t.Fatal("A''B''C'D view missing")
+	}
+	var st Stats
+	// Q6 groups at (1,1,1,1); a view at A''.. cannot answer it.
+	if _, err := HashJoinQuery(env, coarse, qs["Q6"], &st); err == nil {
+		t.Fatal("hash join accepted a non-deriving view")
+	}
+}
+
+func TestIndexJoinMatchesOracle(t *testing.T) {
+	db, qs := testDB(t)
+	env := NewEnv(db)
+	indexed := db.ViewByLevels([]int{1, 1, 1, 0})
+	for _, name := range []string{"Q5", "Q6", "Q7", "Q8"} {
+		var st Stats
+		r, err := IndexJoinQuery(env, indexed, qs[name], &st)
+		if err != nil {
+			t.Fatalf("IndexJoinQuery(%s): %v", name, err)
+		}
+		checkAgainstOracle(t, env, r)
+		if st.TuplesScanned != 0 {
+			t.Fatalf("%s index join scanned %d tuples", name, st.TuplesScanned)
+		}
+		if st.TuplesFetched == 0 || st.BitmapWords == 0 {
+			t.Fatalf("%s index join stats missing fetches/bitmap work: %s", name, st)
+		}
+		// The D predicate is residual (no index on D), so fetched >=
+		// aggregated.
+		if st.TuplesFetched < st.TuplesAgg {
+			t.Fatalf("%s fetched %d < aggregated %d", name, st.TuplesFetched, st.TuplesAgg)
+		}
+	}
+}
+
+func TestIndexJoinRequiresSomeIndex(t *testing.T) {
+	db, qs := testDB(t)
+	env := NewEnv(db)
+	var st Stats
+	// The base table has no indexes.
+	if _, err := IndexJoinQuery(env, db.Base(), qs["Q7"], &st); err == nil {
+		t.Fatal("index join ran without any index")
+	}
+}
+
+func TestSharedScanHashMatchesSeparate(t *testing.T) {
+	db, qs := testDB(t)
+	env := NewEnv(db)
+	group := []*query.Query{qs["Q1"], qs["Q2"], qs["Q3"], qs["Q4"]}
+
+	var shared Stats
+	if err := db.ColdReset(); err != nil {
+		t.Fatal(err)
+	}
+	results, err := SharedScanHash(env, db.Base(), group, &shared)
+	if err != nil {
+		t.Fatalf("SharedScanHash: %v", err)
+	}
+	for _, r := range results {
+		checkAgainstOracle(t, env, r)
+	}
+
+	// Separate runs with cold cache between them.
+	var separate Stats
+	for _, q := range group {
+		if err := db.ColdReset(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := HashJoinQuery(env, db.Base(), q, &separate); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The shared operator scans the base table once instead of four
+	// times.
+	if shared.TuplesScanned != db.Base().Rows() {
+		t.Fatalf("shared scanned %d, want %d", shared.TuplesScanned, db.Base().Rows())
+	}
+	if separate.TuplesScanned != 4*db.Base().Rows() {
+		t.Fatalf("separate scanned %d, want %d", separate.TuplesScanned, 4*db.Base().Rows())
+	}
+	if shared.IO.Reads() >= separate.IO.Reads() {
+		t.Fatalf("shared I/O %d not below separate %d", shared.IO.Reads(), separate.IO.Reads())
+	}
+	// Probe work (CPU) is the same per query either way.
+	if shared.TupleProbes != separate.TupleProbes {
+		t.Fatalf("probe counts differ: shared %d separate %d", shared.TupleProbes, separate.TupleProbes)
+	}
+}
+
+func TestSharedScanLookupSharing(t *testing.T) {
+	db, qs := testDB(t)
+	// Q3 and Q4 group identically (A''B''C''D'); their lookup tables for
+	// dimensions without predicates... all their dims have preds, but Q3
+	// and Q4 share the D lookup (same level, same DD1 predicate).
+	group := []*query.Query{qs["Q3"], qs["Q4"]}
+
+	envShared := NewEnv(db)
+	var withSharing Stats
+	if _, err := SharedScanHash(envShared, db.Base(), group, &withSharing); err != nil {
+		t.Fatal(err)
+	}
+
+	envNoShare := NewEnv(db)
+	envNoShare.ShareLookups = false
+	var noSharing Stats
+	if _, err := SharedScanHash(envNoShare, db.Base(), group, &noSharing); err != nil {
+		t.Fatal(err)
+	}
+	if withSharing.HashBuildRows >= noSharing.HashBuildRows {
+		t.Fatalf("lookup sharing did not reduce build work: %d vs %d",
+			withSharing.HashBuildRows, noSharing.HashBuildRows)
+	}
+}
+
+func TestSharedIndexMatchesSeparate(t *testing.T) {
+	db, qs := testDB(t)
+	env := NewEnv(db)
+	indexed := db.ViewByLevels([]int{1, 1, 1, 0})
+	group := []*query.Query{qs["Q5"], qs["Q6"], qs["Q7"], qs["Q8"]}
+
+	if err := db.ColdReset(); err != nil {
+		t.Fatal(err)
+	}
+	var shared Stats
+	results, err := SharedIndex(env, indexed, group, &shared)
+	if err != nil {
+		t.Fatalf("SharedIndex: %v", err)
+	}
+	for _, r := range results {
+		checkAgainstOracle(t, env, r)
+	}
+
+	var separate Stats
+	var separateFetched int64
+	for _, q := range group {
+		if err := db.ColdReset(); err != nil {
+			t.Fatal(err)
+		}
+		var st Stats
+		if _, err := IndexJoinQuery(env, indexed, q, &st); err != nil {
+			t.Fatal(err)
+		}
+		separate.Add(st)
+		separateFetched += st.TuplesFetched
+	}
+
+	// The union probe fetches each qualifying tuple once; separate runs
+	// re-fetch overlapping tuples.
+	if shared.TuplesFetched > separateFetched {
+		t.Fatalf("shared fetched %d > separate %d", shared.TuplesFetched, separateFetched)
+	}
+	if shared.TuplesAgg != separate.TuplesAgg {
+		t.Fatalf("aggregated tuples differ: %d vs %d", shared.TuplesAgg, separate.TuplesAgg)
+	}
+}
+
+func TestSharedMixedMatchesOracle(t *testing.T) {
+	db, qs := testDB(t)
+	env := NewEnv(db)
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+	hash := []*query.Query{qs["Q3"]}
+	index := []*query.Query{qs["Q5"], qs["Q6"], qs["Q7"]}
+
+	var st Stats
+	hr, ir, err := SharedMixed(env, view, hash, index, &st)
+	if err != nil {
+		t.Fatalf("SharedMixed: %v", err)
+	}
+	for _, r := range append(hr, ir...) {
+		checkAgainstOracle(t, env, r)
+	}
+	// One scan total; index queries add no I/O beyond their bitmap reads.
+	if st.TuplesScanned != view.Rows() {
+		t.Fatalf("mixed scanned %d, want %d", st.TuplesScanned, view.Rows())
+	}
+	if st.BitTests < view.Rows()*int64(len(index)) {
+		t.Fatalf("bit tests %d too low", st.BitTests)
+	}
+}
+
+func TestSharedMixedFilterOnlyScans(t *testing.T) {
+	// A mixed operator with no hash members is a shared scan with bitmap
+	// filters (the optimizer picks it over SharedIndex when the union
+	// bitmap is dense); it must still scan and produce correct results.
+	db, qs := testDB(t)
+	env := NewEnv(db)
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+	var st Stats
+	hr, ir, err := SharedMixed(env, view, nil, []*query.Query{qs["Q7"]}, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hr) != 0 || len(ir) != 1 {
+		t.Fatalf("filter-only mixed returned %d hash, %d index results", len(hr), len(ir))
+	}
+	checkAgainstOracle(t, env, ir[0])
+	if st.TuplesScanned != view.Rows() {
+		t.Fatalf("filter-only mixed scanned %d tuples, want %d", st.TuplesScanned, view.Rows())
+	}
+	if _, _, err := SharedMixed(env, view, nil, nil, &st); err != nil {
+		t.Fatalf("empty mixed errored: %v", err)
+	}
+}
+
+func TestIndexVsHashAgreeEverywhere(t *testing.T) {
+	db, qs := testDB(t)
+	env := NewEnv(db)
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+	for _, q := range qs {
+		if !q.AnswerableFrom(view.Levels) {
+			continue
+		}
+		var st Stats
+		hr, err := HashJoinQuery(env, view, q, &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ir, err := IndexJoinQuery(env, view, q, &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hr.Equal(ir) {
+			t.Fatalf("%s: hash and index joins disagree", q.Name)
+		}
+	}
+}
+
+func TestStatsSimulatedSecondsPositive(t *testing.T) {
+	db, qs := testDB(t)
+	env := NewEnv(db)
+	var st Stats
+	if _, err := HashJoinQuery(env, db.Base(), qs["Q1"], &st); err != nil {
+		t.Fatal(err)
+	}
+	m := cost.Default()
+	if st.SimulatedSeconds(m) <= 0 {
+		t.Fatal("simulated time not positive")
+	}
+	var sum Stats
+	sum.Add(st)
+	sum.Add(st)
+	if sum.SimulatedMicros(m) != 2*st.SimulatedMicros(m) {
+		t.Fatal("Stats.Add not additive under the model")
+	}
+}
+
+func TestNaiveWithAllLevel(t *testing.T) {
+	db, _ := testDB(t)
+	env := NewEnv(db)
+	// Group by A'' only; everything else aggregated out.
+	all := make([]int, db.Schema.NumDims())
+	for i, d := range db.Schema.Dims {
+		all[i] = d.AllLevel()
+	}
+	all[0] = 2
+	q, err := query.New("qall", db.Schema, all, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	r, err := HashJoinQuery(env, db.Base(), q, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, env, r)
+	if len(r.Groups) != 3 {
+		t.Fatalf("A'' groups = %d, want 3", len(r.Groups))
+	}
+	// Grand total must match the base table's measure sum.
+	var total float64
+	err = db.Base().Heap.Scan(func(row int64, keys []int32, ms []float64) error {
+		total += ms[0]
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := r.Total() - total; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("grand total %v != %v", r.Total(), total)
+	}
+}

@@ -1,0 +1,249 @@
+package exec
+
+import (
+	"fmt"
+
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+)
+
+// dimLookup is the in-memory join structure the hash star join builds
+// from one dimension table: for every code at the view column's level it
+// gives the group-by code at the query's level and whether the code
+// passes the query's predicate.
+//
+// It corresponds to the paper's per-dimension join hash table (Fig. 1);
+// because our member codes are dense the table is an array, but building
+// it still scans the stored dimension table and is charged per row, and
+// two queries needing the same table can share one (§3.1).
+type dimLookup struct {
+	out  []int32 // view-level code -> query-level code
+	pass []bool  // nil when the dimension is unrestricted
+}
+
+// lookupKey identifies a dimLookup for sharing.
+type lookupKey struct {
+	dim       int
+	viewLevel int
+	sig       string // query-side signature: target level + predicate
+}
+
+// lookupCache shares dimension lookups across the queries of one shared
+// operator invocation.
+type lookupCache struct {
+	env     *Env
+	entries map[lookupKey]*dimLookup
+	stats   *Stats
+}
+
+func newLookupCache(env *Env, stats *Stats) *lookupCache {
+	return &lookupCache{env: env, entries: map[lookupKey]*dimLookup{}, stats: stats}
+}
+
+// get returns the lookup for dimension dim of q against a view column at
+// viewLevel, building (and, if sharing is enabled, caching) it.
+func (c *lookupCache) get(q *query.Query, dim, viewLevel int) (*dimLookup, error) {
+	key := lookupKey{dim: dim, viewLevel: viewLevel, sig: dimSignature(q, dim)}
+	if c.env.ShareLookups {
+		if lk, ok := c.entries[key]; ok {
+			return lk, nil
+		}
+	}
+	lk, err := buildLookup(c.env, c.stats, q, dim, viewLevel)
+	if err != nil {
+		return nil, err
+	}
+	if c.env.ShareLookups {
+		c.entries[key] = lk
+	}
+	return lk, nil
+}
+
+// dimSignature identifies the query side of a lookup: target level and
+// predicate members.
+func dimSignature(q *query.Query, dim int) string {
+	s := fmt.Sprintf("%d:", q.Levels[dim])
+	if q.Preds[dim].IsRestricted() {
+		for _, m := range q.Preds[dim].Members {
+			s += fmt.Sprintf("%d,", m)
+		}
+	} else {
+		s += "*"
+	}
+	return s
+}
+
+// buildLookup scans the stored dimension table to build the join lookup,
+// mirroring the hash-table build phase of the pipelined star join. The
+// scan's page I/O lands in the pool stats; each useful row is charged as
+// a hash-build row.
+func buildLookup(env *Env, stats *Stats, q *query.Query, dim, viewLevel int) (*dimLookup, error) {
+	d := env.DB.Schema.Dims[dim]
+	targetLevel := q.Levels[dim]
+	if viewLevel > targetLevel {
+		return nil, fmt.Errorf("exec: view level %d coarser than query level %d on %s",
+			viewLevel, targetLevel, d.Name)
+	}
+	card := d.Card(viewLevel)
+	lk := &dimLookup{out: make([]int32, card)}
+	memberSet := q.MemberSet(dim)
+	if memberSet != nil {
+		lk.pass = make([]bool, card)
+	}
+
+	if viewLevel >= d.NumLevels() {
+		// View column is at the ALL level: single code 0.
+		lk.out[0] = 0
+		if lk.pass != nil {
+			lk.pass[0] = memberSet[0]
+		}
+		return lk, nil
+	}
+
+	// Scan the dimension table once; dedupe view-level codes so each is
+	// inserted once (the "hash table" keyed by the view column).
+	seen := make([]bool, card)
+	err := env.DB.DimTables[dim].Scan(func(row int64, keys []int32, _ []float64) error {
+		code := keys[viewLevel]
+		if seen[code] {
+			return nil
+		}
+		seen[code] = true
+		var target int32
+		if targetLevel >= d.NumLevels() {
+			target = 0
+		} else {
+			target = keys[targetLevel]
+		}
+		lk.out[code] = target
+		if lk.pass != nil {
+			lk.pass[code] = memberSet[target]
+		}
+		stats.HashBuildRows++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return lk, nil
+}
+
+// accum is one group's aggregation state. Component a carries the
+// running sum/count/min/max per the query's aggregate; Avg additionally
+// uses b for the running count.
+type accum struct {
+	a, b float64
+	set  bool
+}
+
+// queryPipeline is the per-query tail of a star join: dimension lookups
+// plus an aggregation hash table.
+type queryPipeline struct {
+	q       *query.Query
+	lookups []*dimLookup // one per dimension, indexed by dim position
+	agg     map[string]accum
+	keyBuf  []byte
+}
+
+func newQueryPipeline(env *Env, stats *Stats, cache *lookupCache, q *query.Query, view *star.View) (*queryPipeline, error) {
+	nd := env.DB.Schema.NumDims()
+	p := &queryPipeline{
+		q:       q,
+		lookups: make([]*dimLookup, nd),
+		agg:     make(map[string]accum),
+		keyBuf:  make([]byte, 4*nd),
+	}
+	for dim := 0; dim < nd; dim++ {
+		lk, err := cache.get(q, dim, view.Levels[dim])
+		if err != nil {
+			return nil, err
+		}
+		p.lookups[dim] = lk
+	}
+	return p, nil
+}
+
+// probe pushes one base-table tuple through the pipeline: predicate
+// tests, rollup, and aggregation. vals is the tuple's (sum, count, min,
+// max) accumulator (see star.TupleAggregates). Returns whether the
+// tuple qualified.
+func (p *queryPipeline) probe(keys []int32, vals [4]float64) bool {
+	buf := p.keyBuf
+	for dim, lk := range p.lookups {
+		code := keys[dim]
+		if lk.pass != nil && !lk.pass[code] {
+			return false
+		}
+		g := lk.out[code]
+		buf[dim*4] = byte(g)
+		buf[dim*4+1] = byte(g >> 8)
+		buf[dim*4+2] = byte(g >> 16)
+		buf[dim*4+3] = byte(g >> 24)
+	}
+	p.absorb(vals)
+	return true
+}
+
+// foldFiltered applies the residual predicates (restricted dimensions not
+// covered by the query's result bitmap) and, when they pass, aggregates
+// the tuple. Used on the bitmap path.
+func (p *queryPipeline) foldFiltered(keys []int32, vals [4]float64, residual []int) bool {
+	for _, dim := range residual {
+		lk := p.lookups[dim]
+		if lk.pass != nil && !lk.pass[keys[dim]] {
+			return false
+		}
+	}
+	p.fold(keys, vals)
+	return true
+}
+
+// fold aggregates a tuple already known to qualify (used on the bitmap
+// path, where the predicate was applied by the index).
+func (p *queryPipeline) fold(keys []int32, vals [4]float64) {
+	buf := p.keyBuf
+	for dim, lk := range p.lookups {
+		g := lk.out[keys[dim]]
+		buf[dim*4] = byte(g)
+		buf[dim*4+1] = byte(g >> 8)
+		buf[dim*4+2] = byte(g >> 16)
+		buf[dim*4+3] = byte(g >> 24)
+	}
+	p.absorb(vals)
+}
+
+// absorb folds vals into the group currently addressed by keyBuf,
+// according to the query's aggregate.
+func (p *queryPipeline) absorb(vals [4]float64) {
+	cur := p.agg[string(p.keyBuf)]
+	switch p.q.Agg {
+	case query.Sum:
+		cur.a += vals[star.AggSum]
+	case query.Count:
+		cur.a += vals[star.AggCount]
+	case query.Min:
+		if !cur.set || vals[star.AggMin] < cur.a {
+			cur.a = vals[star.AggMin]
+		}
+	case query.Max:
+		if !cur.set || vals[star.AggMax] > cur.a {
+			cur.a = vals[star.AggMax]
+		}
+	case query.Avg:
+		cur.a += vals[star.AggSum]
+		cur.b += vals[star.AggCount]
+	}
+	cur.set = true
+	p.agg[string(p.keyBuf)] = cur
+}
+
+// finalize converts a group's accumulation state into its result value.
+func (p *queryPipeline) finalize(ac accum) float64 {
+	if p.q.Agg == query.Avg {
+		if ac.b == 0 {
+			return 0
+		}
+		return ac.a / ac.b
+	}
+	return ac.a
+}

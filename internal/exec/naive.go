@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"mdxopt/internal/query"
+)
+
+// Naive evaluates a query directly against the base fact table with
+// straight-line code: roll every tuple up to the query's levels, test the
+// predicates, aggregate in a map. It shares no code with the operators in
+// this package and serves as the correctness oracle in tests.
+func Naive(env *Env, q *query.Query) (*Result, error) {
+	base := env.DB.Base()
+	nd := q.Schema.NumDims()
+	sets := make([][]bool, nd)
+	for i := 0; i < nd; i++ {
+		sets[i] = q.MemberSet(i)
+	}
+	type state struct {
+		sum, count, min, max float64
+		set                  bool
+	}
+	agg := make(map[string]*state)
+	buf := make([]byte, 4*nd)
+	err := base.Heap.Scan(func(row int64, keys []int32, measures []float64) error {
+		for i := 0; i < nd; i++ {
+			g := q.Schema.Dims[i].RollUp(keys[i], 0, q.Levels[i])
+			if sets[i] != nil && !sets[i][g] {
+				return nil
+			}
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(g))
+		}
+		m := measures[0]
+		st, ok := agg[string(buf)]
+		if !ok {
+			st = &state{min: m, max: m}
+			agg[string(buf)] = st
+		}
+		st.sum += m
+		st.count++
+		if m < st.min {
+			st.min = m
+		}
+		if m > st.max {
+			st.max = m
+		}
+		st.set = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	groups := make([]Group, len(keys))
+	for i, k := range keys {
+		st := agg[k]
+		var value float64
+		switch q.Agg {
+		case query.Sum:
+			value = st.sum
+		case query.Count:
+			value = st.count
+		case query.Min:
+			value = st.min
+		case query.Max:
+			value = st.max
+		case query.Avg:
+			value = st.sum / st.count
+		}
+		g := Group{Keys: make([]int32, nd), Value: value}
+		for d := 0; d < nd; d++ {
+			g.Keys[d] = int32(binary.LittleEndian.Uint32([]byte(k)[d*4:]))
+		}
+		groups[i] = g
+	}
+	return &Result{Query: q, Groups: groups}, nil
+}

@@ -1,0 +1,383 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"mdxopt/internal/bitmap"
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+)
+
+// ErrNoIndex is returned when an index star join is requested on a view
+// lacking a bitmap join index for a restricted dimension.
+var ErrNoIndex = errors.New("exec: view has no bitmap join index for a restricted dimension")
+
+// checkAnswerable validates that view can compute every query, including
+// the aggregate-layout requirement (non-SUM queries need the base table
+// or a multi-aggregate view — a sum-only view has no count/min/max
+// information).
+func checkAnswerable(env *Env, view *star.View, queries []*query.Query) error {
+	for _, q := range queries {
+		if !q.AnswerableFrom(view.Levels) {
+			return fmt.Errorf("exec: view %s cannot answer %s", view.Name, q)
+		}
+		if q.Agg != query.Sum && view != env.DB.Base() && !view.MultiAgg() {
+			return fmt.Errorf("exec: view %s lacks aggregate information for %s", view.Name, q)
+		}
+	}
+	return nil
+}
+
+// HashJoinQuery evaluates a single query with a pipelined hash star join
+// over view followed by hash aggregation (paper Fig. 1).
+func HashJoinQuery(env *Env, view *star.View, q *query.Query, stats *Stats) (*Result, error) {
+	rs, err := SharedScanHash(env, view, []*query.Query{q}, stats)
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// SharedScanHash evaluates all queries with the shared-scan hash star
+// join operator (§3.1, Fig. 2): one sequential scan of view feeds every
+// query's join + aggregation pipeline, and identical dimension lookup
+// tables are built once when Env.ShareLookups is set.
+func SharedScanHash(env *Env, view *star.View, queries []*query.Query, stats *Stats) ([]*Result, error) {
+	if err := checkAnswerable(env, view, queries); err != nil {
+		return nil, err
+	}
+	var results []*Result
+	err := env.measure(stats, func() error {
+		cache := newLookupCache(env, stats)
+		pipelines := make([]*queryPipeline, len(queries))
+		for i, q := range queries {
+			p, err := newQueryPipeline(env, stats, cache, q, view)
+			if err != nil {
+				return err
+			}
+			pipelines[i] = p
+		}
+		if env.workers() > 1 {
+			err := parallelScan(env, view, stats,
+				func() (any, error) {
+					set := make([]*queryPipeline, len(queries))
+					for i, q := range queries {
+						p, err := newQueryPipeline(env, stats, cache, q, view)
+						if err != nil {
+							return nil, err
+						}
+						set[i] = p
+					}
+					return set, nil
+				},
+				func(state any, st *Stats, row int64, keys []int32, vals [4]float64) {
+					for _, p := range state.([]*queryPipeline) {
+						st.TupleProbes++
+						if p.probe(keys, vals) {
+							st.TuplesAgg++
+						}
+					}
+				},
+				func(state any) {
+					for i, p := range state.([]*queryPipeline) {
+						pipelines[i].merge(p)
+					}
+				})
+			if err != nil {
+				return err
+			}
+		} else {
+			err := view.Heap.Scan(func(row int64, keys []int32, measures []float64) error {
+				if stats.TuplesScanned%checkEvery == 0 {
+					if err := env.canceled(); err != nil {
+						return err
+					}
+				}
+				stats.TuplesScanned++
+				vals := star.TupleAggregates(view, measures)
+				for _, p := range pipelines {
+					stats.TupleProbes++
+					if p.probe(keys, vals) {
+						stats.TuplesAgg++
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		results = make([]*Result, len(pipelines))
+		for i, p := range pipelines {
+			results[i] = p.result()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// resultBitmap builds the query's result bitmap over view: for each
+// restricted dimension *with a bitmap join index* the per-member bitmaps
+// are OR-ed, and the per-dimension results are AND-ed (§3.2 steps 1–5).
+// Restricted dimensions without an index are returned as residual
+// dimensions whose predicate must be applied to each fetched tuple (the
+// paper's test queries all carry a D filter while only A, B and C are
+// indexed). At least one restricted dimension must be indexed, otherwise
+// an index star join is meaningless and ErrNoIndex is returned.
+func resultBitmap(env *Env, view *star.View, q *query.Query, stats *Stats) (*bitmap.Bitset, []int, error) {
+	var acc *bitmap.Bitset
+	var residual []int
+	restricted := q.RestrictedDims()
+	for _, dim := range restricted {
+		ix := view.Indexes[dim]
+		if ix == nil {
+			residual = append(residual, dim)
+			continue
+		}
+		codes := q.ViewPredicate(dim, view.Levels[dim])
+		bs, words, err := ix.OrOf(codes)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.BitmapWords += words
+		if acc == nil {
+			acc = bs
+		} else {
+			stats.BitmapWords += acc.And(bs)
+		}
+	}
+	if acc == nil {
+		if len(restricted) > 0 {
+			return nil, nil, fmt.Errorf("%w: %s has no usable index for %s", ErrNoIndex, view.Name, q)
+		}
+		acc = bitmap.NewFull(view.Rows())
+	}
+	return acc, residual, nil
+}
+
+// IndexJoinQuery evaluates a single query with a bitmap-index star join
+// over view (§3.2's standard join index plan, Fig. 3): build the result
+// bitmap, probe the view at the set positions, roll up and aggregate.
+func IndexJoinQuery(env *Env, view *star.View, q *query.Query, stats *Stats) (*Result, error) {
+	rs, err := SharedIndex(env, view, []*query.Query{q}, stats)
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// SharedIndex evaluates all queries with the shared index star join
+// operator (§3.2, Fig. 4): the per-query result bitmaps are OR-ed, the
+// view is probed once with the union, and each fetched tuple is routed to
+// the queries whose bitmaps cover its position.
+func SharedIndex(env *Env, view *star.View, queries []*query.Query, stats *Stats) ([]*Result, error) {
+	if err := checkAnswerable(env, view, queries); err != nil {
+		return nil, err
+	}
+	var results []*Result
+	err := env.measure(stats, func() error {
+		cache := newLookupCache(env, stats)
+		pipelines := make([]*queryPipeline, len(queries))
+		bitmaps := make([]*bitmap.Bitset, len(queries))
+		residuals := make([][]int, len(queries))
+		for i, q := range queries {
+			p, err := newQueryPipeline(env, stats, cache, q, view)
+			if err != nil {
+				return err
+			}
+			pipelines[i] = p
+			bs, residual, err := resultBitmap(env, view, q, stats)
+			if err != nil {
+				return err
+			}
+			bitmaps[i] = bs
+			residuals[i] = residual
+		}
+		union := bitmaps[0].Clone()
+		for _, bs := range bitmaps[1:] {
+			stats.BitmapWords += union.Or(bs)
+		}
+		err := view.Heap.FetchRows(union.Iterator(), func(row int64, keys []int32, measures []float64) error {
+			if stats.TuplesFetched%checkEvery == 0 {
+				if err := env.canceled(); err != nil {
+					return err
+				}
+			}
+			stats.TuplesFetched++
+			vals := star.TupleAggregates(view, measures)
+			for i, p := range pipelines {
+				if len(pipelines) > 1 {
+					stats.BitTests++
+					if !bitmaps[i].Get(row) {
+						continue
+					}
+				}
+				if p.foldFiltered(keys, vals, residuals[i]) {
+					stats.TuplesAgg++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		results = make([]*Result, len(pipelines))
+		for i, p := range pipelines {
+			results[i] = p.result()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// SharedMixed evaluates hash-join queries and index-join queries over the
+// same view with one shared sequential scan (§3.3): the index queries'
+// result bitmaps become selection filters applied to the scanned stream,
+// saving their base-table probe I/O entirely. hashQueries may be empty,
+// in which case the operator is a shared scan with bitmap filters only —
+// the optimizer chooses this over SharedIndex when the union bitmap is
+// dense enough that random probing would touch most pages anyway.
+func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Query, stats *Stats) (hashResults, indexResults []*Result, err error) {
+	if len(hashQueries)+len(indexQueries) == 0 {
+		return nil, nil, nil
+	}
+	if err := checkAnswerable(env, view, hashQueries); err != nil {
+		return nil, nil, err
+	}
+	if err := checkAnswerable(env, view, indexQueries); err != nil {
+		return nil, nil, err
+	}
+	err = env.measure(stats, func() error {
+		cache := newLookupCache(env, stats)
+		hashPipes := make([]*queryPipeline, len(hashQueries))
+		for i, q := range hashQueries {
+			p, err := newQueryPipeline(env, stats, cache, q, view)
+			if err != nil {
+				return err
+			}
+			hashPipes[i] = p
+		}
+		indexPipes := make([]*queryPipeline, len(indexQueries))
+		bitmaps := make([]*bitmap.Bitset, len(indexQueries))
+		residuals := make([][]int, len(indexQueries))
+		for i, q := range indexQueries {
+			p, err := newQueryPipeline(env, stats, cache, q, view)
+			if err != nil {
+				return err
+			}
+			indexPipes[i] = p
+			bs, residual, err := resultBitmap(env, view, q, stats)
+			if err != nil {
+				return err
+			}
+			bitmaps[i] = bs
+			residuals[i] = residual
+		}
+		if env.workers() > 1 {
+			type mixedState struct {
+				hash, index []*queryPipeline
+			}
+			err := parallelScan(env, view, stats,
+				func() (any, error) {
+					ms := &mixedState{
+						hash:  make([]*queryPipeline, len(hashQueries)),
+						index: make([]*queryPipeline, len(indexQueries)),
+					}
+					for i, q := range hashQueries {
+						p, err := newQueryPipeline(env, stats, cache, q, view)
+						if err != nil {
+							return nil, err
+						}
+						ms.hash[i] = p
+					}
+					for i, q := range indexQueries {
+						p, err := newQueryPipeline(env, stats, cache, q, view)
+						if err != nil {
+							return nil, err
+						}
+						ms.index[i] = p
+					}
+					return ms, nil
+				},
+				func(state any, st *Stats, row int64, keys []int32, vals [4]float64) {
+					ms := state.(*mixedState)
+					for _, p := range ms.hash {
+						st.TupleProbes++
+						if p.probe(keys, vals) {
+							st.TuplesAgg++
+						}
+					}
+					for i, p := range ms.index {
+						st.BitTests++
+						if bitmaps[i].Get(row) {
+							st.TuplesFetched++
+							if p.foldFiltered(keys, vals, residuals[i]) {
+								st.TuplesAgg++
+							}
+						}
+					}
+				},
+				func(state any) {
+					ms := state.(*mixedState)
+					for i, p := range ms.hash {
+						hashPipes[i].merge(p)
+					}
+					for i, p := range ms.index {
+						indexPipes[i].merge(p)
+					}
+				})
+			if err != nil {
+				return err
+			}
+		} else {
+			err := view.Heap.Scan(func(row int64, keys []int32, measures []float64) error {
+				if stats.TuplesScanned%checkEvery == 0 {
+					if err := env.canceled(); err != nil {
+						return err
+					}
+				}
+				stats.TuplesScanned++
+				vals := star.TupleAggregates(view, measures)
+				for _, p := range hashPipes {
+					stats.TupleProbes++
+					if p.probe(keys, vals) {
+						stats.TuplesAgg++
+					}
+				}
+				for i, p := range indexPipes {
+					stats.BitTests++
+					if bitmaps[i].Get(row) {
+						stats.TuplesFetched++
+						if p.foldFiltered(keys, vals, residuals[i]) {
+							stats.TuplesAgg++
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		hashResults = make([]*Result, len(hashPipes))
+		for i, p := range hashPipes {
+			hashResults[i] = p.result()
+		}
+		indexResults = make([]*Result, len(indexPipes))
+		for i, p := range indexPipes {
+			indexResults[i] = p.result()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return hashResults, indexResults, nil
+}

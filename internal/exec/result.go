@@ -1,0 +1,106 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdxopt/internal/query"
+)
+
+// Group is one row of a query result: the group-by member codes (at the
+// query's levels) and the aggregated measure.
+type Group struct {
+	Keys  []int32
+	Value float64
+}
+
+// Result is the evaluated output of one query, with groups in ascending
+// key order.
+type Result struct {
+	Query  *query.Query
+	Groups []Group
+}
+
+// result converts the pipeline's aggregation table into a sorted Result.
+func (p *queryPipeline) result() *Result {
+	q := p.q
+	nd := q.Schema.NumDims()
+	keys := make([]string, 0, len(p.agg))
+	for k := range p.agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	groups := make([]Group, len(keys))
+	for i, k := range keys {
+		g := Group{Keys: make([]int32, nd), Value: p.finalize(p.agg[k])}
+		for d := 0; d < nd; d++ {
+			g.Keys[d] = int32(uint32(k[d*4]) | uint32(k[d*4+1])<<8 | uint32(k[d*4+2])<<16 | uint32(k[d*4+3])<<24)
+		}
+		groups[i] = g
+	}
+	return &Result{Query: q, Groups: groups}
+}
+
+// Find returns the value for the given group keys.
+func (r *Result) Find(keys []int32) (float64, bool) {
+	for _, g := range r.Groups {
+		if equalKeys(g.Keys, keys) {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+func equalKeys(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Total returns the sum of all group values.
+func (r *Result) Total() float64 {
+	var t float64
+	for _, g := range r.Groups {
+		t += g.Value
+	}
+	return t
+}
+
+// Equal reports whether two results have identical groups and values.
+func (r *Result) Equal(o *Result) bool {
+	if len(r.Groups) != len(o.Groups) {
+		return false
+	}
+	for i := range r.Groups {
+		if !equalKeys(r.Groups[i].Keys, o.Groups[i].Keys) || r.Groups[i].Value != o.Groups[i].Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the result with member names, one group per line.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d groups\n", r.Query, len(r.Groups))
+	for _, g := range r.Groups {
+		parts := make([]string, 0, len(g.Keys))
+		for d, k := range g.Keys {
+			dim := r.Query.Schema.Dims[d]
+			lvl := r.Query.Levels[d]
+			if lvl == dim.AllLevel() {
+				continue
+			}
+			parts = append(parts, dim.MemberName(lvl, k))
+		}
+		fmt.Fprintf(&b, "  (%s) = %.2f\n", strings.Join(parts, ", "), g.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+// Package exec implements the query evaluation primitives of the paper:
+// pipelined hash star joins, bitmap-index star joins, hash aggregation,
+// and — the paper's §3 contribution — the three *shared* operators:
+//
+//   - SharedScanHash: one scan of a common base table drives many hash
+//     star-join + aggregation pipelines, with dimension lookup tables
+//     shared between queries that need identical ones (§3.1).
+//   - SharedIndex: per-query result bitmaps are OR-ed and the base table
+//     is probed once; fetched tuples are routed to each query's
+//     aggregation by re-testing its bitmap (§3.2).
+//   - SharedMixed: index-join plans are converted from bitmap probing to
+//     scan-plus-bitmap-filter so they ride along a hash plan's scan
+//     (§3.3).
+//
+// Every operator accounts its work in a Stats, which the cost model
+// converts to simulated 1998-hardware seconds.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mdxopt/internal/cost"
+	"mdxopt/internal/star"
+	"mdxopt/internal/storage"
+)
+
+// Stats accumulates the work performed by one or more operators.
+type Stats struct {
+	IO storage.Stats // physical page I/O observed at the buffer pool
+
+	TuplesScanned int64 // tuples decoded by sequential scans
+	TupleProbes   int64 // tuple × query hash star-join probes
+	TuplesAgg     int64 // qualifying tuples folded into aggregates
+	TuplesFetched int64 // tuple extractions driven by bitmap probes
+	HashBuildRows int64 // dimension rows inserted into join lookup tables
+	BitmapWords   int64 // 64-bit words of bitmap AND/OR
+	BitTests      int64 // per-tuple bitmap membership tests
+
+	Wall time.Duration // measured wall-clock time
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.IO.Add(other.IO)
+	s.TuplesScanned += other.TuplesScanned
+	s.TupleProbes += other.TupleProbes
+	s.TuplesAgg += other.TuplesAgg
+	s.TuplesFetched += other.TuplesFetched
+	s.HashBuildRows += other.HashBuildRows
+	s.BitmapWords += other.BitmapWords
+	s.BitTests += other.BitTests
+	s.Wall += other.Wall
+}
+
+// SimulatedMicros converts the counted work to simulated microseconds on
+// the paper's 1998 platform under model m.
+func (s Stats) SimulatedMicros(m *cost.Model) float64 {
+	return float64(s.IO.SeqReads)*m.SeqPage +
+		float64(s.IO.RandReads)*m.RandPage +
+		float64(s.TupleProbes)*m.TupleCPU +
+		float64(s.TuplesAgg)*m.AggCPU +
+		float64(s.TuplesFetched)*m.FetchCPU +
+		float64(s.HashBuildRows)*m.BuildCPU +
+		float64(s.BitmapWords)*m.BitmapWord +
+		float64(s.BitTests)*m.BitTest
+}
+
+// SimulatedSeconds is SimulatedMicros scaled to seconds.
+func (s Stats) SimulatedSeconds(m *cost.Model) float64 {
+	return cost.Micros(s.SimulatedMicros(m))
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("io{%s} scan=%d probe=%d agg=%d fetch=%d build=%d bmwords=%d bittest=%d wall=%s",
+		s.IO, s.TuplesScanned, s.TupleProbes, s.TuplesAgg, s.TuplesFetched,
+		s.HashBuildRows, s.BitmapWords, s.BitTests, s.Wall)
+}
+
+// Env carries what operators need: the database (dimension tables, views,
+// indexes, buffer pool) and execution options.
+type Env struct {
+	DB *star.Database
+	// ShareLookups enables sharing identical dimension lookup tables
+	// between the queries of one shared-scan operator (§3.1's second
+	// sharing opportunity). On by default; the ablation benchmark turns
+	// it off.
+	ShareLookups bool
+	// Parallelism partitions shared scans across this many workers with
+	// per-worker aggregation tables merged afterwards (all supported
+	// aggregates are decomposable). Values below 2 run serially.
+	Parallelism int
+	// Ctx, when non-nil, is checked periodically during scans and
+	// probes; cancellation aborts the operator with the context's error.
+	Ctx context.Context
+}
+
+// NewEnv returns an Env with default options.
+func NewEnv(db *star.Database) *Env {
+	return &Env{DB: db, ShareLookups: true}
+}
+
+// checkEvery is how many tuples an operator processes between
+// cancellation checks.
+const checkEvery = 4096
+
+// canceled returns the context's error if the Env's context is done.
+func (e *Env) canceled() error {
+	if e.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-e.Ctx.Done():
+		return e.Ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// measure runs f, recording wall time and the pool I/O delta into stats.
+func (e *Env) measure(stats *Stats, f func() error) error {
+	before := e.DB.Pool.Stats()
+	start := time.Now()
+	err := f()
+	stats.Wall += time.Since(start)
+	stats.IO.Add(e.DB.Pool.Stats().Sub(before))
+	return err
+}

@@ -1,0 +1,506 @@
+// Package experiments reproduces the paper's evaluation (§7): Table 1
+// (the test database's materialized group-by sizes), Tests 1–3 (Figures
+// 10–12: the three shared operators vs. separate execution) and Tests
+// 4–7 (Table 2: global plans produced by TPLO, ETPLG, GG and the
+// exhaustive Optimal, executed and timed).
+//
+// All measurements report both simulated 1998-seconds (from counted
+// work; see internal/cost) and wall-clock time on the current machine.
+// Every experiment cross-checks its results against the naive oracle
+// and fails loudly on a mismatch.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mdxopt/internal/core"
+	"mdxopt/internal/cost"
+	"mdxopt/internal/datagen"
+	"mdxopt/internal/exec"
+	"mdxopt/internal/plan"
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+	"mdxopt/internal/workload"
+)
+
+// Runner holds an open database and the paper's query workload.
+type Runner struct {
+	DB      *star.Database
+	Queries map[string]*query.Query
+	Env     *exec.Env
+	Model   *cost.Model
+	Scale   float64
+}
+
+// Open builds (if absent) or opens the paper database at dir with the
+// given scale and returns a runner.
+func Open(dir string, scale float64) (*Runner, error) {
+	spec := datagen.PaperSpec(scale)
+	var db *star.Database
+	if _, err := os.Stat(filepath.Join(dir, "meta.json")); err == nil {
+		db, err = star.Open(dir, spec.PoolFrames)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		db, err = datagen.Build(dir, spec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	qs, err := workload.PaperQueries(db.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		DB:      db,
+		Queries: qs,
+		Env:     exec.NewEnv(db),
+		Model:   cost.Default(),
+		Scale:   scale,
+	}, nil
+}
+
+// Close closes the underlying database.
+func (r *Runner) Close() error { return r.DB.Close() }
+
+func (r *Runner) qs(names ...string) []*query.Query {
+	out := make([]*query.Query, len(names))
+	for i, n := range names {
+		out[i] = r.Queries[n]
+	}
+	return out
+}
+
+// Measurement is one timed execution.
+type Measurement struct {
+	SimSeconds float64
+	Wall       time.Duration
+	PageReads  int64
+}
+
+func (r *Runner) measurement(st exec.Stats) Measurement {
+	return Measurement{
+		SimSeconds: st.SimulatedSeconds(r.Model),
+		Wall:       st.Wall,
+		PageReads:  st.IO.Reads(),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Table 1
+
+// ViewSize is one row of the database profile.
+type ViewSize struct {
+	Name  string
+	Rows  int64
+	Pages int64
+}
+
+// Table1Result profiles the materialized group-bys, the reproduction of
+// the paper's Table 1.
+type Table1Result struct {
+	Scale float64
+	Views []ViewSize
+}
+
+// Table1 reports the materialized group-by sizes.
+func (r *Runner) Table1() *Table1Result {
+	out := &Table1Result{Scale: r.Scale}
+	for _, v := range r.DB.Views {
+		out.Views = append(out.Views, ViewSize{Name: v.Name, Rows: v.Rows(), Pages: v.Pages()})
+	}
+	return out
+}
+
+// paperTable1 holds the paper's (full-scale) tuple counts for context.
+var paperTable1 = map[string]int64{
+	"ABCD":    2000000,
+	"A'B'C'D": 1000000,
+}
+
+// Format renders the table.
+func (t *Table1Result) Format(w io.Writer) {
+	fmt.Fprintf(w, "Table 1: materialized group-by sizes (scale %g)\n", t.Scale)
+	fmt.Fprintf(w, "%-14s %10s %8s %10s %14s\n", "group-by", "tuples", "pages", "vs base", "paper (2M run)")
+	base := t.Views[0].Rows
+	for _, v := range t.Views {
+		paper := ""
+		if p, ok := paperTable1[v.Name]; ok {
+			paper = fmt.Sprintf("%d", p)
+		}
+		fmt.Fprintf(w, "%-14s %10d %8d %9.2fx %14s\n",
+			v.Name, v.Rows, v.Pages, float64(v.Rows)/float64(base), paper)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Tests 1–3 (Figures 10–12)
+
+// SharingStep is one bar pair of Figures 10–12: the first K queries run
+// separately (cold cache between queries) vs. with the shared operator.
+type SharingStep struct {
+	K        int
+	Names    []string
+	Separate Measurement
+	Shared   Measurement
+}
+
+// SharedOpResult is one of Tests 1–3.
+type SharedOpResult struct {
+	Name     string // "Test 1 (Figure 10)" etc.
+	Operator string
+	Base     string
+	Steps    []SharingStep
+}
+
+// Speedup returns separate/shared simulated time at the last step.
+func (t *SharedOpResult) Speedup() float64 {
+	last := t.Steps[len(t.Steps)-1]
+	if last.Shared.SimSeconds == 0 {
+		return 0
+	}
+	return last.Separate.SimSeconds / last.Shared.SimSeconds
+}
+
+// Format renders the figure as a table.
+func (t *SharedOpResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s on %s\n", t.Name, t.Operator, t.Base)
+	fmt.Fprintf(w, "%-3s %-18s %14s %14s %10s %12s %12s\n",
+		"k", "queries", "separate(sim s)", "shared(sim s)", "speedup", "sep pages", "shared pages")
+	for _, s := range t.Steps {
+		fmt.Fprintf(w, "%-3d %-18s %14.3f %14.3f %9.2fx %12d %12d\n",
+			s.K, join(s.Names), s.Separate.SimSeconds, s.Shared.SimSeconds,
+			s.Separate.SimSeconds/s.Shared.SimSeconds, s.Separate.PageReads, s.Shared.PageReads)
+	}
+}
+
+func join(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "+"
+		}
+		out += n
+	}
+	return out
+}
+
+// Test1 (Figure 10): Q1–Q4 forced onto hash star joins over the base
+// table ABCD; separate vs. the shared-scan operator, cumulatively.
+func (r *Runner) Test1() (*SharedOpResult, error) {
+	names := []string{"Q1", "Q2", "Q3", "Q4"}
+	base := r.DB.Base()
+	out := &SharedOpResult{Name: "Test 1 (Figure 10)", Operator: "shared-scan hash star join", Base: base.Name}
+
+	for k := 1; k <= len(names); k++ {
+		group := r.qs(names[:k]...)
+
+		var sep exec.Stats
+		var sepResults []*exec.Result
+		for _, q := range group {
+			if err := r.DB.ColdReset(); err != nil {
+				return nil, err
+			}
+			res, err := exec.HashJoinQuery(r.Env, base, q, &sep)
+			if err != nil {
+				return nil, err
+			}
+			sepResults = append(sepResults, res)
+		}
+
+		if err := r.DB.ColdReset(); err != nil {
+			return nil, err
+		}
+		var shared exec.Stats
+		sharedResults, err := exec.SharedScanHash(r.Env, base, group, &shared)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.verify(group, sharedResults, sepResults); err != nil {
+			return nil, fmt.Errorf("test1 k=%d: %w", k, err)
+		}
+		out.Steps = append(out.Steps, SharingStep{
+			K: k, Names: names[:k],
+			Separate: r.measurement(sep),
+			Shared:   r.measurement(shared),
+		})
+	}
+	return out, nil
+}
+
+// Test2 (Figure 11): Q5–Q8 forced onto bitmap index star joins over
+// A'B'C'D; separate vs. the shared index operator, cumulatively.
+func (r *Runner) Test2() (*SharedOpResult, error) {
+	names := []string{"Q5", "Q6", "Q7", "Q8"}
+	view := r.indexedView()
+	out := &SharedOpResult{Name: "Test 2 (Figure 11)", Operator: "shared index star join", Base: view.Name}
+
+	for k := 1; k <= len(names); k++ {
+		group := r.qs(names[:k]...)
+
+		var sep exec.Stats
+		var sepResults []*exec.Result
+		for _, q := range group {
+			if err := r.DB.ColdReset(); err != nil {
+				return nil, err
+			}
+			res, err := exec.IndexJoinQuery(r.Env, view, q, &sep)
+			if err != nil {
+				return nil, err
+			}
+			sepResults = append(sepResults, res)
+		}
+
+		if err := r.DB.ColdReset(); err != nil {
+			return nil, err
+		}
+		var shared exec.Stats
+		sharedResults, err := exec.SharedIndex(r.Env, view, group, &shared)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.verify(group, sharedResults, sepResults); err != nil {
+			return nil, fmt.Errorf("test2 k=%d: %w", k, err)
+		}
+		out.Steps = append(out.Steps, SharingStep{
+			K: k, Names: names[:k],
+			Separate: r.measurement(sep),
+			Shared:   r.measurement(shared),
+		})
+	}
+	return out, nil
+}
+
+// Test3 (Figure 12): Q3 as a hash star join plus Q5, Q6, Q7 as index
+// star joins, all over A'B'C'D; separate vs. the mixed shared-scan
+// operator, adding one index query at a time.
+func (r *Runner) Test3() (*SharedOpResult, error) {
+	indexNames := []string{"Q5", "Q6", "Q7"}
+	view := r.indexedView()
+	out := &SharedOpResult{Name: "Test 3 (Figure 12)", Operator: "shared scan, hash + index star joins", Base: view.Name}
+
+	for k := 0; k <= len(indexNames); k++ {
+		hash := r.qs("Q3")
+		index := r.qs(indexNames[:k]...)
+		group := append(append([]*query.Query(nil), hash...), index...)
+		names := append([]string{"Q3"}, indexNames[:k]...)
+
+		var sep exec.Stats
+		var sepResults []*exec.Result
+		if err := r.DB.ColdReset(); err != nil {
+			return nil, err
+		}
+		res, err := exec.HashJoinQuery(r.Env, view, hash[0], &sep)
+		if err != nil {
+			return nil, err
+		}
+		sepResults = append(sepResults, res)
+		for _, q := range index {
+			if err := r.DB.ColdReset(); err != nil {
+				return nil, err
+			}
+			res, err := exec.IndexJoinQuery(r.Env, view, q, &sep)
+			if err != nil {
+				return nil, err
+			}
+			sepResults = append(sepResults, res)
+		}
+
+		if err := r.DB.ColdReset(); err != nil {
+			return nil, err
+		}
+		var shared exec.Stats
+		hr, ir, err := exec.SharedMixed(r.Env, view, hash, index, &shared)
+		if err != nil {
+			return nil, err
+		}
+		sharedResults := append(append([]*exec.Result(nil), hr...), ir...)
+		if err := r.verify(group, sharedResults, sepResults); err != nil {
+			return nil, fmt.Errorf("test3 k=%d: %w", k, err)
+		}
+		out.Steps = append(out.Steps, SharingStep{
+			K: len(group), Names: names,
+			Separate: r.measurement(sep),
+			Shared:   r.measurement(shared),
+		})
+	}
+	return out, nil
+}
+
+func (r *Runner) indexedView() *star.View {
+	return r.DB.ViewByLevels([]int{1, 1, 1, 0})
+}
+
+// verify checks shared results both against the separate runs and the
+// naive oracle.
+func (r *Runner) verify(queries []*query.Query, shared, separate []*exec.Result) error {
+	for i, q := range queries {
+		if !shared[i].Equal(separate[i]) {
+			return fmt.Errorf("%s: shared and separate execution disagree", q.Name)
+		}
+		want, err := exec.Naive(r.Env, q)
+		if err != nil {
+			return err
+		}
+		if !shared[i].Equal(want) {
+			return fmt.Errorf("%s: result does not match the oracle", q.Name)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Tests 4–7 (Table 2)
+
+// AlgoRow is one algorithm's line in a Table 2 test.
+type AlgoRow struct {
+	Algorithm string
+	EstCost   float64 // estimated simulated seconds
+	Measured  Measurement
+	Plan      string
+	Classes   int
+}
+
+// AlgoResult is one of Tests 4–7.
+type AlgoResult struct {
+	Name    string
+	Queries []string
+	Rows    []AlgoRow
+}
+
+// Format renders the test as a table.
+func (t *AlgoResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s: queries %s\n", t.Name, join(t.Queries))
+	fmt.Fprintf(w, "%-12s %12s %12s %8s  %s\n", "algorithm", "est(sim s)", "run(sim s)", "classes", "plan")
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "%-12s %12.3f %12.3f %8d  %s\n",
+			row.Algorithm, row.EstCost, row.Measured.SimSeconds, row.Classes, oneLine(row.Plan))
+	}
+}
+
+func oneLine(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, ' ', '|', ' ')
+			continue
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// algoTest runs one Table 2 test: every algorithm under the paper-mode
+// estimator, plus GG under the full-model estimator ("GG-full"), all
+// executed with cold caches and verified against the oracle.
+func (r *Runner) algoTest(name string, queryNames []string) (*AlgoResult, error) {
+	queries := r.qs(queryNames...)
+	out := &AlgoResult{Name: name, Queries: queryNames}
+
+	want := make([]*exec.Result, len(queries))
+	for i, q := range queries {
+		res, err := exec.Naive(r.Env, q)
+		if err != nil {
+			return nil, err
+		}
+		want[i] = res
+	}
+
+	type variant struct {
+		label string
+		est   *plan.Estimator
+		alg   core.Algorithm
+	}
+	paperEst := plan.NewPaperEstimator(r.DB)
+	fullEst := plan.NewEstimator(r.DB)
+	variants := []variant{
+		{"TPLO", paperEst, core.TPLO},
+		{"ETPLG", paperEst, core.ETPLG},
+		{"GG", paperEst, core.GG},
+		{"Optimal", paperEst, core.Optimal},
+		{"GG-full", fullEst, core.GG},
+	}
+	for _, v := range variants {
+		g, err := core.Optimize(v.est, queries, v.alg)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", name, v.label, err)
+		}
+		estCost := v.est.GlobalCost(g)
+		if err := r.DB.ColdReset(); err != nil {
+			return nil, err
+		}
+		var st exec.Stats
+		results, err := core.Execute(r.Env, g, queries, &st)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", name, v.label, err)
+		}
+		for i := range queries {
+			if !results[i].Equal(want[i]) {
+				return nil, fmt.Errorf("%s/%s: wrong result for %s", name, v.label, queries[i].Name)
+			}
+		}
+		out.Rows = append(out.Rows, AlgoRow{
+			Algorithm: v.label,
+			EstCost:   cost.Micros(estCost),
+			Measured:  r.measurement(st),
+			Plan:      g.Describe(),
+			Classes:   len(g.Classes),
+		})
+	}
+	return out, nil
+}
+
+// Test4 runs Table 2's first test: Q1, Q2, Q3.
+func (r *Runner) Test4() (*AlgoResult, error) {
+	return r.algoTest("Test 4 (Table 2)", []string{"Q1", "Q2", "Q3"})
+}
+
+// Test5 runs Table 2's second test: Q2, Q3, Q5.
+func (r *Runner) Test5() (*AlgoResult, error) {
+	return r.algoTest("Test 5 (Table 2)", []string{"Q2", "Q3", "Q5"})
+}
+
+// Test6 runs Table 2's third test: Q6, Q7, Q8 (all very selective).
+func (r *Runner) Test6() (*AlgoResult, error) {
+	return r.algoTest("Test 6 (Table 2)", []string{"Q6", "Q7", "Q8"})
+}
+
+// Test7 runs Table 2's fourth test: Q1, Q7, Q9.
+func (r *Runner) Test7() (*AlgoResult, error) {
+	return r.algoTest("Test 7 (Table 2)", []string{"Q1", "Q7", "Q9"})
+}
+
+// RunAll executes every experiment and writes the report to w.
+func (r *Runner) RunAll(w io.Writer) error {
+	r.Table1().Format(w)
+	fmt.Fprintln(w)
+	for _, f := range []func() (*SharedOpResult, error){r.Test1, r.Test2, r.Test3} {
+		res, err := f()
+		if err != nil {
+			return err
+		}
+		res.Format(w)
+		fmt.Fprintln(w)
+	}
+	for _, f := range []func() (*AlgoResult, error){r.Test4, r.Test5, r.Test6, r.Test7} {
+		res, err := f()
+		if err != nil {
+			return err
+		}
+		res.Format(w)
+		fmt.Fprintln(w)
+	}
+	study, err := r.OptimizerStudy()
+	if err != nil {
+		return err
+	}
+	study.Format(w)
+	fmt.Fprintln(w)
+	return nil
+}

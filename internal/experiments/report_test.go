@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPrintReport prints the full experiment report when REPORT=1; used
+// for manual inspection, skipped otherwise.
+func TestPrintReport(t *testing.T) {
+	if os.Getenv("REPORT") == "" {
+		t.Skip("set REPORT=1 to print the full report")
+	}
+	r := testRunner(t)
+	if err := r.RunAll(os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunAblations(os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFullScaleSoak reproduces the complete evaluation at the paper's
+// full 2M-row scale. It takes ~1 minute and is opt-in:
+//
+//	MDXOPT_SOAK=1 go test ./internal/experiments -run TestFullScaleSoak -v
+func TestFullScaleSoak(t *testing.T) {
+	if os.Getenv("MDXOPT_SOAK") == "" {
+		t.Skip("set MDXOPT_SOAK=1 for the full-scale run")
+	}
+	dir, err := os.MkdirTemp("", "mdxopt-soak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	r, err := Open(filepath.Join(dir, "db"), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.RunAll(os.Stderr); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if err := r.RunAblations(os.Stderr); err != nil {
+		t.Fatalf("RunAblations: %v", err)
+	}
+}

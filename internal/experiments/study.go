@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mdxopt/internal/core"
+	"mdxopt/internal/cost"
+	"mdxopt/internal/plan"
+)
+
+// The paper closes (§8) with an open question: "In terms of the number
+// of global plans searched, GG dominates ETPLG and ETPLG dominates TPLO.
+// However, this comes at a price — the run time of GG is bigger … The
+// study of this trade-off may lead to the discovery of new algorithms."
+// OptimizerStudy performs that study: for growing query sets it measures
+// each algorithm's search effort (cost-model evaluations and wall-clock
+// optimization time) against the quality of the plan it finds, including
+// this repository's GGI (GG + iterative improvement) answer to the
+// question.
+
+// StudyRow is one (query count, algorithm) measurement.
+type StudyRow struct {
+	Queries   int
+	Algorithm string
+	CostEvals int64
+	Wall      time.Duration
+	EstCost   float64 // simulated seconds
+	Ratio     float64 // EstCost / best EstCost at this query count
+	Classes   int
+}
+
+// StudyResult is the full trade-off study.
+type StudyResult struct {
+	Rows []StudyRow
+}
+
+// OptimizerStudy measures search effort vs. plan quality for TPLO,
+// ETPLG, GG, GGI and (up to 7 queries) the exhaustive optimum, on
+// growing prefixes of the paper's Q1..Q9 workload.
+func (r *Runner) OptimizerStudy() (*StudyResult, error) {
+	names := []string{"Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9"}
+	out := &StudyResult{}
+	for n := 2; n <= len(names); n++ {
+		queries := r.qs(names[:n]...)
+		algorithms := []core.Algorithm{core.TPLO, core.ETPLG, core.GG, core.GGI}
+		if n <= 7 {
+			algorithms = append(algorithms, core.Optimal)
+		}
+		var rows []StudyRow
+		best := -1.0
+		for _, alg := range algorithms {
+			est := plan.NewPaperEstimator(r.DB)
+			start := time.Now()
+			g, err := core.Optimize(est, queries, alg)
+			if err != nil {
+				return nil, fmt.Errorf("study n=%d %s: %w", n, alg, err)
+			}
+			wall := time.Since(start)
+			evals := est.CostEvals
+			estCost := cost.Micros(est.GlobalCost(g))
+			rows = append(rows, StudyRow{
+				Queries:   n,
+				Algorithm: string(alg),
+				CostEvals: evals,
+				Wall:      wall,
+				EstCost:   estCost,
+				Classes:   len(g.Classes),
+			})
+			if best < 0 || estCost < best {
+				best = estCost
+			}
+		}
+		for i := range rows {
+			rows[i].Ratio = rows[i].EstCost / best
+		}
+		out.Rows = append(out.Rows, rows...)
+	}
+	return out, nil
+}
+
+// Format renders the study as a table.
+func (s *StudyResult) Format(w io.Writer) {
+	fmt.Fprintln(w, "Optimizer time/space trade-off study (paper §8 future work)")
+	fmt.Fprintf(w, "%-3s %-8s %12s %12s %12s %10s %8s\n",
+		"n", "algo", "cost evals", "opt time", "est(sim s)", "vs best", "classes")
+	prev := 0
+	for _, row := range s.Rows {
+		if row.Queries != prev {
+			fmt.Fprintln(w)
+			prev = row.Queries
+		}
+		fmt.Fprintf(w, "%-3d %-8s %12d %12s %12.3f %9.3fx %8d\n",
+			row.Queries, row.Algorithm, row.CostEvals,
+			row.Wall.Round(time.Microsecond), row.EstCost, row.Ratio, row.Classes)
+	}
+}

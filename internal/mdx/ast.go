@@ -1,0 +1,81 @@
+package mdx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MemberExpr is a dotted member path such as A”.A1.CHILDREN.AA2 or
+// [1991]. Segments are stored verbatim; CHILDREN is recognized during
+// resolution.
+type MemberExpr struct {
+	Segments []string
+	Pos      int
+}
+
+func (m *MemberExpr) String() string { return strings.Join(m.Segments, ".") }
+
+// Set is a brace or paren set of items; an item is a member expression
+// or a nested set.
+type Set struct {
+	Members []*MemberExpr
+	Nested  []*Set // non-nil only for NEST(...) sets
+	Pos     int
+}
+
+func (s *Set) String() string {
+	if s.Nested != nil {
+		parts := make([]string, len(s.Nested))
+		for i, n := range s.Nested {
+			parts[i] = n.String()
+		}
+		return "NEST(" + strings.Join(parts, ", ") + ")"
+	}
+	parts := make([]string, len(s.Members))
+	for i, m := range s.Members {
+		parts[i] = m.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Axis is one "set on AXIS" clause.
+type Axis struct {
+	Set  *Set
+	Axis int // index into axisNames
+}
+
+func (a *Axis) String() string {
+	return fmt.Sprintf("%s on %s", a.Set, axisNames[a.Axis])
+}
+
+// Expression is a parsed MDX expression.
+type Expression struct {
+	Axes    []*Axis
+	Context string        // cube name following CONTEXT
+	Filter  []*MemberExpr // FILTER arguments, possibly empty
+	// Aggregate names the aggregate function (this implementation's
+	// AGGREGATE clause extension); empty means SUM.
+	Aggregate string
+}
+
+func (e *Expression) String() string {
+	var b strings.Builder
+	for i, a := range e.Axes {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString(a.String())
+	}
+	fmt.Fprintf(&b, " CONTEXT %s", e.Context)
+	if e.Aggregate != "" {
+		fmt.Fprintf(&b, " AGGREGATE %s", e.Aggregate)
+	}
+	if len(e.Filter) > 0 {
+		parts := make([]string, len(e.Filter))
+		for i, f := range e.Filter {
+			parts[i] = f.String()
+		}
+		fmt.Fprintf(&b, " FILTER (%s)", strings.Join(parts, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package mdx
+
+import (
+	"strings"
+	"testing"
+
+	"mdxopt/internal/datagen"
+)
+
+// FuzzParseAndTranslate checks the front end never panics and either
+// yields valid queries or a structured error, on arbitrary inputs.
+func FuzzParseAndTranslate(f *testing.F) {
+	seeds := []string{
+		`{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS CONTEXT ABCD FILTER (D'.DD1)`,
+		`NEST({AA1, AA2}, (A''.A1)) on COLUMNS CONTEXT X`,
+		`{A'.MEMBERS} on COLUMNS CONTEXT ABCD;`,
+		`{[bracketed name]} on PAGES CONTEXT c FILTER (dollars)`,
+		`{A''.A1} on`,
+		`}}}{{{`,
+		`NEST(NEST({AA1},{BB1}),{CC1}) on ROWS CONTEXT q`,
+		`{A''.A1} on COLUMNS {A''.A2} on ROWS CONTEXT dup`,
+		"{A''.A1}\ton\nCOLUMNS CONTEXT ws",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema, err := datagen.BuildSchema(datagen.PaperSpec(0.01))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		queries, err := ParseAndTranslate(schema, src)
+		if err != nil {
+			return // structured rejection is fine
+		}
+		if len(queries) == 0 {
+			t.Fatalf("accepted %q but produced no queries", src)
+		}
+		for _, q := range queries {
+			// Accepted queries must be internally valid: every predicate
+			// member within its level's cardinality.
+			for i, p := range q.Preds {
+				card := q.Schema.Dims[i].Card(q.Levels[i])
+				for _, m := range p.Members {
+					if m < 0 || m >= card {
+						t.Fatalf("accepted %q with out-of-range member %d", src, m)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsDirectly keeps the seed corpus exercised in normal `go
+// test` runs (the fuzz engine only replays it with -fuzz).
+func TestFuzzSeedsDirectly(t *testing.T) {
+	schema, err := datagen.BuildSchema(datagen.PaperSpec(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []string{
+		`{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS CONTEXT ABCD FILTER (D'.DD1)`,
+		`}}}{{{`,
+		strings.Repeat("{", 10000),
+		strings.Repeat("A.", 5000) + "B",
+		`{A''.A1} on COLUMNS CONTEXT ABCD FILTER (` + strings.Repeat("D'.DD1,", 200) + `D'.DD1)`,
+	}
+	for _, src := range inputs {
+		_, err := ParseAndTranslate(schema, src) // must not panic
+		_ = err
+	}
+}

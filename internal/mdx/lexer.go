@@ -1,0 +1,121 @@
+package mdx
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer turns MDX text into tokens. Identifiers may contain letters,
+// digits, underscores and primes ('), so the paper's level names A', A”
+// lex as single identifiers.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	switch c := l.src[l.pos]; c {
+	case '{':
+		l.pos++
+		return token{kind: tokLBrace, pos: start}, nil
+	case '}':
+		l.pos++
+		return token{kind: tokRBrace, pos: start}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case ',':
+		l.pos++
+		return token{kind: tokComma, pos: start}, nil
+	case '.':
+		l.pos++
+		return token{kind: tokDot, pos: start}, nil
+	case ';':
+		l.pos++
+		return token{kind: tokSemi, pos: start}, nil
+	case '[':
+		end := strings.IndexByte(l.src[l.pos:], ']')
+		if end < 0 {
+			return token{}, errAt(start, "unterminated '['")
+		}
+		text := l.src[l.pos+1 : l.pos+end]
+		l.pos += end + 1
+		if strings.TrimSpace(text) == "" {
+			return token{}, errAt(start, "empty bracketed name")
+		}
+		return token{kind: tokBracketed, text: strings.TrimSpace(text), pos: start}, nil
+	}
+	r := rune(l.src[l.pos])
+	if !isIdentStart(r) {
+		return token{}, errAt(start, "unexpected character %q", l.src[l.pos])
+	}
+	end := l.pos
+	for end < len(l.src) && isIdentRune(rune(l.src[end])) {
+		end++
+	}
+	text := l.src[l.pos:end]
+	l.pos = end
+	return token{kind: tokIdent, text: text, pos: start}, nil
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+// keyword matching is case-insensitive per MDX convention.
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+// axisNames are the MDX axis keywords in order.
+var axisNames = []string{"COLUMNS", "ROWS", "PAGES", "SECTIONS", "CHAPTERS"}
+
+func axisIndex(t token) int {
+	if t.kind != tokIdent {
+		return -1
+	}
+	for i, n := range axisNames {
+		if strings.EqualFold(t.text, n) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,430 @@
+package mdx
+
+import (
+	"strings"
+	"testing"
+
+	"mdxopt/internal/datagen"
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+	"mdxopt/internal/workload"
+)
+
+func paperSchema(t *testing.T) *star.Schema {
+	t.Helper()
+	s, err := datagen.BuildSchema(datagen.PaperSpec(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lexAll(`{A''.A1.CHILDREN} on COLUMNS CONTEXT ABCD FILTER (D'.DD1);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{tokLBrace, tokIdent, tokDot, tokIdent, tokDot, tokIdent, tokRBrace,
+		tokIdent, tokIdent, tokIdent, tokIdent, tokIdent, tokLParen, tokIdent, tokDot,
+		tokIdent, tokRParen, tokSemi, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Fatalf("token %d = %v, want %v", i, toks[i].kind, k)
+		}
+	}
+	if toks[1].text != "A''" {
+		t.Fatalf("prime identifier lexed as %q", toks[1].text)
+	}
+}
+
+func TestLexerBracketedAndErrors(t *testing.T) {
+	toks, err := lexAll(`[1991 season]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokBracketed || toks[0].text != "1991 season" {
+		t.Fatalf("bracketed = %+v", toks[0])
+	}
+	if _, err := lexAll(`[unterminated`); err == nil {
+		t.Fatal("unterminated bracket accepted")
+	}
+	if _, err := lexAll(`[]`); err == nil {
+		t.Fatal("empty bracket accepted")
+	}
+	if _, err := lexAll(`a # b`); err == nil {
+		t.Fatal("bad character accepted")
+	}
+}
+
+func TestParseFullExpression(t *testing.T) {
+	expr, err := Parse(`{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS {C''.C1} on PAGES CONTEXT ABCD FILTER (D'.DD1)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(expr.Axes) != 3 {
+		t.Fatalf("axes = %d", len(expr.Axes))
+	}
+	if expr.Context != "ABCD" {
+		t.Fatalf("context = %q", expr.Context)
+	}
+	if len(expr.Filter) != 1 || expr.Filter[0].String() != "D'.DD1" {
+		t.Fatalf("filter = %v", expr.Filter)
+	}
+	if !strings.Contains(expr.String(), "CONTEXT ABCD") {
+		t.Fatalf("String = %q", expr.String())
+	}
+}
+
+func TestParseNest(t *testing.T) {
+	expr, err := Parse(`NEST({Venkatrao, Netz}, (USA_North.CHILDREN, USA_South, Japan)) on COLUMNS
+		{Qtr1.CHILDREN, Qtr2} on ROWS CONTEXT SalesCube`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	set := expr.Axes[0].Set
+	if set.Nested == nil || len(set.Nested) != 2 {
+		t.Fatalf("NEST not parsed: %+v", set)
+	}
+	if len(set.Nested[0].Members) != 2 || len(set.Nested[1].Members) != 3 {
+		t.Fatalf("NEST arms = %d, %d members", len(set.Nested[0].Members), len(set.Nested[1].Members))
+	}
+	if !strings.HasPrefix(set.String(), "NEST(") {
+		t.Fatalf("Set.String = %q", set.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`CONTEXT ABCD`,                      // no axes
+		`{A''.A1} on COLUMNS`,               // no CONTEXT
+		`{A''.A1} on SIDEWAYS CONTEXT ABCD`, // bad axis
+		`{A''.A1} on COLUMNS {B''.B1} on COLUMNS CONTEXT ABCD`, // duplicate axis
+		`{A''.A1} on COLUMNS CONTEXT ABCD extra`,               // trailing junk
+		`{A''.A1,} on COLUMNS CONTEXT ABCD`,                    // dangling comma
+		`{} on COLUMNS CONTEXT ABCD`,                           // empty set
+		`NEST({A''.A1}) on COLUMNS CONTEXT ABCD`,               // NEST arity
+		`{A''.A1. } on COLUMNS CONTEXT ABCD`,                   // dot then nothing
+		`{A''.A1} on COLUMNS CONTEXT ABCD FILTER D'.DD1`,       // filter without parens
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}
+
+func TestResolveForms(t *testing.T) {
+	s := paperSchema(t)
+	cases := []struct {
+		src     string
+		dim     int
+		level   int
+		members int
+	}{
+		{"A''.A1", 0, 2, 1},
+		{"A''.A1.CHILDREN", 0, 1, int(s.Dims[0].Card(1)) / 3},
+		{"A''.A1.CHILDREN.AA2", 0, 1, 1},
+		{"B''.B2.CHILDREN.CHILDREN", 1, 0, int(s.Dims[1].Card(0)) / 3},
+		{"AA5", 0, 1, 1},    // bare unique member
+		{"D'.DD1", 3, 1, 1}, // level-qualified
+		{"A''.MEMBERS", 0, 2, 3},
+		{"B'.MEMBERS", 1, 1, int(s.Dims[1].Card(1))},
+	}
+	for _, c := range cases {
+		m, err := Parse(`{` + c.src + `} on COLUMNS CONTEXT X`)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.src, err)
+		}
+		r, err := resolve(s, m.Axes[0].Set.Members[0])
+		if err != nil {
+			t.Fatalf("%s: resolve: %v", c.src, err)
+		}
+		if r.dim != c.dim || r.level != c.level || len(r.members) != c.members {
+			t.Fatalf("%s: got dim=%d level=%d members=%d, want %d/%d/%d",
+				c.src, r.dim, r.level, len(r.members), c.dim, c.level, c.members)
+		}
+	}
+}
+
+func TestResolveAllAndMeasure(t *testing.T) {
+	s := paperSchema(t)
+	expr, err := Parse(`{A''.A1} on COLUMNS CONTEXT X FILTER (D.All, dollars)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := resolve(s, expr.Filter[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.dim != 3 || r.level != s.Dims[3].AllLevel() || r.members != nil {
+		t.Fatalf("D.All resolved to %+v", r)
+	}
+	r, err = resolve(s, expr.Filter[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.measure {
+		t.Fatalf("measure resolved to %+v", r)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	s := paperSchema(t)
+	cases := []string{
+		"Nothing",                           // unknown name
+		"A''.Nope",                          // unknown member at level
+		"A''.A1.CHILDREN.AA9",               // child not under A1 (AA9 is under A3)
+		"AAA5.CHILDREN",                     // base level has no children
+		"A",                                 // dimension without member
+		"A''.A1.CHILDREN.CHILDREN.CHILDREN", // below base
+	}
+	for _, src := range cases {
+		expr, err := Parse(`{` + src + `} on COLUMNS CONTEXT X`)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := resolve(s, expr.Axes[0].Set.Members[0]); err == nil {
+			t.Errorf("resolve accepted %q", src)
+		}
+	}
+}
+
+func TestTranslatePaperQueriesMatchWorkload(t *testing.T) {
+	// The MDX strings in the workload package must translate into
+	// exactly the programmatically built Q1..Q9.
+	s := paperSchema(t)
+	want, err := workload.PaperQueries(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range workload.MDX() {
+		qs, err := ParseAndTranslate(s, src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(qs) != 1 {
+			t.Fatalf("%s translated to %d queries, want 1", name, len(qs))
+		}
+		if qs[0].Signature() != want[name].Signature() {
+			t.Fatalf("%s: MDX translation differs from workload definition:\nmdx:  %s\nwant: %s",
+				name, qs[0], want[name])
+		}
+	}
+}
+
+// salesSchema models the [MS] intro example: salesmen, a geography
+// hierarchy, a time hierarchy, products, and a Sales measure.
+func salesSchema(t *testing.T) *star.Schema {
+	t.Helper()
+	salesman, err := star.NewDimension("Salesman", []star.LevelSpec{
+		{Name: "Rep", Members: []string{"Venkatrao", "Netz", "Alexander"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := star.NewDimension("Store", []star.LevelSpec{
+		{Name: "State", Members: []string{"WA", "OR", "CA", "TX", "Tokyo"},
+			Parent: []int32{0, 0, 1, 1, 2}},
+		{Name: "Region", Members: []string{"USA_North", "USA_South", "Japan_Region"},
+			Parent: []int32{0, 0, 1}},
+		{Name: "Country", Members: []string{"USA", "Japan"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	months := make([]string, 12)
+	parents := make([]int32, 12)
+	for i := range months {
+		months[i] = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+			"Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}[i]
+		parents[i] = int32(i / 3)
+	}
+	time, err := star.NewDimension("Time", []star.LevelSpec{
+		{Name: "Month", Members: months, Parent: parents},
+		{Name: "Quarter", Members: []string{"Qtr1", "Qtr2", "Qtr3", "Qtr4"},
+			Parent: []int32{0, 0, 0, 0}},
+		{Name: "Year", Members: []string{"1991"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	products, err := star.UniformDimension("Products", []int{6, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := star.NewSchema([]*star.Dimension{salesman, geo, time, products}, "Sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTranslateIntroExampleYieldsSixQueries(t *testing.T) {
+	s := salesSchema(t)
+	src := `NEST({Venkatrao, Netz}, (USA_North.CHILDREN, USA_South, Japan)) on COLUMNS
+		{Qtr1.CHILDREN, Qtr2, Qtr3, Qtr4.CHILDREN} on ROWS
+		CONTEXT SalesCube
+		FILTER (Sales, [1991], Products.All)`
+	qs, err := ParseAndTranslate(s, src)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	// Store at 3 levels x Time at 2 levels = 6 queries, as the paper
+	// derives in §2.
+	if len(qs) != 6 {
+		t.Fatalf("got %d queries, want 6", len(qs))
+	}
+	storeLevels := map[int]int{}
+	timeLevels := map[int]int{}
+	for _, q := range qs {
+		// Every query groups salesmen at the Rep level with the two
+		// named reps.
+		if q.Levels[0] != 0 || len(q.Preds[0].Members) != 2 {
+			t.Fatalf("%s: salesman grouping wrong", q)
+		}
+		// Products aggregated out.
+		if q.Levels[3] != s.Dims[3].AllLevel() {
+			t.Fatalf("%s: products not aggregated out", q)
+		}
+		storeLevels[q.Levels[1]]++
+		timeLevels[q.Levels[2]]++
+	}
+	if len(storeLevels) != 3 {
+		t.Fatalf("store levels = %v, want 3 distinct", storeLevels)
+	}
+	if len(timeLevels) != 2 {
+		t.Fatalf("time levels = %v, want 2 distinct", timeLevels)
+	}
+	// The month-level time variant covers Qtr1's and Qtr4's months.
+	found := false
+	for _, q := range qs {
+		if q.Levels[2] == 0 {
+			if len(q.Preds[2].Members) != 6 {
+				t.Fatalf("month predicate = %v, want 6 months", q.Preds[2].Members)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no month-level variant")
+	}
+}
+
+func TestTranslateFilterIntersectsAxisDim(t *testing.T) {
+	s := salesSchema(t)
+	// Filter to Qtr1 while grouping months: only Qtr1's months survive.
+	qs, err := ParseAndTranslate(s, `{Venkatrao} on COLUMNS
+		{Qtr1.CHILDREN, Qtr4.CHILDREN} on ROWS
+		CONTEXT SalesCube FILTER (Quarter.Qtr1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	if len(qs[0].Preds[2].Members) != 3 {
+		t.Fatalf("months after filter = %v, want Qtr1's 3", qs[0].Preds[2].Members)
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	s := paperSchema(t)
+	cases := []string{
+		// measure on an axis
+		`{dollars} on COLUMNS CONTEXT ABCD`,
+		// ALL on an axis
+		`{A.All} on COLUMNS CONTEXT ABCD`,
+		// same dimension on two axes
+		`{A''.A1} on COLUMNS {A''.A2} on ROWS CONTEXT ABCD`,
+		// filter at two levels of one dimension
+		`{A''.A1} on COLUMNS CONTEXT ABCD FILTER (D'.DD1, D.DDD1)`,
+		// filter finer than the grouping level
+		`{A''.A1} on COLUMNS CONTEXT ABCD FILTER (AA2)`,
+	}
+	for _, src := range cases {
+		if _, err := ParseAndTranslate(s, src); err == nil {
+			t.Errorf("translate accepted %q", src)
+		}
+	}
+}
+
+func TestTranslateMergesSameLevelSets(t *testing.T) {
+	s := paperSchema(t)
+	qs, err := ParseAndTranslate(s, `{A''.A1, A''.A2, A''.A1} on COLUMNS CONTEXT ABCD`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	if got := qs[0].Preds[0].Members; len(got) != 2 {
+		t.Fatalf("deduped members = %v", got)
+	}
+}
+
+func TestAggregateClause(t *testing.T) {
+	s := paperSchema(t)
+	for name, want := range map[string]query.Agg{
+		"COUNT": query.Count, "count": query.Count, "MIN": query.Min,
+		"Max": query.Max, "AVG": query.Avg, "SUM": query.Sum,
+	} {
+		qs, err := ParseAndTranslate(s, `{A''.A1} on COLUMNS CONTEXT ABCD AGGREGATE `+name+` FILTER (D'.DD1)`)
+		if err != nil {
+			t.Fatalf("AGGREGATE %s: %v", name, err)
+		}
+		if qs[0].Agg != want {
+			t.Fatalf("AGGREGATE %s parsed as %v", name, qs[0].Agg)
+		}
+	}
+	// Default is SUM.
+	qs, err := ParseAndTranslate(s, `{A''.A1} on COLUMNS CONTEXT ABCD`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs[0].Agg != query.Sum {
+		t.Fatalf("default agg = %v", qs[0].Agg)
+	}
+	// Unknown aggregates are rejected.
+	if _, err := ParseAndTranslate(s, `{A''.A1} on COLUMNS CONTEXT ABCD AGGREGATE MEDIAN`); err == nil {
+		t.Fatal("unknown aggregate accepted")
+	}
+	// Round-trips through Expression.String.
+	expr, err := Parse(`{A''.A1} on COLUMNS CONTEXT ABCD AGGREGATE AVG`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expr.String(), "AGGREGATE AVG") {
+		t.Fatalf("String = %q", expr.String())
+	}
+}
+
+func TestSelectFromWhereAliases(t *testing.T) {
+	s := paperSchema(t)
+	canonical, err := ParseAndTranslate(s,
+		`{A''.A1} on COLUMNS {B''.B2} on ROWS CONTEXT ABCD FILTER (D'.DD1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliases := []string{
+		`SELECT {A''.A1} on COLUMNS, {B''.B2} on ROWS FROM ABCD WHERE (D'.DD1)`,
+		`SELECT {A''.A1} on COLUMNS {B''.B2} on ROWS FROM ABCD FILTER (D'.DD1)`,
+		`{A''.A1} on COLUMNS, {B''.B2} on ROWS CONTEXT ABCD WHERE (D'.DD1)`,
+	}
+	for _, src := range aliases {
+		qs, err := ParseAndTranslate(s, src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if len(qs) != 1 || qs[0].Signature() != canonical[0].Signature() {
+			t.Fatalf("%q translated differently", src)
+		}
+	}
+	// Dangling comma before FROM is rejected.
+	if _, err := Parse(`SELECT {A''.A1} on COLUMNS, FROM ABCD`); err == nil {
+		t.Fatal("dangling comma accepted")
+	}
+}

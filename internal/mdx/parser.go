@@ -1,0 +1,220 @@
+package mdx
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one MDX expression.
+func Parse(src string) (*Expression, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	expr, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	return expr, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return t, errAt(t.pos, "expected %s, found %s", kind, p.describe(t))
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) describe(t token) string {
+	if t.kind == tokIdent || t.kind == tokBracketed {
+		return "\"" + t.text + "\""
+	}
+	return t.kind.String()
+}
+
+func (p *parser) expression() (*Expression, error) {
+	expr := &Expression{}
+	// Standard-MDX compatibility: an optional leading SELECT keyword,
+	// FROM as an alias for CONTEXT, WHERE for FILTER, and commas between
+	// axis clauses.
+	if isKeyword(p.peek(), "SELECT") {
+		p.advance()
+	}
+	isContext := func(t token) bool { return isKeyword(t, "CONTEXT") || isKeyword(t, "FROM") }
+	for !isContext(p.peek()) {
+		if p.peek().kind == tokEOF {
+			return nil, errAt(p.peek().pos, "expected CONTEXT clause")
+		}
+		axis, err := p.axis()
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range expr.Axes {
+			if a.Axis == axis.Axis {
+				return nil, errAt(p.peek().pos, "axis %s used twice", axisNames[axis.Axis])
+			}
+		}
+		expr.Axes = append(expr.Axes, axis)
+		if p.peek().kind == tokComma {
+			p.advance()
+			if isContext(p.peek()) {
+				return nil, errAt(p.peek().pos, "dangling ',' before the cube clause")
+			}
+		}
+	}
+	p.advance() // CONTEXT / FROM
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	expr.Context = name.text
+	if isKeyword(p.peek(), "AGGREGATE") {
+		p.advance()
+		fn, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		expr.Aggregate = fn.text
+	}
+	if isKeyword(p.peek(), "FILTER") || isKeyword(p.peek(), "WHERE") {
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		for {
+			m, err := p.member()
+			if err != nil {
+				return nil, err
+			}
+			expr.Filter = append(expr.Filter, m)
+			if p.peek().kind == tokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().kind == tokSemi {
+		p.advance()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, errAt(p.peek().pos, "unexpected %s after expression", p.describe(p.peek()))
+	}
+	if len(expr.Axes) == 0 {
+		return nil, errAt(0, "expression has no axes")
+	}
+	return expr, nil
+}
+
+func (p *parser) axis() (*Axis, error) {
+	set, err := p.set()
+	if err != nil {
+		return nil, err
+	}
+	onTok := p.peek()
+	if !isKeyword(onTok, "on") {
+		return nil, errAt(onTok.pos, "expected 'on' after set, found %s", p.describe(onTok))
+	}
+	p.advance()
+	axTok := p.advance()
+	ax := axisIndex(axTok)
+	if ax < 0 {
+		return nil, errAt(axTok.pos, "unknown axis %s", p.describe(axTok))
+	}
+	return &Axis{Set: set, Axis: ax}, nil
+}
+
+// set parses {…}, (…) or NEST(set, set, …).
+func (p *parser) set() (*Set, error) {
+	t := p.peek()
+	if isKeyword(t, "NEST") {
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		nest := &Set{Pos: t.pos}
+		for {
+			inner, err := p.set()
+			if err != nil {
+				return nil, err
+			}
+			nest.Nested = append(nest.Nested, inner)
+			if p.peek().kind == tokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		if len(nest.Nested) < 2 {
+			return nil, errAt(t.pos, "NEST needs at least two sets")
+		}
+		return nest, nil
+	}
+
+	var close tokenKind
+	switch t.kind {
+	case tokLBrace:
+		close = tokRBrace
+	case tokLParen:
+		close = tokRParen
+	default:
+		return nil, errAt(t.pos, "expected a set, found %s", p.describe(t))
+	}
+	p.advance()
+	set := &Set{Pos: t.pos}
+	for {
+		m, err := p.member()
+		if err != nil {
+			return nil, err
+		}
+		set.Members = append(set.Members, m)
+		if p.peek().kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(close); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+func (p *parser) member() (*MemberExpr, error) {
+	t := p.peek()
+	if t.kind != tokIdent && t.kind != tokBracketed {
+		return nil, errAt(t.pos, "expected a member, found %s", p.describe(t))
+	}
+	m := &MemberExpr{Pos: t.pos}
+	for {
+		seg := p.advance()
+		m.Segments = append(m.Segments, seg.text)
+		if p.peek().kind != tokDot {
+			return m, nil
+		}
+		p.advance()
+		nxt := p.peek()
+		if nxt.kind != tokIdent && nxt.kind != tokBracketed {
+			return nil, errAt(nxt.pos, "expected a name after '.', found %s", p.describe(nxt))
+		}
+	}
+}

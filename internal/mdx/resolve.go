@@ -1,0 +1,135 @@
+package mdx
+
+import (
+	"strings"
+
+	"mdxopt/internal/star"
+)
+
+// ref is a resolved member expression: a set of members of one dimension
+// at one level, or the measure, or a whole dimension at the ALL level.
+type ref struct {
+	dim     int
+	level   int
+	members []int32 // nil for ALL-level refs and the measure
+	measure bool
+}
+
+// resolve maps a member expression onto the schema.
+func resolve(schema *star.Schema, m *MemberExpr) (ref, error) {
+	segs := m.Segments
+	if len(segs) == 1 && segs[0] == schema.Measure {
+		return ref{measure: true}, nil
+	}
+
+	cur, rest, err := resolveHead(schema, m)
+	if err != nil {
+		return ref{}, err
+	}
+	d := schema.Dims[cur.dim]
+	for _, seg := range rest {
+		switch {
+		case strings.EqualFold(seg, "CHILDREN"):
+			if cur.level == 0 {
+				return ref{}, errAt(m.Pos, "%s: base-level members have no children", m)
+			}
+			if cur.members == nil {
+				return ref{}, errAt(m.Pos, "%s: CHILDREN needs a member set", m)
+			}
+			var kids []int32
+			for _, c := range cur.members {
+				kids = append(kids, d.Children(cur.level, c)...)
+			}
+			cur.level--
+			cur.members = kids
+		default:
+			// Select one named member from the current set (the
+			// X.CHILDREN.Name form).
+			code, ok := d.MemberCode(cur.level, seg)
+			if !ok {
+				return ref{}, errAt(m.Pos, "%s: no member %q at level %s of %s",
+					m, seg, d.LevelName(cur.level), d.Name)
+			}
+			found := false
+			for _, c := range cur.members {
+				if c == code {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return ref{}, errAt(m.Pos, "%s: member %q is not in the preceding set", m, seg)
+			}
+			cur.members = []int32{code}
+		}
+	}
+	return cur, nil
+}
+
+// resolveHead resolves the leading segments into an initial member set
+// and returns the remaining segments.
+func resolveHead(schema *star.Schema, m *MemberExpr) (ref, []string, error) {
+	segs := m.Segments
+	head := segs[0]
+
+	// Dim.All first: level-0 names often equal the dimension name, so
+	// this form must win over level qualification.
+	if di := schema.DimIndex(head); di >= 0 && len(segs) >= 2 && strings.EqualFold(segs[1], "ALL") {
+		return ref{dim: di, level: schema.Dims[di].AllLevel()}, segs[2:], nil
+	}
+
+	// Level-qualified: Level.Member, or Level.MEMBERS for every member
+	// of the level (level names like A'' are unique).
+	for di, d := range schema.Dims {
+		if l := d.LevelIndex(head); l >= 0 && l < d.NumLevels() {
+			if len(segs) < 2 {
+				return ref{}, nil, errAt(m.Pos, "%s: level %s needs a member name or MEMBERS", m, head)
+			}
+			if strings.EqualFold(segs[1], "MEMBERS") {
+				all := make([]int32, d.Card(l))
+				for i := range all {
+					all[i] = int32(i)
+				}
+				return ref{dim: di, level: l, members: all}, segs[2:], nil
+			}
+			code, ok := d.MemberCode(l, segs[1])
+			if !ok {
+				return ref{}, nil, errAt(m.Pos, "%s: no member %q at level %s of %s",
+					m, segs[1], head, d.Name)
+			}
+			return ref{dim: di, level: l, members: []int32{code}}, segs[2:], nil
+		}
+	}
+
+	// Dimension-qualified: Dim.All or Dim.Member.
+	if di := schema.DimIndex(head); di >= 0 {
+		d := schema.Dims[di]
+		if len(segs) < 2 {
+			return ref{}, nil, errAt(m.Pos, "%s: dimension %s needs a member or .All", m, head)
+		}
+		if strings.EqualFold(segs[1], "ALL") {
+			return ref{dim: di, level: d.AllLevel()}, segs[2:], nil
+		}
+		level, code, err := d.FindMember(segs[1])
+		if err != nil {
+			return ref{}, nil, errAt(m.Pos, "%s: %v", m, err)
+		}
+		return ref{dim: di, level: level, members: []int32{code}}, segs[2:], nil
+	}
+
+	// Bare member name, searched across all dimensions.
+	var found []ref
+	for di, d := range schema.Dims {
+		if level, code, err := d.FindMember(head); err == nil {
+			found = append(found, ref{dim: di, level: level, members: []int32{code}})
+		}
+	}
+	switch len(found) {
+	case 0:
+		return ref{}, nil, errAt(m.Pos, "%s: unknown name %q", m, head)
+	case 1:
+		return found[0], segs[1:], nil
+	default:
+		return ref{}, nil, errAt(m.Pos, "%s: name %q is ambiguous across dimensions", m, head)
+	}
+}

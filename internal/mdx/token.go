@@ -1,0 +1,86 @@
+// Package mdx implements the subset of Microsoft's Multi-Dimensional
+// Expressions used by the paper (§2): axis sets with NEST, CONTEXT,
+// FILTER, CHILDREN and level-qualified members, and the translation of
+// one MDX expression into the several related group-by queries it
+// denotes.
+//
+// The grammar accepted:
+//
+//	expression := axis+ "CONTEXT" ident filter? ";"?
+//	axis       := set "on" AXIS
+//	set        := "{" item ("," item)* "}"
+//	            | "(" item ("," item)* ")"
+//	            | "NEST" "(" set ("," set)* ")"
+//	item       := member | set
+//	member     := segment ("." segment)*
+//	segment    := IDENT | "[" text "]" | "CHILDREN"
+//	filter     := "FILTER" "(" member ("," member)* ")"
+//	AXIS       := COLUMNS | ROWS | PAGES | SECTIONS | CHAPTERS
+//
+// Keywords are case-insensitive; member and level names (which may
+// contain primes, like A”) are case-sensitive.
+package mdx
+
+import "fmt"
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokBracketed // [1991]
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokSemi
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokBracketed:
+		return "bracketed name"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokSemi:
+		return "';'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string // identifier or bracketed content
+	pos  int    // byte offset in the input
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("mdx: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,230 @@
+package mdx
+
+import (
+	"fmt"
+	"sort"
+
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+)
+
+// levelGroup is one (level, member set) combination of a dimension on an
+// axis.
+type levelGroup struct {
+	level   int
+	members []int32
+}
+
+// dimGroups collects a dimension's level groups on one axis in
+// appearance order.
+type dimGroups struct {
+	dim    int
+	groups []*levelGroup
+}
+
+// Translate converts a parsed MDX expression into the set of group-by
+// queries it denotes (§2 of the paper): dimensions appearing on an axis
+// at k distinct hierarchy levels contribute k query variants, and the
+// expression's queries are the cross product of the variants across
+// dimensions and axes. FILTER members restrict their dimension and place
+// it in each query's group-by at the filter's level, as the paper does
+// with FILTER (D.DD1).
+//
+// Queries are named q1, q2, … in deterministic variant order.
+func Translate(schema *star.Schema, expr *Expression) ([]*query.Query, error) {
+	agg := query.Sum
+	if expr.Aggregate != "" {
+		var ok bool
+		agg, ok = query.ParseAgg(expr.Aggregate)
+		if !ok {
+			return nil, fmt.Errorf("mdx: unknown aggregate %q (want SUM, COUNT, MIN, MAX or AVG)", expr.Aggregate)
+		}
+	}
+
+	// Per-axis grouping.
+	var axes [][]*dimGroups
+	dimAxis := make(map[int]int) // dim -> axis index it appears on
+	for ai, axis := range expr.Axes {
+		members := flatten(axis.Set)
+		byDim := map[int]*dimGroups{}
+		var order []*dimGroups
+		for _, m := range members {
+			r, err := resolve(schema, m)
+			if err != nil {
+				return nil, err
+			}
+			if r.measure {
+				return nil, errAt(m.Pos, "%s: the measure cannot appear on an axis", m)
+			}
+			if r.members == nil {
+				return nil, errAt(m.Pos, "%s: ALL-level members cannot appear on an axis", m)
+			}
+			if prev, ok := dimAxis[r.dim]; ok && prev != ai {
+				return nil, errAt(m.Pos, "dimension %s appears on two axes", schema.Dims[r.dim].Name)
+			}
+			dimAxis[r.dim] = ai
+			dg, ok := byDim[r.dim]
+			if !ok {
+				dg = &dimGroups{dim: r.dim}
+				byDim[r.dim] = dg
+				order = append(order, dg)
+			}
+			dg.add(r.level, r.members)
+		}
+		axes = append(axes, order)
+	}
+
+	// FILTER refs: per-dimension predicate at one level.
+	filterLevel := map[int]int{}
+	filterMembers := map[int][]int32{}
+	for _, f := range expr.Filter {
+		r, err := resolve(schema, f)
+		if err != nil {
+			return nil, err
+		}
+		if r.measure {
+			continue // selects the (single) measure
+		}
+		if r.members == nil {
+			// Dim.All: explicitly aggregated out; nothing to record.
+			continue
+		}
+		if lvl, ok := filterLevel[r.dim]; ok && lvl != r.level {
+			return nil, errAt(f.Pos, "%s: dimension %s filtered at two levels", f, schema.Dims[r.dim].Name)
+		}
+		filterLevel[r.dim] = r.level
+		filterMembers[r.dim] = mergeMembers(filterMembers[r.dim], r.members)
+	}
+
+	// A filter on a dimension that is also on an axis (the [MS] example
+	// filters Year 1991 while Time is grouped by quarter/month) narrows
+	// each of that dimension's axis groups to the filter's descendants.
+	for ai := range axes {
+		for _, dg := range axes[ai] {
+			lvl, ok := filterLevel[dg.dim]
+			if !ok {
+				continue
+			}
+			d := schema.Dims[dg.dim]
+			for _, g := range dg.groups {
+				if g.level > lvl {
+					return nil, fmt.Errorf("mdx: dimension %s grouped at %s but filtered at finer level %s",
+						d.Name, d.LevelName(g.level), d.LevelName(lvl))
+				}
+				allowed := map[int32]bool{}
+				for _, c := range d.Descend(filterMembers[dg.dim], lvl, g.level) {
+					allowed[c] = true
+				}
+				var kept []int32
+				for _, c := range g.members {
+					if allowed[c] {
+						kept = append(kept, c)
+					}
+				}
+				if len(kept) == 0 {
+					return nil, fmt.Errorf("mdx: filter on %s leaves no members in an axis set", d.Name)
+				}
+				g.members = kept
+			}
+			delete(filterLevel, dg.dim)
+			delete(filterMembers, dg.dim)
+		}
+	}
+
+	// Flatten all dim groups across axes (axis order, then appearance
+	// order) and cross-product their level groups.
+	var dims []*dimGroups
+	for _, order := range axes {
+		dims = append(dims, order...)
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("mdx: expression has no dimension members on its axes")
+	}
+
+	var queries []*query.Query
+	choice := make([]int, len(dims))
+	var emit func(i int) error
+	emit = func(i int) error {
+		if i == len(dims) {
+			levels := make([]int, schema.NumDims())
+			preds := make([]query.Predicate, schema.NumDims())
+			for d := range levels {
+				levels[d] = schema.Dims[d].AllLevel()
+			}
+			for gi, dg := range dims {
+				g := dg.groups[choice[gi]]
+				levels[dg.dim] = g.level
+				preds[dg.dim] = query.Predicate{Members: append([]int32(nil), g.members...)}
+			}
+			for d, lvl := range filterLevel {
+				levels[d] = lvl
+				preds[d] = query.Predicate{Members: append([]int32(nil), filterMembers[d]...)}
+			}
+			q, err := query.New(fmt.Sprintf("q%d", len(queries)+1), schema, levels, preds)
+			if err != nil {
+				return err
+			}
+			q.Agg = agg
+			queries = append(queries, q)
+			return nil
+		}
+		for c := range dims[i].groups {
+			choice[i] = c
+			if err := emit(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit(0); err != nil {
+		return nil, err
+	}
+	return queries, nil
+}
+
+// ParseAndTranslate parses src and translates it against schema.
+func ParseAndTranslate(schema *star.Schema, src string) ([]*query.Query, error) {
+	expr, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Translate(schema, expr)
+}
+
+// flatten lists a set's member expressions, descending NEST sets.
+func flatten(s *Set) []*MemberExpr {
+	if s.Nested == nil {
+		return s.Members
+	}
+	var out []*MemberExpr
+	for _, n := range s.Nested {
+		out = append(out, flatten(n)...)
+	}
+	return out
+}
+
+func (dg *dimGroups) add(level int, members []int32) {
+	for _, g := range dg.groups {
+		if g.level == level {
+			g.members = mergeMembers(g.members, members)
+			return
+		}
+	}
+	dg.groups = append(dg.groups, &levelGroup{level: level, members: append([]int32(nil), members...)})
+}
+
+// mergeMembers unions two member code sets, keeping sorted order.
+func mergeMembers(a, b []int32) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, s := range [][]int32{a, b} {
+		for _, c := range s {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,255 @@
+package plan
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"mdxopt/internal/cost"
+	"mdxopt/internal/datagen"
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+	"mdxopt/internal/workload"
+)
+
+var sharedDB *star.Database
+var sharedQs map[string]*query.Query
+
+func testDB(t *testing.T) (*star.Database, map[string]*query.Query) {
+	t.Helper()
+	if sharedDB != nil {
+		return sharedDB, sharedQs
+	}
+	spec := datagen.PaperSpec(0.1)
+	spec.PoolFrames = 1024
+	db, err := datagen.Build(filepath.Join(t.TempDir(), "db"), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := workload.PaperQueries(db.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedDB, sharedQs = db, qs
+	return db, qs
+}
+
+func TestYaoPages(t *testing.T) {
+	if got := cost.YaoPages(1000, 100, 0); got != 0 {
+		t.Fatalf("YaoPages(k=0) = %v", got)
+	}
+	if got := cost.YaoPages(1000, 100, 1000); got != 100 {
+		t.Fatalf("YaoPages(k=all) = %v", got)
+	}
+	few := cost.YaoPages(1000, 100, 5)
+	if few <= 0 || few > 5 {
+		t.Fatalf("YaoPages(k=5) = %v, want in (0,5]", few)
+	}
+	many := cost.YaoPages(1000, 100, 500)
+	if many <= few || many > 100 {
+		t.Fatalf("YaoPages not monotone: %v then %v", few, many)
+	}
+}
+
+func TestFeasibility(t *testing.T) {
+	db, qs := testDB(t)
+	e := NewEstimator(db)
+	indexed := db.ViewByLevels([]int{1, 1, 1, 0})
+	coarse := db.ViewByLevels([]int{2, 2, 1, 0})
+
+	if !e.Feasible(qs["Q7"], indexed, HashSJ) || !e.Feasible(qs["Q7"], indexed, IndexSJ) {
+		t.Fatal("Q7 must be feasible both ways on A'B'C'D")
+	}
+	if e.Feasible(qs["Q7"], db.Base(), IndexSJ) {
+		t.Fatal("index join feasible on unindexed base")
+	}
+	if e.Feasible(qs["Q6"], coarse, HashSJ) {
+		t.Fatal("coarse view answered fine query")
+	}
+}
+
+func TestStandaloneCostShape(t *testing.T) {
+	// The hash/index dichotomy of the paper holds under the paper-mode
+	// estimator (random probe pricing).
+	db, qs := testDB(t)
+	e := NewPaperEstimator(db)
+	indexed := db.ViewByLevels([]int{1, 1, 1, 0})
+
+	// Smaller views are cheaper to scan.
+	big := e.StandaloneCost(qs["Q3"], db.Base(), HashSJ)
+	small := e.StandaloneCost(qs["Q3"], indexed, HashSJ)
+	if small >= big {
+		t.Fatalf("hash on smaller view (%v) not cheaper than base (%v)", small, big)
+	}
+
+	// Very selective queries prefer the index join on the indexed view.
+	m, _, ok := e.BestMethod(qs["Q7"], indexed)
+	if !ok || m != IndexSJ {
+		t.Fatalf("Q7 best method on indexed view = %v, want IndexSJ", m)
+	}
+	// Non-selective queries prefer the hash join.
+	m, _, ok = e.BestMethod(qs["Q3"], indexed)
+	if !ok || m != HashSJ {
+		t.Fatalf("Q3 best method on indexed view = %v, want HashSJ", m)
+	}
+
+	// Infeasible = +Inf.
+	if !math.IsInf(e.StandaloneCost(qs["Q7"], db.Base(), IndexSJ), 1) {
+		t.Fatal("infeasible cost not +Inf")
+	}
+}
+
+func TestBestLocalPicksExactView(t *testing.T) {
+	db, qs := testDB(t)
+	e := NewPaperEstimator(db)
+	// Q1 targets A'B''C''D = levels (1,2,2,1); the smallest deriving
+	// view is A'B''C''D itself (1,2,2,0).
+	local, _, err := e.BestLocal(qs["Q1"], db.Views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := db.ViewByLevels([]int{1, 2, 2, 0})
+	if local.View != want {
+		t.Fatalf("Q1 best view = %s, want %s", local.View.Name, want.Name)
+	}
+}
+
+func TestClassCostSharing(t *testing.T) {
+	db, qs := testDB(t)
+	e := NewEstimator(db)
+	v := db.ViewByLevels([]int{1, 1, 2, 0})
+
+	solo1 := e.StandaloneCost(qs["Q1"], v, HashSJ)
+	solo2 := e.StandaloneCost(qs["Q2"], v, HashSJ)
+
+	c := &Class{View: v, Plans: []*Local{
+		{Query: qs["Q1"], View: v},
+		{Query: qs["Q2"], View: v},
+	}}
+	shared := e.ClassCost(c)
+	if shared >= solo1+solo2 {
+		t.Fatalf("class cost %v not below separate %v", shared, solo1+solo2)
+	}
+	// The saving is exactly one scan of the shared view (I/O sharing).
+	saving := solo1 + solo2 - shared
+	scan := e.Model.ScanIO(v.Pages())
+	if math.Abs(saving-scan) > 1e-6 {
+		t.Fatalf("saving %v != one scan %v", saving, scan)
+	}
+}
+
+func TestClassCostProbeRegime(t *testing.T) {
+	db, qs := testDB(t)
+	e := NewEstimator(db)
+	v := db.ViewByLevels([]int{1, 1, 1, 0})
+	c := &Class{View: v, Plans: []*Local{
+		{Query: qs["Q6"], View: v},
+		{Query: qs["Q7"], View: v},
+	}}
+	cc := e.ClassCost(c)
+	if math.IsInf(cc, 1) {
+		t.Fatal("probe-regime class infeasible")
+	}
+	// Very selective members must get the index method.
+	for _, p := range c.Plans {
+		if p.Method != IndexSJ {
+			t.Fatalf("%s assigned %v, want IndexSJ", p.Query.Name, p.Method)
+		}
+	}
+	// And the probe regime must beat even a single hash member's
+	// standalone cost (the scan regime would pay that per member).
+	if solo := e.StandaloneCost(qs["Q6"], v, HashSJ); cc >= solo {
+		t.Fatalf("selective class cost %v not below one hash member %v", cc, solo)
+	}
+}
+
+func TestCostOfAddMarginal(t *testing.T) {
+	db, qs := testDB(t)
+	e := NewEstimator(db)
+	v := db.ViewByLevels([]int{1, 1, 2, 0})
+	c := &Class{View: v, Plans: []*Local{{Query: qs["Q1"], View: v}}}
+
+	add := e.CostOfAdd(c, qs["Q2"])
+	solo := e.StandaloneCost(qs["Q2"], v, HashSJ)
+	if add >= solo {
+		t.Fatalf("marginal add cost %v not below standalone %v", add, solo)
+	}
+	if add <= 0 {
+		t.Fatalf("marginal add cost %v not positive", add)
+	}
+	// Infeasible adds are +Inf.
+	if !math.IsInf(e.CostOfAdd(&Class{View: db.ViewByLevels([]int{2, 2, 1, 0})}, qs["Q6"]), 1) {
+		t.Fatal("infeasible CostOfAdd not +Inf")
+	}
+}
+
+func TestFullModelExtendsPaperPlanSpace(t *testing.T) {
+	// The full-model estimator may convert a scan-regime class member
+	// with usable indexes into a bitmap filter over the shared scan
+	// (§3.3 as a first-class plan choice); paper mode keeps such
+	// members on the hash join. The conversion lowers the class cost.
+	db, qs := testDB(t)
+	full := NewEstimator(db)
+	paper := NewPaperEstimator(db)
+	indexed := db.ViewByLevels([]int{1, 1, 1, 0})
+
+	mkClass := func() *Class {
+		return &Class{View: indexed, Plans: []*Local{
+			{Query: qs["Q1"], View: indexed},
+			{Query: qs["Q3"], View: indexed},
+		}}
+	}
+	cp := mkClass()
+	paperCost := paper.ClassCost(cp)
+	for _, p := range cp.Plans {
+		if p.Method != HashSJ {
+			t.Fatalf("paper mode assigned %v to %s, want HashSJ", p.Method, p.Query.Name)
+		}
+	}
+	cf := mkClass()
+	fullCost := full.ClassCost(cf)
+	converted := 0
+	for _, p := range cf.Plans {
+		if p.Method == IndexSJ {
+			converted++
+		}
+	}
+	if converted == 0 {
+		t.Fatal("full model converted no member to a bitmap filter")
+	}
+	if fullCost >= paperCost {
+		t.Fatalf("full-model class %v not below paper-mode %v", fullCost, paperCost)
+	}
+	// Both estimators agree the very selective Q7 is an index join.
+	for _, e := range []*Estimator{full, paper} {
+		if m, _, _ := e.BestMethod(qs["Q7"], indexed); m != IndexSJ {
+			t.Fatalf("Q7 method = %v, want IndexSJ under both estimators", m)
+		}
+	}
+}
+
+func TestGlobalDescribeAndLookup(t *testing.T) {
+	db, qs := testDB(t)
+	v := db.Base()
+	g := &Global{Classes: []*Class{{View: v, Plans: []*Local{
+		{Query: qs["Q1"], View: v, Method: HashSJ},
+		{Query: qs["Q2"], View: v, Method: HashSJ},
+	}}}}
+	if g.NumQueries() != 2 {
+		t.Fatalf("NumQueries = %d", g.NumQueries())
+	}
+	if g.PlanFor(qs["Q1"]) == nil || g.PlanFor(qs["Q7"]) != nil {
+		t.Fatal("PlanFor wrong")
+	}
+	desc := g.Describe()
+	if desc == "" {
+		t.Fatal("empty Describe")
+	}
+	c := g.Classes[0]
+	if len(c.HashPlans()) != 2 || len(c.IndexPlans()) != 0 {
+		t.Fatal("method partition wrong")
+	}
+	if len(c.Queries()) != 2 {
+		t.Fatal("Queries() wrong")
+	}
+}

@@ -1,0 +1,222 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mdxopt/internal/star"
+)
+
+func testSchema(t *testing.T) *star.Schema {
+	t.Helper()
+	a, err := star.UniformDimension("A", []int{24, 6, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := star.UniformDimension("B", []int{12, 6, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := star.UniformDimension("C", []int{8, 4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := star.NewSchema([]*star.Dimension{a, b, c}, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewQueryValidation(t *testing.T) {
+	s := testSchema(t)
+	if _, err := New("q", s, []int{0, 0}, nil); err == nil {
+		t.Fatal("short level vector accepted")
+	}
+	if _, err := New("q", s, []int{0, 0, 0}, []Predicate{{}, {}}); err == nil {
+		t.Fatal("short predicate vector accepted")
+	}
+	if _, err := New("q", s, []int{2, 0, 0}, []Predicate{{Members: []int32{5}}, {}, {}}); err == nil {
+		t.Fatal("out-of-range member accepted (card 3 at top)")
+	}
+	if _, err := New("q", s, []int{2, 0, 0}, []Predicate{{Members: []int32{1, 1}}, {}, {}}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	q, err := New("q", s, []int{2, 1, 0}, []Predicate{{Members: []int32{2, 0}}, {}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Members[0] != 0 || q.Preds[0].Members[1] != 2 {
+		t.Fatalf("members not sorted: %v", q.Preds[0].Members)
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	s := testSchema(t)
+	q, err := New("q", s, []int{2, 1, 0}, []Predicate{
+		{Members: []int32{0}},    // 1 of 3 at A''
+		{Members: []int32{1, 2}}, // 2 of 6 at B'
+		{},                       // unrestricted C
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.DimSelectivity(0); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("A selectivity = %v", got)
+	}
+	if got := q.DimSelectivity(1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("B selectivity = %v", got)
+	}
+	if got := q.DimSelectivity(2); got != 1 {
+		t.Fatalf("C selectivity = %v", got)
+	}
+	if got := q.Selectivity(); math.Abs(got-1.0/9) > 1e-12 {
+		t.Fatalf("combined selectivity = %v", got)
+	}
+	dims := q.RestrictedDims()
+	if len(dims) != 2 || dims[0] != 0 || dims[1] != 1 {
+		t.Fatalf("RestrictedDims = %v", dims)
+	}
+}
+
+func TestEstGroups(t *testing.T) {
+	s := testSchema(t)
+	q, _ := New("q", s, []int{2, 1, 3}, []Predicate{
+		{Members: []int32{0}},
+		{},
+		{},
+	})
+	// A'' restricted to 1 member, B' full card 6, C aggregated out.
+	if got := q.EstGroups(); got != 6 {
+		t.Fatalf("EstGroups = %v, want 6", got)
+	}
+}
+
+func TestAnswerableFrom(t *testing.T) {
+	s := testSchema(t)
+	q, _ := New("q", s, []int{1, 2, 0}, nil)
+	if !q.AnswerableFrom([]int{0, 0, 0}) {
+		t.Fatal("base table cannot answer")
+	}
+	if !q.AnswerableFrom([]int{1, 2, 0}) {
+		t.Fatal("exact view cannot answer")
+	}
+	if q.AnswerableFrom([]int{2, 0, 0}) {
+		t.Fatal("coarser view answered finer query")
+	}
+}
+
+func TestViewPredicateDescends(t *testing.T) {
+	s := testSchema(t)
+	q, _ := New("q", s, []int{2, 0, 0}, []Predicate{
+		{Members: []int32{1}}, // top member A2
+		{},
+		{},
+	})
+	// On the base view the predicate becomes the 8 base descendants.
+	codes := q.ViewPredicate(0, 0)
+	if len(codes) != 8 {
+		t.Fatalf("descended predicate has %d codes, want 8", len(codes))
+	}
+	for _, c := range codes {
+		if s.Dims[0].RollUp(c, 0, 2) != 1 {
+			t.Fatalf("descended code %d not under A2", c)
+		}
+	}
+	if q.ViewPredicate(1, 0) != nil {
+		t.Fatal("unrestricted dim produced a view predicate")
+	}
+	// At the query's own level the predicate is unchanged.
+	same := q.ViewPredicate(0, 2)
+	if len(same) != 1 || same[0] != 1 {
+		t.Fatalf("same-level predicate = %v", same)
+	}
+}
+
+func TestMemberSet(t *testing.T) {
+	s := testSchema(t)
+	q, _ := New("q", s, []int{1, 0, 0}, []Predicate{
+		{Members: []int32{0, 3}},
+		{},
+		{},
+	})
+	set := q.MemberSet(0)
+	if len(set) != 6 {
+		t.Fatalf("member set length = %d, want card 6", len(set))
+	}
+	for c, in := range set {
+		want := c == 0 || c == 3
+		if in != want {
+			t.Fatalf("member %d in set = %v", c, in)
+		}
+	}
+	if q.MemberSet(1) != nil {
+		t.Fatal("unrestricted member set not nil")
+	}
+}
+
+func TestStringAndSignature(t *testing.T) {
+	s := testSchema(t)
+	q1, _ := New("Q5", s, []int{1, 2, 0}, []Predicate{
+		{Members: []int32{1}},
+		{},
+		{},
+	})
+	str := q1.String()
+	if !strings.Contains(str, "Q5") || !strings.Contains(str, "AA2") {
+		t.Fatalf("String = %q", str)
+	}
+	q2, _ := New("other", s, []int{1, 2, 0}, []Predicate{
+		{Members: []int32{1}},
+		{},
+		{},
+	})
+	if q1.Signature() != q2.Signature() {
+		t.Fatal("same semantics, different signatures")
+	}
+	q3, _ := New("Q5", s, []int{1, 2, 0}, []Predicate{
+		{Members: []int32{2}},
+		{},
+		{},
+	})
+	if q1.Signature() == q3.Signature() {
+		t.Fatal("different predicates, same signature")
+	}
+}
+
+func TestTotalLevel(t *testing.T) {
+	s := testSchema(t)
+	q, _ := New("q", s, []int{2, 1, 0}, nil)
+	if q.TotalLevel() != 3 {
+		t.Fatalf("TotalLevel = %d", q.TotalLevel())
+	}
+}
+
+func TestAggHelpers(t *testing.T) {
+	for name, want := range map[string]Agg{
+		"SUM": Sum, "sum": Sum, "COUNT": Count, "min": Min, "Max": Max,
+		"AVG": Avg, "average": Avg,
+	} {
+		got, ok := ParseAgg(name)
+		if !ok || got != want {
+			t.Fatalf("ParseAgg(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := ParseAgg("median"); ok {
+		t.Fatal("ParseAgg accepted median")
+	}
+	if Sum.String() != "SUM" || Avg.String() != "AVG" {
+		t.Fatal("Agg.String wrong")
+	}
+	s := testSchema(t)
+	q, _ := New("q", s, []int{2, 2, 2}, nil)
+	q.Agg = Count
+	if !strings.Contains(q.String(), "COUNT") {
+		t.Fatalf("String = %q", q.String())
+	}
+	q2, _ := New("q", s, []int{2, 2, 2}, nil)
+	if q.Signature() == q2.Signature() {
+		t.Fatal("COUNT and SUM share a signature")
+	}
+}

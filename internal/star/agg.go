@@ -1,0 +1,61 @@
+package star
+
+import "mdxopt/internal/table"
+
+// Multi-aggregate views.
+//
+// The paper's materialized group-bys carry one SUM column (20-byte
+// tuples, which the experiments preserve). As an extension, a view can
+// instead be materialized with the multi-aggregate layout — four measure
+// columns (sum, count, min, max) per group — which lets COUNT, MIN, MAX
+// and AVG queries (all decomposable) be answered from the view instead
+// of the base table. MaterializeMulti opts a view in; the optimizer
+// routes non-SUM queries only to the base table or multi-aggregate
+// views (query.SupportedBy).
+
+// Positions of the four accumulator components.
+const (
+	AggSum = iota
+	AggCount
+	AggMin
+	AggMax
+)
+
+// MultiAgg reports whether the view stores the four-component aggregate
+// layout.
+func (v *View) MultiAgg() bool { return v.Heap.Schema().NumMeasures() == 4 }
+
+// MultiViewSchema returns the heap schema of a multi-aggregate view.
+func (s *Schema) MultiViewSchema() table.Schema {
+	keys := make([]string, len(s.Dims))
+	for i, d := range s.Dims {
+		keys[i] = d.Name
+	}
+	m := s.Measure
+	return table.NewSchema(keys, []string{m + "_sum", m + "_count", m + "_min", m + "_max"})
+}
+
+// TupleAggregates extracts the (sum, count, min, max) accumulator from
+// one scanned tuple of v. A base-table or sum-only-view row with measure
+// m contributes (m, 1, m, m) — exact for the base table; for a sum-only
+// view the count/min/max components are NOT meaningful, which is why
+// query.SupportedBy never routes non-SUM queries there.
+func TupleAggregates(v *View, measures []float64) [4]float64 {
+	if len(measures) == 4 {
+		return [4]float64{measures[0], measures[1], measures[2], measures[3]}
+	}
+	m := measures[0]
+	return [4]float64{m, 1, m, m}
+}
+
+// MergeAggregates folds src into dst component-wise.
+func MergeAggregates(dst *[4]float64, src [4]float64) {
+	dst[AggSum] += src[AggSum]
+	dst[AggCount] += src[AggCount]
+	if src[AggMin] < dst[AggMin] {
+		dst[AggMin] = src[AggMin]
+	}
+	if src[AggMax] > dst[AggMax] {
+		dst[AggMax] = src[AggMax]
+	}
+}

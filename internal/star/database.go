@@ -1,0 +1,501 @@
+package star
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"mdxopt/internal/bitmap"
+	"mdxopt/internal/storage"
+	"mdxopt/internal/table"
+)
+
+// View is a stored group-by: the base fact table (all levels 0) or a
+// materialized aggregate of it. Column i holds member codes of dimension
+// i at Levels[i].
+type View struct {
+	Name    string
+	Levels  []int
+	Heap    *table.HeapFile
+	Indexes map[int]bitmap.JoinIndex // dimension position -> bitmap join index
+
+	file       string         // heap file name relative to the database dir
+	indexFiles map[int]string // index file names relative to the database dir
+
+	// refreshedRows counts the base-table rows folded into this view
+	// (see maintain.go). Unused for the base view itself.
+	refreshedRows int64
+}
+
+// Rows returns the view's row count.
+func (v *View) Rows() int64 { return v.Heap.Count() }
+
+// Pages returns the view's data page count.
+func (v *View) Pages() int64 { return v.Heap.DataPages() }
+
+// HasIndex reports whether dimension dim has a bitmap join index on this
+// view.
+func (v *View) HasIndex(dim int) bool { return v.Indexes[dim] != nil }
+
+func (v *View) String() string {
+	return fmt.Sprintf("View(%s, %d rows, %d pages)", v.Name, v.Rows(), v.Pages())
+}
+
+// Database is an on-disk star database: dimension tables, the base fact
+// table, materialized group-by views, and bitmap join indexes, all served
+// through one buffer pool.
+type Database struct {
+	Dir       string
+	Pool      *storage.Pool
+	Schema    *Schema
+	DimTables []*table.HeapFile
+	Views     []*View // Views[0] is the base fact table
+	// Stats holds base-table member frequencies (may be nil); see
+	// stats.go. RefreshStats computes them, Save persists them.
+	Stats *Stats
+}
+
+const metaFile = "meta.json"
+
+// metadata serialization types
+type dimJSON struct {
+	Name   string      `json:"name"`
+	Levels []LevelSpec `json:"levels"`
+}
+
+type viewJSON struct {
+	Name   string `json:"name"`
+	Levels []int  `json:"levels"`
+	File   string `json:"file"`
+	// RefreshedRows is a pointer so manifests written before view
+	// maintenance existed (field absent) load as fresh rather than
+	// fully stale.
+	RefreshedRows *int64            `json:"refreshed_rows,omitempty"`
+	MultiAgg      bool              `json:"multi_agg,omitempty"`
+	Indexes       map[string]string `json:"indexes,omitempty"` // dim position -> file
+}
+
+type metaJSON struct {
+	Measure   string     `json:"measure"`
+	Dims      []dimJSON  `json:"dims"`
+	DimTables []string   `json:"dim_tables"`
+	Views     []viewJSON `json:"views"`
+	// Base-level member counts per dimension; upper levels are derived
+	// on load. Omitted when statistics were never computed.
+	StatsBase [][]int64 `json:"stats_base,omitempty"`
+	StatsRows int64     `json:"stats_rows,omitempty"`
+}
+
+// Create initializes a new database directory with dimension tables and
+// an empty base fact table. The caller appends facts via BaseAppender and
+// must call Save when done.
+func Create(dir string, schema *Schema, poolFrames int) (*Database, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("star: create %s: %w", dir, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, metaFile)); err == nil {
+		return nil, fmt.Errorf("star: database already exists in %s", dir)
+	}
+	db := &Database{
+		Dir:    dir,
+		Pool:   storage.NewPool(poolFrames),
+		Schema: schema,
+	}
+	// Dimension tables: one row per base member carrying its codes at
+	// every level.
+	for i, d := range schema.Dims {
+		name := "dim_" + d.Name + ".heap"
+		h, err := table.Create(db.Pool, filepath.Join(dir, name), schema.DimTableSchema(i))
+		if err != nil {
+			return nil, err
+		}
+		app := h.NewAppender()
+		keys := make([]int32, d.NumLevels())
+		for c := int32(0); c < d.Card(0); c++ {
+			for l := 0; l < d.NumLevels(); l++ {
+				keys[l] = d.RollUp(c, 0, l)
+			}
+			if err := app.Append(keys, nil); err != nil {
+				return nil, err
+			}
+		}
+		if err := app.Close(); err != nil {
+			return nil, err
+		}
+		db.DimTables = append(db.DimTables, h)
+	}
+	// Base fact table at all-base levels.
+	levels := make([]int, schema.NumDims())
+	base, err := db.newView(levels, false)
+	if err != nil {
+		return nil, err
+	}
+	db.Views = append(db.Views, base)
+	return db, nil
+}
+
+// newView creates an empty stored view for the given level vector, with
+// the multi-aggregate layout when multi is set.
+func (db *Database) newView(levels []int, multi bool) (*View, error) {
+	if err := db.Schema.ValidLevels(levels); err != nil {
+		return nil, err
+	}
+	name := db.Schema.GroupByName(levels)
+	file := "view_" + sanitizeName(name) + ".heap"
+	schema := db.Schema.ViewSchema()
+	if multi {
+		schema = db.Schema.MultiViewSchema()
+	}
+	h, err := table.Create(db.Pool, filepath.Join(db.Dir, file), schema)
+	if err != nil {
+		return nil, err
+	}
+	lv := make([]int, len(levels))
+	copy(lv, levels)
+	return &View{
+		Name:       name,
+		Levels:     lv,
+		Heap:       h,
+		Indexes:    map[int]bitmap.JoinIndex{},
+		file:       file,
+		indexFiles: map[int]string{},
+	}, nil
+}
+
+// sanitizeName makes a group-by name safe as a file name (primes and
+// parens removed).
+func sanitizeName(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch r {
+		case '\'':
+			out = append(out, 'p')
+		case '(', ')', ':':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// Base returns the base fact table view.
+func (db *Database) Base() *View { return db.Views[0] }
+
+// ViewByName returns the named view, or nil.
+func (db *Database) ViewByName(name string) *View {
+	for _, v := range db.Views {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// ViewByLevels returns the view with exactly the given level vector, or
+// nil.
+func (db *Database) ViewByLevels(levels []int) *View {
+	for _, v := range db.Views {
+		if equalLevels(v.Levels, levels) {
+			return v
+		}
+	}
+	return nil
+}
+
+func equalLevels(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Materialize computes and stores the group-by with the given level
+// vector by aggregating the finest existing view that can answer it (the
+// base table at worst). The view stores the paper's sum-only layout;
+// MaterializeMulti stores the multi-aggregate layout instead. Returns
+// the new view.
+func (db *Database) Materialize(levels []int) (*View, error) {
+	return db.materialize(levels, false)
+}
+
+// MaterializeMulti is Materialize with the multi-aggregate layout (sum,
+// count, min, max per group), which lets COUNT/MIN/MAX/AVG queries be
+// answered from the view.
+func (db *Database) MaterializeMulti(levels []int) (*View, error) {
+	return db.materialize(levels, true)
+}
+
+func (db *Database) materialize(levels []int, multi bool) (*View, error) {
+	if err := db.Schema.ValidLevels(levels); err != nil {
+		return nil, err
+	}
+	if v := db.ViewByLevels(levels); v != nil {
+		return nil, fmt.Errorf("star: view %s already materialized", v.Name)
+	}
+	src := db.cheapestSource(levels, multi)
+	if src == nil {
+		return nil, errors.New("star: no source view can answer the requested group-by")
+	}
+	out, err := db.newView(levels, multi)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hash aggregation: roll each source tuple up to the target levels.
+	nd := db.Schema.NumDims()
+	agg := make(map[string][4]float64)
+	keyBuf := make([]byte, 4*nd)
+	rolled := make([]int32, nd)
+	err = src.Heap.Scan(func(row int64, keys []int32, measures []float64) error {
+		for i := 0; i < nd; i++ {
+			rolled[i] = db.Schema.Dims[i].RollUp(keys[i], src.Levels[i], levels[i])
+			binary.LittleEndian.PutUint32(keyBuf[i*4:], uint32(rolled[i]))
+		}
+		mergeInto(agg, string(keyBuf), TupleAggregates(src, measures))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if err := appendGroups(out.Heap, nd, agg, out.MultiAgg(), true); err != nil {
+		return nil, err
+	}
+	out.refreshedRows = db.Base().Rows()
+	db.Views = append(db.Views, out)
+	return out, nil
+}
+
+// mergeInto folds vals into the accumulator map entry for key.
+func mergeInto(agg map[string][4]float64, key string, vals [4]float64) {
+	if cur, ok := agg[key]; ok {
+		MergeAggregates(&cur, vals)
+		agg[key] = cur
+	} else {
+		agg[key] = vals
+	}
+}
+
+// cheapestSource returns the smallest existing *fresh* view that can
+// derive the target levels; when multi is set, only sources carrying
+// full aggregate information qualify (the base table or another
+// multi-aggregate view).
+func (db *Database) cheapestSource(levels []int, multi bool) *View {
+	var best *View
+	for _, v := range db.Views {
+		if !Derives(v.Levels, levels) || !db.Fresh(v) {
+			continue
+		}
+		if multi && v != db.Base() && !v.MultiAgg() {
+			continue
+		}
+		if best == nil || v.Rows() < best.Rows() {
+			best = v
+		}
+	}
+	return best
+}
+
+// Derives reports whether a view with levels src can answer a group-by
+// with levels dst: src must be at the same or a finer level in every
+// dimension.
+func Derives(src, dst []int) bool {
+	if len(src) != len(dst) {
+		return false
+	}
+	for i := range src {
+		if src[i] > dst[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildIndex builds and persists an uncompressed bitmap join index on
+// dimension dim of view v.
+func (db *Database) BuildIndex(v *View, dim int) error {
+	return db.BuildIndexFormat(v, dim, false)
+}
+
+// BuildIndexFormat builds and persists a bitmap join index on dimension
+// dim of view v, EWAH-compressed when compressed is set. The format is
+// recorded in the file itself; Open dispatches transparently.
+func (db *Database) BuildIndexFormat(v *View, dim int, compressed bool) error {
+	if dim < 0 || dim >= db.Schema.NumDims() {
+		return fmt.Errorf("star: dimension %d out of range", dim)
+	}
+	if v.Indexes[dim] != nil {
+		return fmt.Errorf("star: %s already has an index on %s", v.Name, db.Schema.Dims[dim].Name)
+	}
+	file := "idx_" + sanitizeName(v.Name) + "_" + strconv.Itoa(dim) + ".bmx"
+	path := filepath.Join(db.Dir, file)
+	build := bitmap.BuildAndCreate
+	if compressed {
+		build = bitmap.BuildAndCreateCompressed
+	}
+	if err := build(db.Pool, path, v.Heap, dim); err != nil {
+		return err
+	}
+	ix, err := bitmap.Open(db.Pool, path)
+	if err != nil {
+		return err
+	}
+	v.Indexes[dim] = ix
+	v.indexFiles[dim] = file
+	return nil
+}
+
+// Save writes table metadata and the database manifest, then flushes the
+// buffer pool so everything is durable.
+func (db *Database) Save() error {
+	for _, h := range db.DimTables {
+		if err := h.Close(); err != nil {
+			return err
+		}
+	}
+	meta := metaJSON{Measure: db.Schema.Measure}
+	if db.Stats != nil {
+		meta.StatsRows = db.Stats.Rows
+		for i := range db.Schema.Dims {
+			meta.StatsBase = append(meta.StatsBase, db.Stats.Counts[i][0])
+		}
+	}
+	for _, d := range db.Schema.Dims {
+		meta.Dims = append(meta.Dims, dimJSON{Name: d.Name, Levels: d.Levels})
+	}
+	for _, d := range db.Schema.Dims {
+		meta.DimTables = append(meta.DimTables, "dim_"+d.Name+".heap")
+	}
+	for _, v := range db.Views {
+		if err := v.Heap.Close(); err != nil {
+			return err
+		}
+		rr := v.refreshedRows
+		vj := viewJSON{Name: v.Name, Levels: v.Levels, File: v.file, RefreshedRows: &rr, MultiAgg: v.MultiAgg()}
+		if len(v.indexFiles) > 0 {
+			vj.Indexes = map[string]string{}
+			for dim, f := range v.indexFiles {
+				vj.Indexes[strconv.Itoa(dim)] = f
+			}
+		}
+		meta.Views = append(meta.Views, vj)
+	}
+	blob, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(db.Dir, metaFile), blob, 0o644); err != nil {
+		return err
+	}
+	return db.Pool.FlushAll()
+}
+
+// Open loads a database saved by Save.
+func Open(dir string, poolFrames int) (*Database, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, fmt.Errorf("star: open database %s: %w", dir, err)
+	}
+	var meta metaJSON
+	if err := json.Unmarshal(blob, &meta); err != nil {
+		return nil, fmt.Errorf("star: corrupt manifest in %s: %w", dir, err)
+	}
+	dims := make([]*Dimension, len(meta.Dims))
+	for i, dj := range meta.Dims {
+		d, err := NewDimension(dj.Name, dj.Levels)
+		if err != nil {
+			return nil, fmt.Errorf("star: manifest dimension %s: %w", dj.Name, err)
+		}
+		dims[i] = d
+	}
+	schema, err := NewSchema(dims, meta.Measure)
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{Dir: dir, Pool: storage.NewPool(poolFrames), Schema: schema}
+	for i, file := range meta.DimTables {
+		h, err := table.Open(db.Pool, filepath.Join(dir, file), schema.DimTableSchema(i))
+		if err != nil {
+			return nil, err
+		}
+		db.DimTables = append(db.DimTables, h)
+	}
+	for _, vj := range meta.Views {
+		viewSchema := schema.ViewSchema()
+		if vj.MultiAgg {
+			viewSchema = schema.MultiViewSchema()
+		}
+		h, err := table.Open(db.Pool, filepath.Join(dir, vj.File), viewSchema)
+		if err != nil {
+			return nil, err
+		}
+		v := &View{
+			Name:       vj.Name,
+			Levels:     vj.Levels,
+			Heap:       h,
+			Indexes:    map[int]bitmap.JoinIndex{},
+			file:       vj.File,
+			indexFiles: map[int]string{},
+		}
+		if vj.RefreshedRows != nil {
+			v.refreshedRows = *vj.RefreshedRows
+		} else if len(db.Views) > 0 {
+			// Pre-maintenance manifest: assume the view was current when
+			// the database was written.
+			v.refreshedRows = db.Views[0].Rows()
+		}
+		for dimStr, f := range vj.Indexes {
+			dim, err := strconv.Atoi(dimStr)
+			if err != nil {
+				return nil, fmt.Errorf("star: manifest index key %q: %w", dimStr, err)
+			}
+			ix, err := bitmap.Open(db.Pool, filepath.Join(dir, f))
+			if err != nil {
+				return nil, err
+			}
+			v.Indexes[dim] = ix
+			v.indexFiles[dim] = f
+		}
+		db.Views = append(db.Views, v)
+	}
+	if len(db.Views) == 0 {
+		return nil, fmt.Errorf("star: database %s has no views", dir)
+	}
+	if meta.StatsBase != nil {
+		st, err := statsFromBase(schema, meta.StatsBase, meta.StatsRows)
+		if err != nil {
+			return nil, err
+		}
+		db.Stats = st
+	}
+	return db, nil
+}
+
+// ColdReset drops all cached pages and in-memory index bitmaps,
+// reproducing the paper's cold-cache discipline between measurements.
+func (db *Database) ColdReset() error {
+	for _, v := range db.Views {
+		for _, ix := range v.Indexes {
+			ix.DropCache()
+		}
+	}
+	return db.Pool.FlushAll()
+}
+
+// Close saves and closes all files. The database is unusable afterwards.
+func (db *Database) Close() error {
+	if err := db.Save(); err != nil {
+		return err
+	}
+	return db.Pool.CloseFiles()
+}

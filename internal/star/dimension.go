@@ -1,0 +1,280 @@
+// Package star models the dimensional side of a ROLAP star schema:
+// dimensions with named hierarchy levels, rollup between levels,
+// materialized group-by views, and a persistent database wrapping heap
+// files and bitmap indexes.
+//
+// Conventions used throughout the system:
+//
+//   - Members are int32 codes, dense per level, starting at 0. Names are
+//     metadata kept on the Dimension.
+//   - Level 0 is the base (finest) level; higher levels are coarser. The
+//     virtual level NumLevels() ("ALL") aggregates the dimension out
+//     entirely and has a single member with code 0.
+//   - A group-by is a vector with one level per dimension (see
+//     internal/query).
+package star
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LevelSpec describes one hierarchy level when constructing a dimension.
+type LevelSpec struct {
+	Name    string   // level name, e.g. "A'" or "Quarter"
+	Members []string // member names, code = index
+	// Parent[i] is the code of member i's parent at the next coarser
+	// level. Must be nil for the top level.
+	Parent []int32
+}
+
+// Dimension is a hierarchy of levels, base (index 0) to top.
+type Dimension struct {
+	Name   string
+	Levels []LevelSpec
+
+	nameToCode []map[string]int32 // per level
+	children   [][][]int32        // children[l][code] = codes at level l-1
+}
+
+// NewDimension validates specs (base first, top last) and builds a
+// dimension.
+func NewDimension(name string, levels []LevelSpec) (*Dimension, error) {
+	if name == "" {
+		return nil, errors.New("star: dimension needs a name")
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("star: dimension %s needs at least one level", name)
+	}
+	d := &Dimension{Name: name, Levels: levels}
+	if err := d.init(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// init validates the level specs and builds lookup structures. It is also
+// used after deserialization.
+func (d *Dimension) init() error {
+	d.nameToCode = make([]map[string]int32, len(d.Levels))
+	for l, spec := range d.Levels {
+		if spec.Name == "" {
+			return fmt.Errorf("star: %s level %d has no name", d.Name, l)
+		}
+		if len(spec.Members) == 0 {
+			return fmt.Errorf("star: %s level %s has no members", d.Name, spec.Name)
+		}
+		m := make(map[string]int32, len(spec.Members))
+		for code, name := range spec.Members {
+			if name == "" {
+				return fmt.Errorf("star: %s level %s member %d has no name", d.Name, spec.Name, code)
+			}
+			if _, dup := m[name]; dup {
+				return fmt.Errorf("star: %s level %s has duplicate member %q", d.Name, spec.Name, name)
+			}
+			m[name] = int32(code)
+		}
+		d.nameToCode[l] = m
+
+		top := l == len(d.Levels)-1
+		switch {
+		case top && spec.Parent != nil:
+			return fmt.Errorf("star: %s top level %s must not have parents", d.Name, spec.Name)
+		case !top && len(spec.Parent) != len(spec.Members):
+			return fmt.Errorf("star: %s level %s has %d members but %d parent entries",
+				d.Name, spec.Name, len(spec.Members), len(spec.Parent))
+		}
+		if !top {
+			parentCard := int32(len(d.Levels[l+1].Members))
+			for i, p := range spec.Parent {
+				if p < 0 || p >= parentCard {
+					return fmt.Errorf("star: %s level %s member %d has out-of-range parent %d",
+						d.Name, spec.Name, i, p)
+				}
+			}
+		}
+	}
+	// Precompute children lists so concurrent readers share immutable
+	// structures.
+	d.children = make([][][]int32, len(d.Levels))
+	for l := 1; l < len(d.Levels); l++ {
+		lists := make([][]int32, d.Card(l))
+		for c, p := range d.Levels[l-1].Parent {
+			lists[p] = append(lists[p], int32(c))
+		}
+		d.children[l] = lists
+	}
+	return nil
+}
+
+// NumLevels returns the number of real (non-ALL) levels.
+func (d *Dimension) NumLevels() int { return len(d.Levels) }
+
+// AllLevel returns the virtual fully-aggregated level index.
+func (d *Dimension) AllLevel() int { return len(d.Levels) }
+
+// Card returns the number of members at level l (1 for the ALL level).
+func (d *Dimension) Card(l int) int32 {
+	if l == d.AllLevel() {
+		return 1
+	}
+	return int32(len(d.Levels[l].Members))
+}
+
+// LevelName returns the name of level l ("ALL" for the virtual level).
+func (d *Dimension) LevelName(l int) string {
+	if l == d.AllLevel() {
+		return "ALL"
+	}
+	return d.Levels[l].Name
+}
+
+// LevelIndex returns the index of the named level, or -1.
+func (d *Dimension) LevelIndex(name string) int {
+	for l, spec := range d.Levels {
+		if spec.Name == name {
+			return l
+		}
+	}
+	if name == "ALL" {
+		return d.AllLevel()
+	}
+	return -1
+}
+
+// MemberName returns the name of code at level l.
+func (d *Dimension) MemberName(l int, code int32) string {
+	if l == d.AllLevel() {
+		return "ALL"
+	}
+	if code < 0 || int(code) >= len(d.Levels[l].Members) {
+		return fmt.Sprintf("%s[%d?]", d.Levels[l].Name, code)
+	}
+	return d.Levels[l].Members[code]
+}
+
+// MemberCode looks up a member by name at level l.
+func (d *Dimension) MemberCode(l int, name string) (int32, bool) {
+	if l == d.AllLevel() {
+		if name == "ALL" {
+			return 0, true
+		}
+		return 0, false
+	}
+	c, ok := d.nameToCode[l][name]
+	return c, ok
+}
+
+// FindMember searches all levels for a member name and returns its level
+// and code. Ambiguous names (present at several levels) return an error.
+func (d *Dimension) FindMember(name string) (level int, code int32, err error) {
+	found := -1
+	var foundCode int32
+	for l := range d.Levels {
+		if c, ok := d.nameToCode[l][name]; ok {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("star: member %q is ambiguous in dimension %s", name, d.Name)
+			}
+			found, foundCode = l, c
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("star: no member %q in dimension %s", name, d.Name)
+	}
+	return found, foundCode, nil
+}
+
+// RollUp maps a code at level from to the enclosing code at level to
+// (to >= from). Rolling to the ALL level yields 0.
+func (d *Dimension) RollUp(code int32, from, to int) int32 {
+	if to < from {
+		panic(fmt.Sprintf("star: RollUp %s from %d to finer %d", d.Name, from, to))
+	}
+	if to >= d.AllLevel() {
+		return 0
+	}
+	for l := from; l < to; l++ {
+		code = d.Levels[l].Parent[code]
+	}
+	return code
+}
+
+// Children returns the codes at level l-1 whose parent at level l is
+// code. Children of the ALL level are all members of the top level.
+func (d *Dimension) Children(l int, code int32) []int32 {
+	if l == d.AllLevel() {
+		top := len(d.Levels) - 1
+		out := make([]int32, d.Card(top))
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	if l == 0 {
+		return nil
+	}
+	return d.children[l][code]
+}
+
+// Descend maps a member set at level from down to level to (to <= from),
+// i.e. all descendants. Used to expand predicates onto a view column at a
+// finer level.
+func (d *Dimension) Descend(codes []int32, from, to int) []int32 {
+	if to > from {
+		panic(fmt.Sprintf("star: Descend %s from %d to coarser %d", d.Name, from, to))
+	}
+	cur := codes
+	for l := from; l > to; l-- {
+		var next []int32
+		for _, c := range cur {
+			next = append(next, d.Children(l, c)...)
+		}
+		cur = next
+	}
+	return cur
+}
+
+func (d *Dimension) String() string {
+	return fmt.Sprintf("Dimension(%s, %d levels, base card %d)", d.Name, len(d.Levels), d.Card(0))
+}
+
+// UniformDimension builds a dimension whose level l has cards[l] members
+// with uniform fanout; cards must be divisible top-down. Member names are
+// generated with the paper's convention: the level name repeated-letter
+// prefix plus a 1-based number (dimension "A" with three levels yields
+// top members A1..A3, middle AA1.., base AAA1..).
+func UniformDimension(name string, cards []int) (*Dimension, error) {
+	if len(cards) == 0 {
+		return nil, errors.New("star: UniformDimension needs at least one level")
+	}
+	n := len(cards)
+	levels := make([]LevelSpec, n)
+	for l := 0; l < n; l++ {
+		prefix := ""
+		for i := 0; i < n-l; i++ {
+			prefix += name
+		}
+		levelName := name
+		for i := 0; i < l; i++ {
+			levelName += "'"
+		}
+		members := make([]string, cards[l])
+		for c := range members {
+			members[c] = fmt.Sprintf("%s%d", prefix, c+1)
+		}
+		spec := LevelSpec{Name: levelName, Members: members}
+		if l < n-1 {
+			if cards[l]%cards[l+1] != 0 {
+				return nil, fmt.Errorf("star: %s level %d card %d not divisible by parent card %d",
+					name, l, cards[l], cards[l+1])
+			}
+			fanout := cards[l] / cards[l+1]
+			spec.Parent = make([]int32, cards[l])
+			for c := 0; c < cards[l]; c++ {
+				spec.Parent[c] = int32(c / fanout)
+			}
+		}
+		levels[l] = spec
+	}
+	return NewDimension(name, levels)
+}

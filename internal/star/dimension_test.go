@@ -1,0 +1,184 @@
+package star
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func dimA(t *testing.T) *Dimension {
+	t.Helper()
+	d, err := UniformDimension("A", []int{24, 6, 3})
+	if err != nil {
+		t.Fatalf("UniformDimension: %v", err)
+	}
+	return d
+}
+
+func TestUniformDimensionShape(t *testing.T) {
+	d := dimA(t)
+	if d.NumLevels() != 3 {
+		t.Fatalf("NumLevels = %d", d.NumLevels())
+	}
+	if d.Card(0) != 24 || d.Card(1) != 6 || d.Card(2) != 3 {
+		t.Fatalf("cards = %d %d %d", d.Card(0), d.Card(1), d.Card(2))
+	}
+	if d.Card(d.AllLevel()) != 1 {
+		t.Fatalf("ALL card = %d", d.Card(d.AllLevel()))
+	}
+	if d.LevelName(0) != "A" || d.LevelName(1) != "A'" || d.LevelName(2) != "A''" {
+		t.Fatalf("level names = %q %q %q", d.LevelName(0), d.LevelName(1), d.LevelName(2))
+	}
+	if d.LevelName(d.AllLevel()) != "ALL" {
+		t.Fatalf("ALL level name = %q", d.LevelName(d.AllLevel()))
+	}
+}
+
+func TestUniformDimensionNaming(t *testing.T) {
+	d := dimA(t)
+	if got := d.MemberName(2, 0); got != "A1" {
+		t.Fatalf("top member 0 = %q, want A1", got)
+	}
+	if got := d.MemberName(1, 4); got != "AA5" {
+		t.Fatalf("mid member 4 = %q, want AA5", got)
+	}
+	if got := d.MemberName(0, 23); got != "AAA24" {
+		t.Fatalf("base member 23 = %q, want AAA24", got)
+	}
+	if c, ok := d.MemberCode(1, "AA5"); !ok || c != 4 {
+		t.Fatalf("MemberCode(AA5) = %d %v", c, ok)
+	}
+	if _, ok := d.MemberCode(1, "nope"); ok {
+		t.Fatal("MemberCode found a missing member")
+	}
+}
+
+func TestRollUpAndChildrenAgree(t *testing.T) {
+	d := dimA(t)
+	// Every base member must appear among its level-1 parent's children.
+	for c := int32(0); c < d.Card(0); c++ {
+		p := d.RollUp(c, 0, 1)
+		found := false
+		for _, ch := range d.Children(1, p) {
+			if ch == c {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("base member %d missing from children of parent %d", c, p)
+		}
+	}
+	// RollUp composes: 0->2 equals 0->1->2.
+	for c := int32(0); c < d.Card(0); c++ {
+		if d.RollUp(c, 0, 2) != d.RollUp(d.RollUp(c, 0, 1), 1, 2) {
+			t.Fatalf("RollUp does not compose for %d", c)
+		}
+	}
+	// ALL level.
+	if d.RollUp(17, 0, d.AllLevel()) != 0 {
+		t.Fatal("RollUp to ALL != 0")
+	}
+}
+
+func TestDescendInvertsRollUp(t *testing.T) {
+	d := dimA(t)
+	// Descendants of a top member, rolled back up, give that member.
+	for top := int32(0); top < d.Card(2); top++ {
+		desc := d.Descend([]int32{top}, 2, 0)
+		if len(desc) != 8 { // 24/3 base members per top member
+			t.Fatalf("top %d has %d base descendants, want 8", top, len(desc))
+		}
+		for _, c := range desc {
+			if d.RollUp(c, 0, 2) != top {
+				t.Fatalf("descendant %d of %d rolls to %d", c, top, d.RollUp(c, 0, 2))
+			}
+		}
+	}
+	// Descend from ALL covers everything at the target level.
+	all := d.Descend([]int32{0}, d.AllLevel(), 1)
+	if len(all) != 6 {
+		t.Fatalf("ALL descends to %d mid members, want 6", len(all))
+	}
+}
+
+func TestChildrenOfAll(t *testing.T) {
+	d := dimA(t)
+	ch := d.Children(d.AllLevel(), 0)
+	if len(ch) != 3 {
+		t.Fatalf("children of ALL = %d, want 3 (top members)", len(ch))
+	}
+}
+
+func TestFindMember(t *testing.T) {
+	d := dimA(t)
+	l, c, err := d.FindMember("AA3")
+	if err != nil || l != 1 || c != 2 {
+		t.Fatalf("FindMember(AA3) = %d %d %v", l, c, err)
+	}
+	if _, _, err := d.FindMember("XYZ"); err == nil {
+		t.Fatal("FindMember found a missing member")
+	}
+}
+
+func TestFindMemberAmbiguous(t *testing.T) {
+	d, err := NewDimension("X", []LevelSpec{
+		{Name: "base", Members: []string{"dup", "u"}, Parent: []int32{0, 0}},
+		{Name: "top", Members: []string{"dup"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.FindMember("dup"); err == nil {
+		t.Fatal("ambiguous member lookup succeeded")
+	}
+}
+
+func TestNewDimensionValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		levels []LevelSpec
+	}{
+		{"no levels", nil},
+		{"empty level", []LevelSpec{{Name: "l", Members: nil}}},
+		{"top with parents", []LevelSpec{{Name: "l", Members: []string{"a"}, Parent: []int32{0}}}},
+		{"parent arity", []LevelSpec{
+			{Name: "b", Members: []string{"x", "y"}, Parent: []int32{0}},
+			{Name: "t", Members: []string{"p"}},
+		}},
+		{"parent range", []LevelSpec{
+			{Name: "b", Members: []string{"x"}, Parent: []int32{5}},
+			{Name: "t", Members: []string{"p"}},
+		}},
+		{"dup members", []LevelSpec{{Name: "l", Members: []string{"a", "a"}}}},
+	}
+	for _, c := range cases {
+		if _, err := NewDimension("X", c.levels); err == nil {
+			t.Errorf("NewDimension accepted invalid spec %q", c.name)
+		}
+	}
+	if _, err := NewDimension("", []LevelSpec{{Name: "l", Members: []string{"a"}}}); err == nil {
+		t.Error("NewDimension accepted empty name")
+	}
+}
+
+func TestUniformDimensionDivisibility(t *testing.T) {
+	if _, err := UniformDimension("A", []int{10, 3}); err == nil {
+		t.Fatal("UniformDimension accepted non-divisible cards")
+	}
+}
+
+func TestRollUpMonotoneQuick(t *testing.T) {
+	d := dimA(t)
+	// Property: members with the same parent at level l also share
+	// ancestors at every coarser level.
+	f := func(a, b uint8) bool {
+		x := int32(a) % d.Card(0)
+		y := int32(b) % d.Card(0)
+		if d.RollUp(x, 0, 1) == d.RollUp(y, 0, 1) {
+			return d.RollUp(x, 0, 2) == d.RollUp(y, 0, 2)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package star
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mdxopt/internal/bitmap"
+	"mdxopt/internal/table"
+)
+
+// View maintenance.
+//
+// The paper's setting assumes precomputed group-bys kept in step with
+// the fact table ("techniques for effectively creating and maintaining
+// materialized group-bys"). This file implements the maintenance half:
+//
+//   - New facts append to the base table; materialized views then lag
+//     behind (Database.Fresh reports this) and the optimizer refuses to
+//     use stale views until refreshed.
+//   - Refresh folds the base-table delta into each view *by appending
+//     delta groups*. A refreshed view may contain several rows for one
+//     group key; every operator in internal/exec aggregates per tuple,
+//     so results remain exact. Bitmap join indexes are rebuilt (their
+//     bitmaps are positional and fixed-length).
+//   - Compact fully re-aggregates a view, merging duplicate group rows.
+
+// RefreshedRows returns how many base-table rows have been folded into
+// the view.
+func (v *View) RefreshedRows() int64 { return v.refreshedRows }
+
+// Fresh reports whether the view reflects every row of the base table.
+// The base view is always fresh.
+func (db *Database) Fresh(v *View) bool {
+	if v == db.Base() {
+		return true
+	}
+	return v.refreshedRows == db.Base().Rows()
+}
+
+// StaleViews lists materialized views lagging behind the base table.
+func (db *Database) StaleViews() []*View {
+	var out []*View
+	for _, v := range db.Views[1:] {
+		if !db.Fresh(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Refresh folds base-table rows appended since each view's last refresh
+// into that view, rebuilds the affected bitmap join indexes, and
+// recomputes the base-table statistics (so selectivity estimates track
+// the loaded data). Views that are already fresh are untouched.
+func (db *Database) Refresh() error {
+	baseRows := db.Base().Rows()
+	for _, v := range db.Views[1:] {
+		if v.refreshedRows == baseRows {
+			continue
+		}
+		if err := db.refreshView(v, baseRows); err != nil {
+			return fmt.Errorf("star: refresh %s: %w", v.Name, err)
+		}
+	}
+	return db.RefreshStats()
+}
+
+func (db *Database) refreshView(v *View, baseRows int64) error {
+	from := v.refreshedRows
+	agg, err := db.aggregateBase(v.Levels, from)
+	if err != nil {
+		return err
+	}
+	if err := appendGroups(v.Heap, db.Schema.NumDims(), agg, v.MultiAgg(), false); err != nil {
+		return err
+	}
+	v.refreshedRows = baseRows
+	return db.rebuildIndexes(v)
+}
+
+// aggregateBase aggregates base rows with row number >= from up to the
+// given level vector, producing full (sum, count, min, max)
+// accumulators.
+func (db *Database) aggregateBase(levels []int, from int64) (map[string][4]float64, error) {
+	nd := db.Schema.NumDims()
+	agg := make(map[string][4]float64)
+	keyBuf := make([]byte, 4*nd)
+	base := db.Base()
+	err := base.Heap.Scan(func(row int64, keys []int32, measures []float64) error {
+		if row < from {
+			return nil
+		}
+		for i := 0; i < nd; i++ {
+			code := db.Schema.Dims[i].RollUp(keys[i], 0, levels[i])
+			binary.LittleEndian.PutUint32(keyBuf[i*4:], uint32(code))
+		}
+		mergeInto(agg, string(keyBuf), TupleAggregates(base, measures))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// appendGroups appends the aggregate map's groups to heap. Groups are
+// sorted for determinism; when shuffle is set they are then permuted
+// with a seeded shuffle, reproducing the unclustered storage order of a
+// freshly materialized view (see materialize). Sum-only heaps receive
+// the sum component; multi-aggregate heaps receive all four.
+func appendGroups(heap *table.HeapFile, nd int, agg map[string][4]float64, multi, shuffle bool) error {
+	sorted := make([]string, 0, len(agg))
+	for k := range agg {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	if shuffle {
+		rng := rand.New(rand.NewSource(int64(len(sorted))*2654435761 + 1998))
+		rng.Shuffle(len(sorted), func(i, j int) { sorted[i], sorted[j] = sorted[j], sorted[i] })
+	}
+	app := heap.NewAppender()
+	outKeys := make([]int32, nd)
+	for _, k := range sorted {
+		for i := 0; i < nd; i++ {
+			outKeys[i] = int32(binary.LittleEndian.Uint32([]byte(k)[i*4:]))
+		}
+		vals := agg[k]
+		var measures []float64
+		if multi {
+			measures = vals[:]
+		} else {
+			measures = vals[:1]
+		}
+		if err := app.Append(outKeys, measures); err != nil {
+			return err
+		}
+	}
+	return app.Close()
+}
+
+// Compact fully re-aggregates a materialized view, merging the duplicate
+// group rows left behind by Refresh, rewrites the view's heap file, and
+// rebuilds its indexes.
+func (db *Database) Compact(v *View) error {
+	if v == db.Base() {
+		return fmt.Errorf("star: cannot compact the base table")
+	}
+	nd := db.Schema.NumDims()
+	agg := make(map[string][4]float64)
+	keyBuf := make([]byte, 4*nd)
+	err := v.Heap.Scan(func(row int64, keys []int32, measures []float64) error {
+		for i := 0; i < nd; i++ {
+			binary.LittleEndian.PutUint32(keyBuf[i*4:], uint32(keys[i]))
+		}
+		mergeInto(agg, string(keyBuf), TupleAggregates(v, measures))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Build the replacement heap under a temporary name, then swap it
+	// over the old file.
+	tmpPath := filepath.Join(db.Dir, v.file+".compact")
+	os.Remove(tmpPath)
+	tmp, err := table.Create(db.Pool, tmpPath, v.Heap.Schema())
+	if err != nil {
+		return err
+	}
+	if err := appendGroups(tmp, nd, agg, v.MultiAgg(), true); err != nil {
+		return err
+	}
+	if err := db.Pool.CloseFile(tmp.File()); err != nil {
+		return err
+	}
+	if err := db.Pool.CloseFile(v.Heap.File()); err != nil {
+		return err
+	}
+	livePath := filepath.Join(db.Dir, v.file)
+	if err := os.Rename(tmpPath, livePath); err != nil {
+		return err
+	}
+	reopened, err := table.Open(db.Pool, livePath, v.Heap.Schema())
+	if err != nil {
+		return err
+	}
+	v.Heap = reopened
+	return db.rebuildIndexes(v)
+}
+
+// DropIndex removes dimension dim's bitmap join index from v, deleting
+// its file.
+func (db *Database) DropIndex(v *View, dim int) error {
+	ix := v.Indexes[dim]
+	if ix == nil {
+		return fmt.Errorf("star: %s has no index on dimension %d", v.Name, dim)
+	}
+	file := v.indexFiles[dim]
+	if err := db.Pool.CloseFile(ix.File()); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(db.Dir, file)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	delete(v.Indexes, dim)
+	delete(v.indexFiles, dim)
+	return nil
+}
+
+// rebuildIndexes drops and rebuilds every bitmap join index of v,
+// preserving each index's storage format.
+func (db *Database) rebuildIndexes(v *View) error {
+	dims := make([]int, 0, len(v.Indexes))
+	for dim := range v.Indexes {
+		dims = append(dims, dim)
+	}
+	sort.Ints(dims)
+	for _, dim := range dims {
+		_, compressed := v.Indexes[dim].(*bitmap.CIndex)
+		if err := db.DropIndex(v, dim); err != nil {
+			return err
+		}
+		if err := db.BuildIndexFormat(v, dim, compressed); err != nil {
+			return err
+		}
+	}
+	return nil
+}

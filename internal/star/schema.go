@@ -1,0 +1,104 @@
+package star
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"mdxopt/internal/table"
+)
+
+// Schema is the dimensional schema of a star database: an ordered set of
+// dimensions and one measure.
+type Schema struct {
+	Dims    []*Dimension
+	Measure string
+}
+
+// NewSchema validates and builds a schema.
+func NewSchema(dims []*Dimension, measure string) (*Schema, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("star: schema needs at least one dimension")
+	}
+	if measure == "" {
+		return nil, errors.New("star: schema needs a measure name")
+	}
+	seen := map[string]bool{}
+	for _, d := range dims {
+		if seen[d.Name] {
+			return nil, fmt.Errorf("star: duplicate dimension %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	return &Schema{Dims: dims, Measure: measure}, nil
+}
+
+// NumDims returns the number of dimensions.
+func (s *Schema) NumDims() int { return len(s.Dims) }
+
+// DimIndex returns the position of the named dimension, or -1.
+func (s *Schema) DimIndex(name string) int {
+	for i, d := range s.Dims {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ValidLevels reports whether levels is a valid group-by vector: one
+// entry per dimension, each within [0, AllLevel].
+func (s *Schema) ValidLevels(levels []int) error {
+	if len(levels) != len(s.Dims) {
+		return fmt.Errorf("star: group-by has %d levels, schema has %d dimensions", len(levels), len(s.Dims))
+	}
+	for i, l := range levels {
+		if l < 0 || l > s.Dims[i].AllLevel() {
+			return fmt.Errorf("star: dimension %s level %d out of range [0,%d]",
+				s.Dims[i].Name, l, s.Dims[i].AllLevel())
+		}
+	}
+	return nil
+}
+
+// GroupByName renders a level vector with the paper's notation, e.g.
+// levels (1,2,2,0) over dimensions A,B,C,D is "A'B”C”D". Dimensions
+// aggregated out appear as "(A:ALL)".
+func (s *Schema) GroupByName(levels []int) string {
+	var b strings.Builder
+	for i, l := range levels {
+		d := s.Dims[i]
+		if l == d.AllLevel() {
+			fmt.Fprintf(&b, "(%s:ALL)", d.Name)
+		} else {
+			b.WriteString(d.LevelName(l))
+		}
+	}
+	return b.String()
+}
+
+// ViewSchema returns the heap-file schema for a view of this star schema:
+// one int32 key column per dimension (named after the dimension) plus the
+// measure.
+func (s *Schema) ViewSchema() table.Schema {
+	keys := make([]string, len(s.Dims))
+	for i, d := range s.Dims {
+		keys[i] = d.Name
+	}
+	return table.NewSchema(keys, []string{s.Measure})
+}
+
+// DimTableSchema returns the heap-file schema of a dimension table: one
+// int32 column per level, base first.
+func (s *Schema) DimTableSchema(dim int) table.Schema {
+	d := s.Dims[dim]
+	keys := make([]string, d.NumLevels())
+	for l := range keys {
+		keys[l] = d.LevelName(l)
+	}
+	return table.NewSchema(keys, nil)
+}
+
+// RowWidthBytes returns the width of one view tuple; the paper's tuples
+// are 20 bytes (four 4-byte dimension codes + one measure).
+func (s *Schema) RowWidthBytes() int { return s.ViewSchema().TupleSize() }

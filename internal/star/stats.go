@@ -1,0 +1,95 @@
+package star
+
+import "fmt"
+
+// Stats holds per-dimension member frequencies measured on the base fact
+// table: Counts[dim][level][code] is the number of base rows whose
+// dimension-dim code rolls up to code at the given level.
+//
+// The optimizer's selectivity estimates default to the uniform
+// assumption (|members| / card); with Stats available it can use the
+// real frequencies instead, which matters under skew (see the
+// statistics ablation).
+type Stats struct {
+	Counts [][][]int64
+	Rows   int64
+}
+
+// ComputeStats scans the base fact table once and builds frequency
+// counts for every dimension at every level.
+func (db *Database) ComputeStats() (*Stats, error) {
+	schema := db.Schema
+	st := &Stats{Counts: make([][][]int64, schema.NumDims())}
+	for i, d := range schema.Dims {
+		st.Counts[i] = make([][]int64, d.NumLevels())
+		for l := 0; l < d.NumLevels(); l++ {
+			st.Counts[i][l] = make([]int64, d.Card(l))
+		}
+	}
+	err := db.Base().Heap.Scan(func(row int64, keys []int32, measures []float64) error {
+		st.Rows++
+		for i, d := range schema.Dims {
+			code := keys[i]
+			for l := 0; l < d.NumLevels(); l++ {
+				st.Counts[i][l][code]++
+				if l+1 < d.NumLevels() {
+					code = d.Levels[l].Parent[code]
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// statsFromBase rebuilds the per-level counts from persisted base-level
+// counts (upper levels are derivable through the hierarchy).
+func statsFromBase(schema *Schema, base [][]int64, rows int64) (*Stats, error) {
+	if len(base) != schema.NumDims() {
+		return nil, fmt.Errorf("star: stats cover %d dimensions, schema has %d", len(base), schema.NumDims())
+	}
+	st := &Stats{Counts: make([][][]int64, schema.NumDims()), Rows: rows}
+	for i, d := range schema.Dims {
+		if int32(len(base[i])) != d.Card(0) {
+			return nil, fmt.Errorf("star: stats for %s cover %d members, level has %d",
+				d.Name, len(base[i]), d.Card(0))
+		}
+		st.Counts[i] = make([][]int64, d.NumLevels())
+		st.Counts[i][0] = base[i]
+		for l := 1; l < d.NumLevels(); l++ {
+			st.Counts[i][l] = make([]int64, d.Card(l))
+			for c, n := range st.Counts[i][l-1] {
+				st.Counts[i][l][d.Levels[l-1].Parent[c]] += n
+			}
+		}
+	}
+	return st, nil
+}
+
+// Frac returns the fraction of base rows whose dimension-dim member at
+// the given level falls in members. A nil member set is unrestricted
+// (fraction 1); the ALL level is always 1.
+func (s *Stats) Frac(d *Dimension, dim, level int, members []int32) float64 {
+	if s == nil || members == nil || s.Rows == 0 || level >= d.NumLevels() {
+		return 1
+	}
+	var n int64
+	for _, m := range members {
+		n += s.Counts[dim][level][m]
+	}
+	return float64(n) / float64(s.Rows)
+}
+
+// RefreshStats recomputes and installs base-table statistics on the
+// database; Save persists them.
+func (db *Database) RefreshStats() error {
+	st, err := db.ComputeStats()
+	if err != nil {
+		return err
+	}
+	db.Stats = st
+	return nil
+}

@@ -1,0 +1,264 @@
+package star
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestComputeStatsCountsEveryRow(t *testing.T) {
+	db := buildDB(t, 3000)
+	st, err := db.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != 3000 {
+		t.Fatalf("Rows = %d", st.Rows)
+	}
+	for i, d := range db.Schema.Dims {
+		for l := 0; l < d.NumLevels(); l++ {
+			var sum int64
+			for _, n := range st.Counts[i][l] {
+				sum += n
+			}
+			if sum != 3000 {
+				t.Fatalf("dim %d level %d counts sum to %d", i, l, sum)
+			}
+		}
+		// Rollup consistency: level-l counts aggregate level-(l-1).
+		for l := 1; l < d.NumLevels(); l++ {
+			derived := make([]int64, d.Card(l))
+			for c, n := range st.Counts[i][l-1] {
+				derived[d.Levels[l-1].Parent[c]] += n
+			}
+			for c := range derived {
+				if derived[c] != st.Counts[i][l][c] {
+					t.Fatalf("dim %d level %d code %d: derived %d, stored %d",
+						i, l, c, derived[c], st.Counts[i][l][c])
+				}
+			}
+		}
+	}
+}
+
+func TestStatsFrac(t *testing.T) {
+	db := buildDB(t, 1000)
+	if err := db.RefreshStats(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats
+	d := db.Schema.Dims[0]
+
+	// Full member set at the top level = 1.
+	if got := st.Frac(d, 0, 2, []int32{0, 1, 2}); got != 1 {
+		t.Fatalf("full-set frac = %v", got)
+	}
+	// Nil = unrestricted.
+	if got := st.Frac(d, 0, 1, nil); got != 1 {
+		t.Fatalf("nil frac = %v", got)
+	}
+	// Single member matches its count.
+	want := float64(st.Counts[0][2][1]) / 1000
+	if got := st.Frac(d, 0, 2, []int32{1}); got != want {
+		t.Fatalf("single frac = %v, want %v", got, want)
+	}
+	// Nil stats behave as uniform-unknown (fraction 1).
+	var none *Stats
+	if got := none.Frac(d, 0, 2, []int32{1}); got != 1 {
+		t.Fatalf("nil-stats frac = %v", got)
+	}
+}
+
+func TestStatsPersistAcrossReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	schema := smallSchema(t)
+	db, err := Create(dir, schema, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendFacts(t, db, 700, 1)
+	if err := db.RefreshStats(); err != nil {
+		t.Fatal(err)
+	}
+	wantFrac := db.Stats.Frac(schema.Dims[1], 1, 1, []int32{2})
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Stats == nil {
+		t.Fatal("stats lost across reopen")
+	}
+	if got := db2.Stats.Frac(db2.Schema.Dims[1], 1, 1, []int32{2}); got != wantFrac {
+		t.Fatalf("frac after reopen = %v, want %v", got, wantFrac)
+	}
+	if db2.Stats.Rows != 700 {
+		t.Fatalf("stats rows = %d", db2.Stats.Rows)
+	}
+}
+
+func TestMaterializeMultiLayout(t *testing.T) {
+	db := buildDB(t, 3000)
+	v, err := db.MaterializeMulti([]int{1, 1, 0})
+	if err != nil {
+		t.Fatalf("MaterializeMulti: %v", err)
+	}
+	if !v.MultiAgg() {
+		t.Fatal("view not multi-aggregate")
+	}
+	if v.Heap.Schema().NumMeasures() != 4 {
+		t.Fatalf("measures = %d", v.Heap.Schema().NumMeasures())
+	}
+
+	// Oracle per group from the base table.
+	type st struct{ sum, count, min, max float64 }
+	want := map[[3]int32]*st{}
+	err = db.Base().Heap.Scan(func(row int64, keys []int32, ms []float64) error {
+		k := [3]int32{
+			db.Schema.Dims[0].RollUp(keys[0], 0, 1),
+			db.Schema.Dims[1].RollUp(keys[1], 0, 1),
+			keys[2],
+		}
+		m := ms[0]
+		w, ok := want[k]
+		if !ok {
+			w = &st{min: m, max: m}
+			want[k] = w
+		}
+		w.sum += m
+		w.count++
+		if m < w.min {
+			w.min = m
+		}
+		if m > w.max {
+			w.max = m
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	err = v.Heap.Scan(func(row int64, keys []int32, ms []float64) error {
+		rows++
+		k := [3]int32{keys[0], keys[1], keys[2]}
+		w := want[k]
+		if w == nil {
+			t.Fatalf("unexpected group %v", k)
+		}
+		if ms[AggSum] != w.sum || ms[AggCount] != w.count || ms[AggMin] != w.min || ms[AggMax] != w.max {
+			t.Fatalf("group %v = %v, want %+v", k, ms, w)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != len(want) {
+		t.Fatalf("rows = %d, want %d", rows, len(want))
+	}
+}
+
+func TestMultiViewMaintenance(t *testing.T) {
+	db := buildDB(t, 1500)
+	v, err := db.MaterializeMulti([]int{2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendFacts(t, db, 400, 13)
+	if err := db.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(v); err != nil {
+		t.Fatal(err)
+	}
+	if !v.MultiAgg() {
+		t.Fatal("layout lost across refresh/compact")
+	}
+	// Spot-check: per-group counts sum to total rows.
+	var counted float64
+	err = v.Heap.Scan(func(row int64, keys []int32, ms []float64) error {
+		counted += ms[AggCount]
+		// min <= max always
+		if ms[AggMin] > ms[AggMax] {
+			t.Fatalf("group min %v > max %v", ms[AggMin], ms[AggMax])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counted != 1900 {
+		t.Fatalf("counts sum to %v, want 1900", counted)
+	}
+}
+
+func TestMaterializeMultiSkipsSumOnlySource(t *testing.T) {
+	db := buildDB(t, 800)
+	if _, err := db.Materialize([]int{1, 1, 0}); err != nil { // sum-only
+		t.Fatal(err)
+	}
+	// A multi view derivable from the sum-only view must still be
+	// computed from the base table (the only full-information source).
+	src := db.cheapestSource([]int{2, 2, 0}, true)
+	if src != db.Base() {
+		t.Fatalf("multi source = %s, want base", src.Name)
+	}
+	v, err := db.MaterializeMulti([]int{2, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// And a subsequent multi view CAN derive from the first multi view.
+	src2 := db.cheapestSource([]int{2, 2, 1}, true)
+	if src2 != v {
+		t.Fatalf("second multi source = %s, want %s", src2.Name, v.Name)
+	}
+}
+
+func TestMultiViewPersistsAcrossReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	schema := smallSchema(t)
+	db, err := Create(dir, schema, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendFacts(t, db, 300, 2)
+	if _, err := db.MaterializeMulti([]int{1, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	v := db2.Views[1]
+	if !v.MultiAgg() {
+		t.Fatal("multi layout lost across reopen")
+	}
+	if v.Heap.Schema().NumMeasures() != 4 {
+		t.Fatal("measure columns lost")
+	}
+}
+
+func TestRefreshUpdatesStats(t *testing.T) {
+	db := buildDB(t, 500)
+	if err := db.Refresh(); err != nil { // no views: stats only
+		t.Fatal(err)
+	}
+	if db.Stats == nil || db.Stats.Rows != 500 {
+		t.Fatalf("stats after first refresh = %+v", db.Stats)
+	}
+	appendFacts(t, db, 250, 4)
+	if err := db.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats.Rows != 750 {
+		t.Fatalf("stats rows after load+refresh = %d, want 750", db.Stats.Rows)
+	}
+}

@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Fault is an injectable fault hook. When non-nil it is consulted before
+// every physical read or write; a non-nil return aborts the operation with
+// that error. Used by tests to exercise error paths.
+type Fault func(op string, page uint32) error
+
+// DiskManager stores fixed-size pages in a single operating-system file.
+// Page numbers are dense, starting at zero. DiskManager is safe for
+// concurrent use.
+type DiskManager struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	pages  uint32
+	closed bool
+	fault  Fault
+}
+
+// OpenDisk opens (creating if necessary) the page file at path.
+func OpenDisk(path string) (*DiskManager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+	}
+	if info.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s: size %d is not a multiple of the page size", path, info.Size())
+	}
+	return &DiskManager{f: f, path: path, pages: uint32(info.Size() / PageSize)}, nil
+}
+
+// SetFault installs (or clears, with nil) a fault-injection hook.
+func (d *DiskManager) SetFault(fault Fault) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fault = fault
+}
+
+// Path returns the file path backing this manager.
+func (d *DiskManager) Path() string { return d.path }
+
+// NumPages returns the number of allocated pages.
+func (d *DiskManager) NumPages() uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pages
+}
+
+// Allocate extends the file by one zeroed page and returns its number.
+func (d *DiskManager) Allocate() (uint32, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	page := d.pages
+	if d.fault != nil {
+		if err := d.fault("alloc", page); err != nil {
+			return 0, err
+		}
+	}
+	var zero [PageSize]byte
+	if _, err := d.f.WriteAt(zero[:], int64(page)*PageSize); err != nil {
+		return 0, fmt.Errorf("storage: extend %s: %w", d.path, err)
+	}
+	d.pages++
+	return page, nil
+}
+
+// ReadPage reads page into buf, which must be PageSize bytes.
+func (d *DiskManager) ReadPage(page uint32, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("storage: read buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if page >= d.pages {
+		return fmt.Errorf("%w: page %d of %d in %s", ErrPageOutOfRange, page, d.pages, d.path)
+	}
+	if d.fault != nil {
+		if err := d.fault("read", page); err != nil {
+			return err
+		}
+	}
+	if _, err := d.f.ReadAt(buf, int64(page)*PageSize); err != nil {
+		return fmt.Errorf("storage: read %s page %d: %w", d.path, page, err)
+	}
+	return nil
+}
+
+// WritePage writes buf (PageSize bytes) to page, which must already be
+// allocated.
+func (d *DiskManager) WritePage(page uint32, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("storage: write buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if page >= d.pages {
+		return fmt.Errorf("%w: page %d of %d in %s", ErrPageOutOfRange, page, d.pages, d.path)
+	}
+	if d.fault != nil {
+		if err := d.fault("write", page); err != nil {
+			return err
+		}
+	}
+	if _, err := d.f.WriteAt(buf, int64(page)*PageSize); err != nil {
+		return fmt.Errorf("storage: write %s page %d: %w", d.path, page, err)
+	}
+	return nil
+}
+
+// Sync flushes the file to stable storage.
+func (d *DiskManager) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.f.Sync()
+}
+
+// Close closes the underlying file. Further operations return ErrClosed.
+func (d *DiskManager) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.f.Close()
+}

@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newDisk(t *testing.T) *DiskManager {
+	t.Helper()
+	d, err := OpenDisk(filepath.Join(t.TempDir(), "t.pages"))
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestDiskAllocateNumbersAreDense(t *testing.T) {
+	d := newDisk(t)
+	for want := uint32(0); want < 5; want++ {
+		got, err := d.Allocate()
+		if err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		if got != want {
+			t.Fatalf("Allocate = %d, want %d", got, want)
+		}
+	}
+	if d.NumPages() != 5 {
+		t.Fatalf("NumPages = %d, want 5", d.NumPages())
+	}
+}
+
+func TestDiskReadWriteRoundTrip(t *testing.T) {
+	d := newDisk(t)
+	page, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	out := make([]byte, PageSize)
+	for i := range out {
+		out[i] = byte(i * 7)
+	}
+	if err := d.WritePage(page, out); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	in := make([]byte, PageSize)
+	if err := d.ReadPage(page, in); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("byte %d = %d, want %d", i, in[i], out[i])
+		}
+	}
+}
+
+func TestDiskNewPageIsZeroed(t *testing.T) {
+	d := newDisk(t)
+	page, _ := d.Allocate()
+	buf := make([]byte, PageSize)
+	buf[0] = 0xFF
+	if err := d.ReadPage(page, buf); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestDiskOutOfRange(t *testing.T) {
+	d := newDisk(t)
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(0, buf); !errors.Is(err, ErrPageOutOfRange) {
+		t.Fatalf("ReadPage(0) err = %v, want ErrPageOutOfRange", err)
+	}
+	d.Allocate()
+	if err := d.WritePage(9, buf); !errors.Is(err, ErrPageOutOfRange) {
+		t.Fatalf("WritePage(9) err = %v, want ErrPageOutOfRange", err)
+	}
+}
+
+func TestDiskWrongBufferSize(t *testing.T) {
+	d := newDisk(t)
+	d.Allocate()
+	if err := d.ReadPage(0, make([]byte, 10)); err == nil {
+		t.Fatal("ReadPage with short buffer succeeded")
+	}
+	if err := d.WritePage(0, make([]byte, PageSize+1)); err == nil {
+		t.Fatal("WritePage with long buffer succeeded")
+	}
+}
+
+func TestDiskPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.pages")
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	page, _ := d.Allocate()
+	buf := make([]byte, PageSize)
+	copy(buf, "hello")
+	if err := d.WritePage(page, buf); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	d2, err := OpenDisk(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if d2.NumPages() != 1 {
+		t.Fatalf("NumPages after reopen = %d, want 1", d2.NumPages())
+	}
+	got := make([]byte, PageSize)
+	if err := d2.ReadPage(0, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if string(got[:5]) != "hello" {
+		t.Fatalf("page content = %q, want hello", got[:5])
+	}
+}
+
+func TestDiskRejectsCorruptSize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.pages")
+	if err := os.WriteFile(path, make([]byte, PageSize+13), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(path); err == nil {
+		t.Fatal("OpenDisk accepted a file whose size is not page-aligned")
+	}
+}
+
+func TestDiskClosedErrors(t *testing.T) {
+	d := newDisk(t)
+	d.Allocate()
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(0, buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadPage after close = %v, want ErrClosed", err)
+	}
+	if _, err := d.Allocate(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Allocate after close = %v, want ErrClosed", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestDiskFaultInjection(t *testing.T) {
+	d := newDisk(t)
+	d.Allocate()
+	boom := errors.New("boom")
+	d.SetFault(func(op string, page uint32) error {
+		if op == "read" && page == 0 {
+			return boom
+		}
+		return nil
+	})
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(0, buf); !errors.Is(err, boom) {
+		t.Fatalf("ReadPage err = %v, want injected fault", err)
+	}
+	d.SetFault(nil)
+	if err := d.ReadPage(0, buf); err != nil {
+		t.Fatalf("ReadPage after clearing fault: %v", err)
+	}
+}

@@ -1,0 +1,353 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// File is a page file registered with a Pool. All page access goes through
+// Pool.Fetch / Pool.NewPage so that caching and I/O accounting apply.
+type File struct {
+	id   FileID
+	disk *DiskManager
+	pool *Pool
+}
+
+// ID returns the pool-local identifier of the file.
+func (f *File) ID() FileID { return f.id }
+
+// NumPages returns the number of allocated pages in the file.
+func (f *File) NumPages() uint32 { return f.disk.NumPages() }
+
+// Path returns the path of the backing file.
+func (f *File) Path() string { return f.disk.Path() }
+
+// Disk exposes the underlying DiskManager (used by tests for fault
+// injection).
+func (f *File) Disk() *DiskManager { return f.disk }
+
+// Page is a pinned page in the buffer pool. Data must not be retained
+// after Unpin.
+type Page struct {
+	key   PageKey
+	frame *frame
+	pool  *Pool
+}
+
+// Key returns the identity of the pinned page.
+func (p *Page) Key() PageKey { return p.key }
+
+// Data returns the page's PageSize-byte buffer.
+func (p *Page) Data() []byte { return p.frame.buf }
+
+// MarkDirty records that the page buffer was modified and must be written
+// back before its frame is recycled.
+func (p *Page) MarkDirty() {
+	p.pool.mu.Lock()
+	p.frame.dirty = true
+	p.pool.mu.Unlock()
+}
+
+// Unpin releases the caller's pin. The page may be evicted afterwards.
+func (p *Page) Unpin() {
+	p.pool.mu.Lock()
+	defer p.pool.mu.Unlock()
+	if p.frame.pins > 0 {
+		p.frame.pins--
+	}
+	p.frame.referenced = true
+}
+
+type frame struct {
+	key        PageKey
+	buf        []byte
+	pins       int
+	dirty      bool
+	referenced bool // clock hand second-chance bit
+	valid      bool
+}
+
+// Pool is a buffer pool of fixed-size frames shared by any number of page
+// files, with clock (second-chance) replacement. It tracks sequential
+// versus random reads per file: a read of page n is sequential when the
+// previous physical read of the same file was page n-1 (or this is the
+// first read of the file after a reset).
+type Pool struct {
+	mu       sync.Mutex
+	frames   []frame
+	dir      map[PageKey]int // page -> frame index
+	files    map[FileID]*DiskManager
+	byPath   map[string]*File
+	nextID   FileID
+	hand     int
+	lastRead map[FileID]int64 // last physically read page per file, -1 = none
+	stats    Stats
+}
+
+// NewPool creates a pool with the given number of frames. frames must be
+// at least 1.
+func NewPool(frames int) *Pool {
+	if frames < 1 {
+		panic("storage: pool needs at least one frame")
+	}
+	p := &Pool{
+		frames:   make([]frame, frames),
+		dir:      make(map[PageKey]int),
+		files:    make(map[FileID]*DiskManager),
+		byPath:   make(map[string]*File),
+		lastRead: make(map[FileID]int64),
+	}
+	for i := range p.frames {
+		p.frames[i].buf = make([]byte, PageSize)
+	}
+	return p
+}
+
+// NumFrames returns the pool capacity in pages.
+func (p *Pool) NumFrames() int { return len(p.frames) }
+
+// OpenFile opens a page file at path and registers it with the pool.
+// Opening a path that is already registered returns the existing File, so
+// a page is never cached under two identities.
+func (p *Pool) OpenFile(path string) (*File, error) {
+	p.mu.Lock()
+	if f, ok := p.byPath[path]; ok {
+		p.mu.Unlock()
+		return f, nil
+	}
+	p.mu.Unlock()
+	disk, err := OpenDisk(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.register(disk), nil
+}
+
+func (p *Pool) register(disk *DiskManager) *File {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.byPath[disk.Path()]; ok {
+		// Lost a race with another opener of the same path.
+		disk.Close()
+		return f
+	}
+	id := p.nextID
+	p.nextID++
+	p.files[id] = disk
+	p.lastRead[id] = -1
+	f := &File{id: id, disk: disk, pool: p}
+	p.byPath[disk.Path()] = f
+	return f
+}
+
+// CloseFile flushes and drops every cached page of f, deregisters it and
+// closes its backing file, so the path can be removed, renamed over, or
+// reopened. Fails if any of f's pages is pinned.
+func (p *Pool) CloseFile(f *File) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.files[f.id]; !ok {
+		return fmt.Errorf("storage: file %s is not registered", f.Path())
+	}
+	for i := range p.frames {
+		fr := &p.frames[i]
+		if !fr.valid || fr.key.File != f.id {
+			continue
+		}
+		if fr.pins > 0 {
+			return fmt.Errorf("storage: CloseFile with pinned page %s", fr.key)
+		}
+		if fr.dirty {
+			if err := p.writeBackLocked(fr); err != nil {
+				return err
+			}
+		}
+		delete(p.dir, fr.key)
+		fr.valid = false
+		fr.dirty = false
+		fr.referenced = false
+	}
+	delete(p.files, f.id)
+	delete(p.byPath, f.disk.Path())
+	delete(p.lastRead, f.id)
+	return f.disk.Close()
+}
+
+// CloseFiles flushes the pool and closes every registered file. The pool
+// may be reused afterwards by reopening files.
+func (p *Pool) CloseFiles() error {
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var firstErr error
+	for id, disk := range p.files {
+		if err := disk.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(p.files, id)
+		delete(p.lastRead, id)
+	}
+	p.byPath = make(map[string]*File)
+	return firstErr
+}
+
+// Stats returns a copy of the accumulated I/O statistics.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the I/O counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// Fetch pins the given page, reading it from disk if necessary.
+func (p *Pool) Fetch(f *File, page uint32) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := PageKey{File: f.id, Page: page}
+	if idx, ok := p.dir[key]; ok {
+		fr := &p.frames[idx]
+		fr.pins++
+		fr.referenced = true
+		p.stats.Hits++
+		return &Page{key: key, frame: fr, pool: p}, nil
+	}
+	idx, err := p.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	fr := &p.frames[idx]
+	if err := f.disk.ReadPage(page, fr.buf); err != nil {
+		fr.valid = false
+		return nil, err
+	}
+	p.accountReadLocked(f.id, page)
+	fr.key = key
+	fr.pins = 1
+	fr.dirty = false
+	fr.referenced = true
+	fr.valid = true
+	p.dir[key] = idx
+	return &Page{key: key, frame: fr, pool: p}, nil
+}
+
+// NewPage allocates a fresh page in f and returns it pinned and dirty.
+func (p *Pool) NewPage(f *File) (*Page, error) {
+	page, err := f.disk.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Allocs++
+	idx, err := p.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	fr := &p.frames[idx]
+	for i := range fr.buf {
+		fr.buf[i] = 0
+	}
+	key := PageKey{File: f.id, Page: page}
+	fr.key = key
+	fr.pins = 1
+	fr.dirty = true
+	fr.referenced = true
+	fr.valid = true
+	p.dir[key] = idx
+	return &Page{key: key, frame: fr, pool: p}, nil
+}
+
+// FlushAll writes back every dirty frame and drops all cached pages,
+// simulating the paper's cold-cache discipline ("we flushed both the Unix
+// file system buffer and Paradise buffer pool before running each test").
+// Sequential-read tracking is also reset. It is an error to call FlushAll
+// while pages are pinned.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		fr := &p.frames[i]
+		if !fr.valid {
+			continue
+		}
+		if fr.pins > 0 {
+			return fmt.Errorf("storage: FlushAll with pinned page %s", fr.key)
+		}
+		if fr.dirty {
+			if err := p.writeBackLocked(fr); err != nil {
+				return err
+			}
+		}
+		delete(p.dir, fr.key)
+		fr.valid = false
+		fr.dirty = false
+		fr.referenced = false
+	}
+	for id := range p.lastRead {
+		p.lastRead[id] = -1
+	}
+	p.stats.FlushedAll++
+	return nil
+}
+
+// accountReadLocked classifies a physical read as sequential or random.
+func (p *Pool) accountReadLocked(id FileID, page uint32) {
+	last := p.lastRead[id]
+	if last < 0 || int64(page) == last+1 {
+		p.stats.SeqReads++
+	} else {
+		p.stats.RandReads++
+	}
+	p.lastRead[id] = int64(page)
+}
+
+// victimLocked finds a reusable frame with the clock algorithm, writing
+// back its previous contents if dirty.
+func (p *Pool) victimLocked() (int, error) {
+	n := len(p.frames)
+	for sweep := 0; sweep < 2*n; sweep++ {
+		idx := p.hand
+		p.hand = (p.hand + 1) % n
+		fr := &p.frames[idx]
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.valid && fr.referenced {
+			fr.referenced = false
+			continue
+		}
+		if fr.valid {
+			if fr.dirty {
+				if err := p.writeBackLocked(fr); err != nil {
+					return 0, err
+				}
+			}
+			delete(p.dir, fr.key)
+			fr.valid = false
+			p.stats.Evictions++
+		}
+		return idx, nil
+	}
+	return 0, ErrPoolFull
+}
+
+func (p *Pool) writeBackLocked(fr *frame) error {
+	disk, ok := p.files[fr.key.File]
+	if !ok {
+		return fmt.Errorf("storage: write-back for unregistered %s", fr.key)
+	}
+	if err := disk.WritePage(fr.key.Page, fr.buf); err != nil {
+		return err
+	}
+	fr.dirty = false
+	p.stats.Writes++
+	return nil
+}

@@ -1,0 +1,312 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mdxopt/internal/storage"
+)
+
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// HeapFile is an append-only table of fixed-width tuples. Page 0 holds
+// metadata; data pages follow. Rows are densely numbered from 0 in append
+// order, so row r lives at page 1+r/tpp, slot r%tpp.
+type HeapFile struct {
+	pool   *storage.Pool
+	file   *storage.File
+	schema Schema
+	tpp    int // tuples per data page
+	size   int // tuple size in bytes
+	count  int64
+}
+
+// ErrRowOutOfRange is returned by FetchRow for rows >= Count().
+var ErrRowOutOfRange = errors.New("table: row out of range")
+
+// Create makes a new, empty heap file at path registered with pool.
+func Create(pool *storage.Pool, path string, schema Schema) (*HeapFile, error) {
+	if schema.TupleSize() == 0 || schema.TupleSize() > storage.PageSize {
+		return nil, fmt.Errorf("table: unusable tuple size %d", schema.TupleSize())
+	}
+	file, err := pool.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if file.NumPages() != 0 {
+		return nil, fmt.Errorf("table: %s already exists", path)
+	}
+	h := &HeapFile{
+		pool:   pool,
+		file:   file,
+		schema: schema,
+		tpp:    tuplesPerPage(schema.TupleSize()),
+		size:   schema.TupleSize(),
+	}
+	meta, err := pool.NewPage(file)
+	if err != nil {
+		return nil, err
+	}
+	writeMeta(meta.Data(), schema, 0)
+	meta.MarkDirty()
+	meta.Unpin()
+	return h, nil
+}
+
+// Open opens an existing heap file and validates it against schema.
+func Open(pool *storage.Pool, path string, schema Schema) (*HeapFile, error) {
+	file, err := pool.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if file.NumPages() == 0 {
+		return nil, fmt.Errorf("table: %s is empty (not created)", path)
+	}
+	meta, err := pool.Fetch(file, 0)
+	if err != nil {
+		return nil, err
+	}
+	tupleSize, count, nKeys, nMeasures, err := readMeta(meta.Data())
+	meta.Unpin()
+	if err != nil {
+		return nil, fmt.Errorf("table: %s: %w", path, err)
+	}
+	if tupleSize != schema.TupleSize() || nKeys != schema.NumKeys() || nMeasures != schema.NumMeasures() {
+		return nil, fmt.Errorf("table: %s: stored layout (%d keys, %d measures, %dB) does not match schema %v",
+			path, nKeys, nMeasures, tupleSize, schema)
+	}
+	return &HeapFile{
+		pool:   pool,
+		file:   file,
+		schema: schema,
+		tpp:    tuplesPerPage(tupleSize),
+		size:   tupleSize,
+		count:  count,
+	}, nil
+}
+
+// Schema returns the table's schema.
+func (h *HeapFile) Schema() Schema { return h.schema }
+
+// Count returns the number of rows.
+func (h *HeapFile) Count() int64 { return h.count }
+
+// DataPages returns the number of data pages the rows occupy. This is the
+// quantity the cost model charges for a full scan.
+func (h *HeapFile) DataPages() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return (h.count + int64(h.tpp) - 1) / int64(h.tpp)
+}
+
+// TuplesPerPage returns the number of tuples per data page.
+func (h *HeapFile) TuplesPerPage() int { return h.tpp }
+
+// File exposes the underlying storage file (for tests).
+func (h *HeapFile) File() *storage.File { return h.file }
+
+// Path returns the file path backing the heap.
+func (h *HeapFile) Path() string { return h.file.Path() }
+
+// Close persists the row count to the metadata page. The heap remains
+// usable; Close may be called repeatedly.
+func (h *HeapFile) Close() error {
+	meta, err := h.pool.Fetch(h.file, 0)
+	if err != nil {
+		return err
+	}
+	writeMeta(meta.Data(), h.schema, h.count)
+	meta.MarkDirty()
+	meta.Unpin()
+	return nil
+}
+
+// Appender batches appends into the current tail page. Callers must call
+// Close when done; the heap's metadata is updated then.
+type Appender struct {
+	h    *HeapFile
+	page *storage.Page
+	slot int
+	err  error
+}
+
+// NewAppender returns an appender positioned at the end of the heap.
+// Appending to a heap with a partially filled tail page continues on that
+// page.
+func (h *HeapFile) NewAppender() *Appender {
+	return &Appender{h: h, slot: int(h.count % int64(h.tpp))}
+}
+
+// Append adds one tuple. keys and measures must match the schema.
+func (a *Appender) Append(keys []int32, measures []float64) error {
+	if a.err != nil {
+		return a.err
+	}
+	h := a.h
+	if len(keys) != h.schema.NumKeys() || len(measures) != h.schema.NumMeasures() {
+		return errSchemaMismatch
+	}
+	if a.page == nil {
+		if err := a.pin(); err != nil {
+			a.err = err
+			return err
+		}
+	}
+	encodeTuple(a.page.Data()[a.slot*h.size:], keys, measures)
+	a.page.MarkDirty()
+	a.slot++
+	h.count++
+	if a.slot == h.tpp {
+		a.page.Unpin()
+		a.page = nil
+		a.slot = 0
+	}
+	return nil
+}
+
+// pin acquires the tail page, allocating it if the heap ends on a page
+// boundary.
+func (a *Appender) pin() error {
+	h := a.h
+	lastDataPage := uint32(h.count / int64(h.tpp)) // 0-based data page index
+	needed := lastDataPage + 2                     // +1 metadata page, +1 one-past
+	if h.file.NumPages() < needed {
+		page, err := h.pool.NewPage(h.file)
+		if err != nil {
+			return err
+		}
+		a.page = page
+		return nil
+	}
+	page, err := h.pool.Fetch(h.file, lastDataPage+1)
+	if err != nil {
+		return err
+	}
+	a.page = page
+	return nil
+}
+
+// Close unpins the tail page and persists the row count.
+func (a *Appender) Close() error {
+	if a.page != nil {
+		a.page.Unpin()
+		a.page = nil
+	}
+	if a.err != nil {
+		return a.err
+	}
+	return a.h.Close()
+}
+
+// Scan iterates over all rows in order, invoking fn with the row number
+// and decoded columns. The key and measure slices are reused between
+// calls; fn must copy anything it retains. A non-nil error from fn stops
+// the scan and is returned.
+func (h *HeapFile) Scan(fn func(row int64, keys []int32, measures []float64) error) error {
+	return h.ScanRange(0, h.count, fn)
+}
+
+// ScanRange iterates over rows in [from, to), clamped to the table, in
+// order. Distinct ranges may be scanned concurrently: the underlying
+// buffer pool is safe for concurrent use and each call keeps its own
+// decode buffers.
+func (h *HeapFile) ScanRange(from, to int64, fn func(row int64, keys []int32, measures []float64) error) error {
+	if from < 0 {
+		from = 0
+	}
+	if to > h.count {
+		to = h.count
+	}
+	if from >= to {
+		return nil
+	}
+	keys := make([]int32, h.schema.NumKeys())
+	measures := make([]float64, h.schema.NumMeasures())
+	row := from
+	for row < to {
+		pageNo := uint32(row/int64(h.tpp)) + 1
+		page, err := h.pool.Fetch(h.file, pageNo)
+		if err != nil {
+			return err
+		}
+		slot := int(row % int64(h.tpp))
+		end := h.tpp
+		if pageEnd := (row/int64(h.tpp) + 1) * int64(h.tpp); pageEnd > to {
+			end = slot + int(to-row)
+		}
+		data := page.Data()
+		for s := slot; s < end; s++ {
+			decodeTuple(data[s*h.size:], keys, measures)
+			if err := fn(row, keys, measures); err != nil {
+				page.Unpin()
+				return err
+			}
+			row++
+		}
+		page.Unpin()
+	}
+	return nil
+}
+
+// FetchRow reads a single row by number. keys and measures must have the
+// schema's lengths. Random access goes through the pool, so consecutive
+// fetches on the same page cost one physical read.
+func (h *HeapFile) FetchRow(row int64, keys []int32, measures []float64) error {
+	if row < 0 || row >= h.count {
+		return fmt.Errorf("%w: %d of %d", ErrRowOutOfRange, row, h.count)
+	}
+	pageNo := uint32(row/int64(h.tpp)) + 1
+	slot := int(row % int64(h.tpp))
+	page, err := h.pool.Fetch(h.file, pageNo)
+	if err != nil {
+		return err
+	}
+	decodeTuple(page.Data()[slot*h.size:], keys, measures)
+	page.Unpin()
+	return nil
+}
+
+// FetchRows reads the rows whose numbers are produced by next (which
+// returns -1 when exhausted) in ascending order, calling fn for each.
+// Ascending order lets consecutive rows on one page share a single fetch.
+func (h *HeapFile) FetchRows(next func() int64, fn func(row int64, keys []int32, measures []float64) error) error {
+	keys := make([]int32, h.schema.NumKeys())
+	measures := make([]float64, h.schema.NumMeasures())
+	var page *storage.Page
+	var pinned uint32
+	defer func() {
+		if page != nil {
+			page.Unpin()
+		}
+	}()
+	for {
+		row := next()
+		if row < 0 {
+			return nil
+		}
+		if row >= h.count {
+			return fmt.Errorf("%w: %d of %d", ErrRowOutOfRange, row, h.count)
+		}
+		pageNo := uint32(row/int64(h.tpp)) + 1
+		if page == nil || pageNo != pinned {
+			if page != nil {
+				page.Unpin()
+			}
+			var err error
+			page, err = h.pool.Fetch(h.file, pageNo)
+			if err != nil {
+				page = nil
+				return err
+			}
+			pinned = pageNo
+		}
+		slot := int(row % int64(h.tpp))
+		decodeTuple(page.Data()[slot*h.size:], keys, measures)
+		if err := fn(row, keys, measures); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package table implements fixed-width tuple storage on top of the paged
+// storage layer: schemas, a binary tuple codec, and append-only heap
+// files with dense row numbering.
+//
+// Every table in the system — the base fact table, materialized
+// group-bys, and dimension tables — is a heap file whose tuples are a
+// run of int32 key columns followed by a run of float64 measure columns.
+// Rows are densely numbered from zero, which makes the bitmap join
+// indexes (internal/bitmap) a direct positional map onto the file.
+package table
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mdxopt/internal/storage"
+)
+
+// Schema describes a table: a run of int32 key columns followed by a run
+// of float64 measure columns.
+type Schema struct {
+	KeyNames     []string
+	MeasureNames []string
+}
+
+// NewSchema builds a schema with the given key and measure column names.
+func NewSchema(keys, measures []string) Schema {
+	return Schema{KeyNames: keys, MeasureNames: measures}
+}
+
+// NumKeys returns the number of int32 key columns.
+func (s Schema) NumKeys() int { return len(s.KeyNames) }
+
+// NumMeasures returns the number of float64 measure columns.
+func (s Schema) NumMeasures() int { return len(s.MeasureNames) }
+
+// TupleSize returns the encoded size of one tuple in bytes.
+func (s Schema) TupleSize() int { return 4*len(s.KeyNames) + 8*len(s.MeasureNames) }
+
+// KeyIndex returns the position of the named key column, or -1.
+func (s Schema) KeyIndex(name string) int {
+	for i, n := range s.KeyNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s Schema) String() string {
+	return fmt.Sprintf("keys=%v measures=%v", s.KeyNames, s.MeasureNames)
+}
+
+// Equal reports whether two schemas have identical columns.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.KeyNames) != len(o.KeyNames) || len(s.MeasureNames) != len(o.MeasureNames) {
+		return false
+	}
+	for i := range s.KeyNames {
+		if s.KeyNames[i] != o.KeyNames[i] {
+			return false
+		}
+	}
+	for i := range s.MeasureNames {
+		if s.MeasureNames[i] != o.MeasureNames[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// encodeTuple writes keys and measures into dst using little-endian
+// encoding. dst must be at least TupleSize bytes.
+func encodeTuple(dst []byte, keys []int32, measures []float64) {
+	off := 0
+	for _, k := range keys {
+		binary.LittleEndian.PutUint32(dst[off:], uint32(k))
+		off += 4
+	}
+	for _, m := range measures {
+		binary.LittleEndian.PutUint64(dst[off:], mathFloat64bits(m))
+		off += 8
+	}
+}
+
+// decodeTuple reads a tuple from src into keys and measures, which must
+// have the schema's lengths.
+func decodeTuple(src []byte, keys []int32, measures []float64) {
+	off := 0
+	for i := range keys {
+		keys[i] = int32(binary.LittleEndian.Uint32(src[off:]))
+		off += 4
+	}
+	for i := range measures {
+		measures[i] = mathFloat64frombits(binary.LittleEndian.Uint64(src[off:]))
+		off += 8
+	}
+}
+
+var errSchemaMismatch = errors.New("table: value count does not match schema")
+
+// metadata page layout (page 0):
+//
+//	[0:4]   magic "MDXT"
+//	[4:8]   version (1)
+//	[8:12]  tuple size
+//	[12:20] row count
+//	[20:24] number of key columns
+//	[24:28] number of measure columns
+const (
+	metaMagic   = "MDXT"
+	metaVersion = 1
+)
+
+func writeMeta(buf []byte, schema Schema, count int64) {
+	copy(buf[0:4], metaMagic)
+	binary.LittleEndian.PutUint32(buf[4:], metaVersion)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(schema.TupleSize()))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(count))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(schema.NumKeys()))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(schema.NumMeasures()))
+}
+
+func readMeta(buf []byte) (tupleSize int, count int64, nKeys, nMeasures int, err error) {
+	if string(buf[0:4]) != metaMagic {
+		return 0, 0, 0, 0, errors.New("table: bad magic (not a heap file)")
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != metaVersion {
+		return 0, 0, 0, 0, fmt.Errorf("table: unsupported version %d", v)
+	}
+	tupleSize = int(binary.LittleEndian.Uint32(buf[8:]))
+	count = int64(binary.LittleEndian.Uint64(buf[12:]))
+	nKeys = int(binary.LittleEndian.Uint32(buf[20:]))
+	nMeasures = int(binary.LittleEndian.Uint32(buf[24:]))
+	return tupleSize, count, nKeys, nMeasures, nil
+}
+
+// tuplesPerPage returns how many tuples of the given size fit on one data
+// page.
+func tuplesPerPage(tupleSize int) int {
+	return storage.PageSize / tupleSize
+}

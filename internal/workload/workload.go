@@ -1,0 +1,166 @@
+// Package workload defines the nine MDX test queries of the paper's §7.3
+// against the datagen schema. The source text's member names are
+// OCR-garbled, so the queries are restated from the paper's prose: their
+// target group-bys and selectivity classes (which drive every experiment)
+// are preserved exactly:
+//
+//	Q1–Q4: not very selective (top-level predicates)  -> hash star joins
+//	Q5:    selective on A                             -> index star join
+//	Q6,Q7: selective on A, B and C                    -> index star join
+//	Q8:    selective on A and B                       -> index star join
+//	Q9:    not very selective                         -> hash star join
+//
+// Every query carries the FILTER (D.DD1) predicate, so D appears in each
+// group-by at the D' level restricted to DD1.
+package workload
+
+import (
+	"fmt"
+
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+)
+
+// MDX returns the paper's queries rendered in the MDX subset understood
+// by internal/mdx, keyed "Q1".."Q9". These strings parse (via mdx.Translate)
+// into exactly the queries returned by PaperQueries.
+func MDX() map[string]string {
+	return map[string]string{
+		"Q1": `{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS {C''.C1} on PAGES CONTEXT ABCD FILTER (D'.DD1)`,
+		"Q2": `{A''.A1, A''.A2, A''.A3} on COLUMNS {B''.B2.CHILDREN} on ROWS {C''.C2} on PAGES CONTEXT ABCD FILTER (D'.DD1)`,
+		"Q3": `{A''.A2} on COLUMNS {B''.B2} on ROWS {C''.C1, C''.C3} on PAGES CONTEXT ABCD FILTER (D'.DD1)`,
+		"Q4": `{A''.A3, A''.A2} on COLUMNS {B''.B3} on ROWS {C''.C1, C''.C2, C''.C3} on PAGES CONTEXT ABCD FILTER (D'.DD1)`,
+		"Q5": `{A'.AA2} on COLUMNS {B''.B1} on ROWS {C''.C3} on PAGES CONTEXT ABCD FILTER (D'.DD1)`,
+		"Q6": `{A'.AA5} on COLUMNS {B''.B1.CHILDREN} on ROWS {C'.CC2} on PAGES CONTEXT ABCD FILTER (D'.DD1)`,
+		"Q7": `{A'.AA2} on COLUMNS {B'.BB3} on ROWS {C'.CC1} on PAGES CONTEXT ABCD FILTER (D'.DD1)`,
+		"Q8": `{A'.AA2} on COLUMNS {B'.BB1} on ROWS {C''.C1} on PAGES CONTEXT ABCD FILTER (D'.DD1)`,
+		"Q9": `{A''.A1.CHILDREN} on COLUMNS {B''.B2, B''.B3} on ROWS {C''.C1.CHILDREN} on PAGES CONTEXT ABCD FILTER (D'.DD1)`,
+	}
+}
+
+// PaperQueries builds Q1..Q9 against a datagen schema (dimensions
+// A, B, C with >= 3 levels and D with >= 2 levels).
+func PaperQueries(schema *star.Schema) (map[string]*query.Query, error) {
+	if schema.NumDims() != 4 {
+		return nil, fmt.Errorf("workload: schema has %d dimensions, want 4", schema.NumDims())
+	}
+	for i, d := range schema.Dims {
+		min := 3
+		if i == 3 {
+			min = 2
+		}
+		if d.NumLevels() < min {
+			return nil, fmt.Errorf("workload: dimension %s has %d levels, want >= %d", d.Name, d.NumLevels(), min)
+		}
+	}
+	a, b, c := schema.Dims[0], schema.Dims[1], schema.Dims[2]
+
+	// Common D predicate: member DD1 at level D'.
+	dd1, ok := schema.Dims[3].MemberCode(1, "DD1")
+	if !ok {
+		return nil, fmt.Errorf("workload: dimension D has no member DD1")
+	}
+	dPred := query.Predicate{Members: []int32{dd1}}
+
+	// Member code shorthands; the generator names top members A1..A3 and
+	// mid members AA1..AAn.
+	mc := func(d *star.Dimension, level int, name string) (int32, error) {
+		code, ok := d.MemberCode(level, name)
+		if !ok {
+			return 0, fmt.Errorf("workload: no member %s at level %s of %s", name, d.LevelName(level), d.Name)
+		}
+		return code, nil
+	}
+	var firstErr error
+	m := func(d *star.Dimension, level int, name string) int32 {
+		code, err := mc(d, level, name)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return code
+	}
+	children := func(d *star.Dimension, topName string) []int32 {
+		top := m(d, 2, topName)
+		return append([]int32(nil), d.Children(2, top)...)
+	}
+
+	specs := []struct {
+		name   string
+		levels []int
+		preds  []query.Predicate
+	}{
+		{"Q1", []int{1, 2, 2, 1}, []query.Predicate{
+			{Members: children(a, "A1")},
+			{Members: []int32{m(b, 2, "B1")}},
+			{Members: []int32{m(c, 2, "C1")}},
+			dPred,
+		}},
+		{"Q2", []int{2, 1, 2, 1}, []query.Predicate{
+			{Members: []int32{m(a, 2, "A1"), m(a, 2, "A2"), m(a, 2, "A3")}},
+			{Members: children(b, "B2")},
+			{Members: []int32{m(c, 2, "C2")}},
+			dPred,
+		}},
+		{"Q3", []int{2, 2, 2, 1}, []query.Predicate{
+			{Members: []int32{m(a, 2, "A2")}},
+			{Members: []int32{m(b, 2, "B2")}},
+			{Members: []int32{m(c, 2, "C1"), m(c, 2, "C3")}},
+			dPred,
+		}},
+		{"Q4", []int{2, 2, 2, 1}, []query.Predicate{
+			{Members: []int32{m(a, 2, "A3"), m(a, 2, "A2")}},
+			{Members: []int32{m(b, 2, "B3")}},
+			{Members: []int32{m(c, 2, "C1"), m(c, 2, "C2"), m(c, 2, "C3")}},
+			dPred,
+		}},
+		{"Q5", []int{1, 2, 2, 1}, []query.Predicate{
+			{Members: []int32{m(a, 1, "AA2")}},
+			{Members: []int32{m(b, 2, "B1")}},
+			{Members: []int32{m(c, 2, "C3")}},
+			dPred,
+		}},
+		{"Q6", []int{1, 1, 1, 1}, []query.Predicate{
+			{Members: []int32{m(a, 1, "AA5")}},
+			{Members: children(b, "B1")},
+			{Members: []int32{m(c, 1, "CC2")}},
+			dPred,
+		}},
+		{"Q7", []int{1, 1, 1, 1}, []query.Predicate{
+			{Members: []int32{m(a, 1, "AA2")}},
+			{Members: []int32{m(b, 1, "BB3")}},
+			{Members: []int32{m(c, 1, "CC1")}},
+			dPred,
+		}},
+		{"Q8", []int{1, 1, 2, 1}, []query.Predicate{
+			{Members: []int32{m(a, 1, "AA2")}},
+			{Members: []int32{m(b, 1, "BB1")}},
+			{Members: []int32{m(c, 2, "C1")}},
+			dPred,
+		}},
+		{"Q9", []int{1, 2, 1, 1}, []query.Predicate{
+			{Members: children(a, "A1")},
+			{Members: []int32{m(b, 2, "B2"), m(b, 2, "B3")}},
+			{Members: children(c, "C1")},
+			dPred,
+		}},
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := make(map[string]*query.Query, len(specs))
+	for _, s := range specs {
+		// Predicates share the dPred members slice; query.New sorts a
+		// copy, so give each its own.
+		preds := make([]query.Predicate, len(s.preds))
+		for i, p := range s.preds {
+			preds[i] = query.Predicate{Members: append([]int32(nil), p.Members...)}
+		}
+		q, err := query.New(s.name, schema, s.levels, preds)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s: %w", s.name, err)
+		}
+		out[s.name] = q
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"testing"
+
+	"mdxopt/internal/datagen"
+	"mdxopt/internal/star"
+)
+
+func paperSchema(t *testing.T) *star.Schema {
+	t.Helper()
+	s, err := datagen.BuildSchema(datagen.PaperSpec(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPaperQueriesBuild(t *testing.T) {
+	qs, err := PaperQueries(paperSchema(t))
+	if err != nil {
+		t.Fatalf("PaperQueries: %v", err)
+	}
+	if len(qs) != 9 {
+		t.Fatalf("got %d queries, want 9", len(qs))
+	}
+	for name, q := range qs {
+		if q.Name != name {
+			t.Fatalf("query %s has name %s", name, q.Name)
+		}
+		// Every query filters D to DD1 at level D'.
+		if q.Levels[3] != 1 {
+			t.Fatalf("%s: D level = %d, want 1", name, q.Levels[3])
+		}
+		if len(q.Preds[3].Members) != 1 || q.Preds[3].Members[0] != 0 {
+			t.Fatalf("%s: D predicate = %v, want {DD1}", name, q.Preds[3].Members)
+		}
+	}
+}
+
+func TestPaperQueriesSelectivityClasses(t *testing.T) {
+	qs, err := PaperQueries(paperSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q5-Q8 (index-join class) must be far more selective than Q1-Q4 and
+	// Q9 (hash-join class). The paper's experiments rely on this split.
+	maxSelective := 0.0
+	for _, name := range []string{"Q5", "Q6", "Q7", "Q8"} {
+		if s := qs[name].Selectivity(); s > maxSelective {
+			maxSelective = s
+		}
+	}
+	minNonSelective := 1.0
+	for _, name := range []string{"Q1", "Q2", "Q3", "Q4", "Q9"} {
+		if s := qs[name].Selectivity(); s < minNonSelective {
+			minNonSelective = s
+		}
+	}
+	// The gap grows with the mid-level cardinality (20x at full scale);
+	// at this test's 1% scale it is 4x.
+	if maxSelective*3 > minNonSelective {
+		t.Fatalf("selectivity classes overlap: selective max %v, non-selective min %v",
+			maxSelective, minNonSelective)
+	}
+}
+
+func TestPaperQueriesTargets(t *testing.T) {
+	qs, err := PaperQueries(paperSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLevels := map[string][4]int{
+		"Q1": {1, 2, 2, 1},
+		"Q2": {2, 1, 2, 1},
+		"Q3": {2, 2, 2, 1},
+		"Q4": {2, 2, 2, 1},
+		"Q5": {1, 2, 2, 1},
+		"Q6": {1, 1, 1, 1},
+		"Q7": {1, 1, 1, 1},
+		"Q8": {1, 1, 2, 1},
+		"Q9": {1, 2, 1, 1},
+	}
+	for name, want := range wantLevels {
+		got := qs[name].Levels
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s levels = %v, want %v", name, got, want)
+			}
+		}
+	}
+	// Q1's A predicate is the children of A1, i.e. one third of the A'
+	// members.
+	q1 := qs["Q1"]
+	s := paperSchema(t)
+	if len(q1.Preds[0].Members) != int(s.Dims[0].Card(1))/3 {
+		t.Fatalf("Q1 A' predicate size = %d, want %d", len(q1.Preds[0].Members), s.Dims[0].Card(1)/3)
+	}
+}
+
+func TestPaperQueriesRejectWrongSchema(t *testing.T) {
+	a, _ := star.UniformDimension("A", []int{4, 2})
+	b, _ := star.UniformDimension("B", []int{4, 2})
+	s, _ := star.NewSchema([]*star.Dimension{a, b}, "m")
+	if _, err := PaperQueries(s); err == nil {
+		t.Fatal("PaperQueries accepted a 2-dim schema")
+	}
+}
+
+func TestMDXStringsPresent(t *testing.T) {
+	m := MDX()
+	if len(m) != 9 {
+		t.Fatalf("MDX() has %d entries", len(m))
+	}
+	for name, s := range m {
+		if s == "" {
+			t.Fatalf("%s MDX empty", name)
+		}
+	}
+}

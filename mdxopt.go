@@ -1,0 +1,578 @@
+// Package mdxopt is a ROLAP engine with simultaneous multi-query
+// optimization, reproducing Zhao, Deshpande, Naughton & Shukla,
+// "Simultaneous Optimization and Evaluation of Multiple Dimensional
+// Queries" (SIGMOD 1998).
+//
+// An mdxopt database is a star schema stored in paged heap files:
+// dimension tables with hierarchies, a base fact table, materialized
+// group-by views, and bitmap join indexes. A single MDX expression may
+// denote several related group-by queries; the engine optimizes them *as
+// a set* — choosing which materialized group-by each query reads and
+// merging queries that share a base table into one shared-scan or
+// shared-probe pass (the paper's §3 operators) — using the paper's TPLO,
+// ETPLG and GG algorithms or an exhaustive optimum.
+//
+// Quick start:
+//
+//	db, err := mdxopt.CreateSample(dir, 0.01) // paper's test database at 1% scale
+//	...
+//	ans, err := db.Query(`{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS
+//	    {C''.C1} on PAGES CONTEXT ABCD FILTER (D'.DD1)`)
+//	for _, qr := range ans.Queries {
+//	    fmt.Println(qr.GroupBy, len(qr.Rows), "groups")
+//	}
+package mdxopt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"mdxopt/internal/core"
+	"mdxopt/internal/cost"
+	"mdxopt/internal/datagen"
+	"mdxopt/internal/exec"
+	"mdxopt/internal/mdx"
+	"mdxopt/internal/plan"
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+)
+
+// Algorithm selects the multi-query optimization strategy.
+type Algorithm string
+
+// The available algorithms. See the package documentation of
+// internal/core for their semantics.
+const (
+	TPLO    Algorithm = "TPLO"    // per-query local optima, merge coincidences
+	ETPLG   Algorithm = "ETPLG"   // greedy base-table sharing
+	GG      Algorithm = "GG"      // greedy with class re-basing (recommended)
+	GGI     Algorithm = "GGI"     // GG + hill climbing from both greedy starts
+	Optimal Algorithm = "Optimal" // exhaustive (≤ 10 queries)
+)
+
+// LevelSpec describes one hierarchy level of a dimension, finest first.
+type LevelSpec struct {
+	Name    string
+	Members []string
+	// Parent[i] is the parent code (index into the next coarser level's
+	// Members) of member i. Must be nil for the top level.
+	Parent []int32
+}
+
+// DimensionSpec describes a dimension: levels ordered base to top.
+type DimensionSpec struct {
+	Name   string
+	Levels []LevelSpec
+}
+
+// SchemaSpec describes a star schema.
+type SchemaSpec struct {
+	Dims    []DimensionSpec
+	Measure string
+}
+
+// DB is an open mdxopt database.
+//
+// Queries (Query, QueryWith, Explain) may be issued concurrently from
+// multiple goroutines. Mutations — Load, Materialize, BuildBitmapIndex,
+// Refresh, Compact — must not run concurrently with each other or with
+// queries.
+type DB struct {
+	db *star.Database
+
+	// Plan cache: optimized global plans keyed by (MDX text, options),
+	// invalidated whenever the database mutates (loads, refreshes,
+	// materializations, index changes). Guarded by mu.
+	mu        sync.Mutex
+	gen       uint64
+	planCache map[string]cachedPlan
+	cacheHits int64
+}
+
+type cachedPlan struct {
+	gen     uint64
+	queries []*query.Query
+	global  *plan.Global
+}
+
+// maxCachedPlans bounds the plan cache; eviction is wholesale (the cache
+// is tiny and regenerating a plan costs microseconds).
+const maxCachedPlans = 256
+
+// invalidate discards cached plans after a database mutation.
+func (d *DB) invalidate() {
+	d.mu.Lock()
+	d.gen++
+	d.planCache = nil
+	d.mu.Unlock()
+}
+
+// PlanCacheHits reports how many queries were answered with a cached
+// plan (the parse/optimize phase skipped).
+func (d *DB) PlanCacheHits() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cacheHits
+}
+
+// Options configures query planning and execution.
+type Options struct {
+	// Algorithm defaults to GG.
+	Algorithm Algorithm
+	// PaperPlanSpace confines the optimizer to the paper's plan space
+	// (no §3.3 filter conversion as a first-class choice). Off by
+	// default: the full model finds strictly better plans.
+	PaperPlanSpace bool
+	// ColdCache flushes the buffer pool and index caches before
+	// executing, as the paper does between measurements.
+	ColdCache bool
+	// Parallelism partitions shared scans across this many workers
+	// (per-worker aggregation tables merged afterwards). Values below 2
+	// run serially.
+	Parallelism int
+}
+
+// Create makes a new database directory with the given schema. Facts are
+// loaded with Loader; call Close when done to persist metadata.
+func Create(dir string, spec SchemaSpec) (*DB, error) {
+	dims := make([]*star.Dimension, len(spec.Dims))
+	for i, ds := range spec.Dims {
+		levels := make([]star.LevelSpec, len(ds.Levels))
+		for l, ls := range ds.Levels {
+			levels[l] = star.LevelSpec{Name: ls.Name, Members: ls.Members, Parent: ls.Parent}
+		}
+		d, err := star.NewDimension(ds.Name, levels)
+		if err != nil {
+			return nil, err
+		}
+		dims[i] = d
+	}
+	schema, err := star.NewSchema(dims, spec.Measure)
+	if err != nil {
+		return nil, err
+	}
+	db, err := star.Create(dir, schema, 2048)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{db: db}, nil
+}
+
+// CreateSample builds the paper's synthetic test database (4 dimensions
+// with 3-level hierarchies, materialized group-bys, bitmap join indexes
+// on A'B'C'D) at the given scale; scale 1.0 is the paper's 2 M-row
+// configuration.
+func CreateSample(dir string, scale float64) (*DB, error) {
+	db, err := datagen.Build(dir, datagen.PaperSpec(scale))
+	if err != nil {
+		return nil, err
+	}
+	return &DB{db: db}, nil
+}
+
+// Open opens an existing database directory.
+func Open(dir string) (*DB, error) {
+	db, err := star.Open(dir, 2048)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{db: db}, nil
+}
+
+// Close persists metadata and closes all files.
+func (d *DB) Close() error { return d.db.Close() }
+
+// Dimensions returns the dimension names in schema order.
+func (d *DB) Dimensions() []string {
+	out := make([]string, d.db.Schema.NumDims())
+	for i, dim := range d.db.Schema.Dims {
+		out[i] = dim.Name
+	}
+	return out
+}
+
+// Measure returns the measure column's name.
+func (d *DB) Measure() string { return d.db.Schema.Measure }
+
+// Facts returns the number of rows in the base fact table.
+func (d *DB) Facts() int64 { return d.db.Base().Rows() }
+
+// Views lists the stored group-bys (the base table first) with their
+// row counts.
+func (d *DB) Views() []ViewInfo {
+	out := make([]ViewInfo, len(d.db.Views))
+	for i, v := range d.db.Views {
+		levels := make([]string, len(v.Levels))
+		for j, l := range v.Levels {
+			levels[j] = d.db.Schema.Dims[j].LevelName(l)
+		}
+		out[i] = ViewInfo{Name: v.Name, Levels: levels, Rows: v.Rows(), Pages: v.Pages()}
+	}
+	return out
+}
+
+// ViewInfo describes one stored group-by.
+type ViewInfo struct {
+	Name   string
+	Levels []string // level name per dimension ("ALL" = aggregated out)
+	Rows   int64
+	Pages  int64
+}
+
+// levelVector converts per-dimension level names to a level vector.
+func (d *DB) levelVector(levelNames []string) ([]int, error) {
+	schema := d.db.Schema
+	if len(levelNames) != schema.NumDims() {
+		return nil, fmt.Errorf("mdxopt: %d level names for %d dimensions", len(levelNames), schema.NumDims())
+	}
+	levels := make([]int, len(levelNames))
+	for i, name := range levelNames {
+		l := schema.Dims[i].LevelIndex(name)
+		if l < 0 {
+			return nil, fmt.Errorf("mdxopt: dimension %s has no level %q", schema.Dims[i].Name, name)
+		}
+		levels[i] = l
+	}
+	return levels, nil
+}
+
+// Materialize computes and stores the group-by identified by one level
+// name per dimension (use "ALL" to aggregate a dimension out). The view
+// stores SUM per group (the paper's layout); MaterializeMulti also
+// stores COUNT, MIN and MAX so every aggregate can be answered from it.
+func (d *DB) Materialize(levelNames ...string) error {
+	levels, err := d.levelVector(levelNames)
+	if err != nil {
+		return err
+	}
+	if _, err := d.db.Materialize(levels); err != nil {
+		return err
+	}
+	d.invalidate()
+	return nil
+}
+
+// MaterializeMulti is Materialize with the multi-aggregate layout,
+// enabling COUNT/MIN/MAX/AVG queries (the MDX AGGREGATE clause) to use
+// the view instead of the base table.
+func (d *DB) MaterializeMulti(levelNames ...string) error {
+	levels, err := d.levelVector(levelNames)
+	if err != nil {
+		return err
+	}
+	if _, err := d.db.MaterializeMulti(levels); err != nil {
+		return err
+	}
+	d.invalidate()
+	return nil
+}
+
+// BuildBitmapIndex builds a bitmap join index on the named dimension of
+// the stored group-by identified by level names.
+func (d *DB) BuildBitmapIndex(dim string, levelNames ...string) error {
+	return d.buildIndex(dim, levelNames, false)
+}
+
+// BuildCompressedBitmapIndex is BuildBitmapIndex with EWAH-compressed
+// storage — a fraction of the pages for sparse (high-cardinality)
+// columns, at the price of a decompression pass per cold lookup.
+func (d *DB) BuildCompressedBitmapIndex(dim string, levelNames ...string) error {
+	return d.buildIndex(dim, levelNames, true)
+}
+
+func (d *DB) buildIndex(dim string, levelNames []string, compressed bool) error {
+	levels, err := d.levelVector(levelNames)
+	if err != nil {
+		return err
+	}
+	v := d.db.ViewByLevels(levels)
+	if v == nil {
+		return fmt.Errorf("mdxopt: group-by %v is not materialized", levelNames)
+	}
+	di := d.db.Schema.DimIndex(dim)
+	if di < 0 {
+		return fmt.Errorf("mdxopt: no dimension %q", dim)
+	}
+	if err := d.db.BuildIndexFormat(v, di, compressed); err != nil {
+		return err
+	}
+	d.invalidate()
+	return nil
+}
+
+// StaleViews returns the names of materialized group-bys that lag the
+// base fact table (facts were loaded after they were computed). Stale
+// views are ignored by the optimizer until Refresh.
+func (d *DB) StaleViews() []string {
+	var out []string
+	for _, v := range d.db.StaleViews() {
+		out = append(out, v.Name)
+	}
+	return out
+}
+
+// Refresh folds newly loaded facts into every materialized group-by and
+// rebuilds affected bitmap join indexes. Refreshed views may hold
+// several rows per group (results stay exact); Compact merges them.
+func (d *DB) Refresh() error {
+	d.invalidate()
+	return d.db.Refresh()
+}
+
+// Compact fully re-aggregates the group-by identified by level names,
+// merging the duplicate group rows left behind by Refresh.
+func (d *DB) Compact(levelNames ...string) error {
+	levels, err := d.levelVector(levelNames)
+	if err != nil {
+		return err
+	}
+	v := d.db.ViewByLevels(levels)
+	if v == nil {
+		return fmt.Errorf("mdxopt: group-by %v is not materialized", levelNames)
+	}
+	if err := d.db.Compact(v); err != nil {
+		return err
+	}
+	d.invalidate()
+	return nil
+}
+
+// Loader appends facts to the base table. Close it before querying.
+type Loader struct {
+	db  *DB
+	app interface {
+		Append(keys []int32, measures []float64) error
+		Close() error
+	}
+	keys []int32
+}
+
+// Load returns a Loader for the base fact table.
+func (d *DB) Load() *Loader {
+	return &Loader{
+		db:   d,
+		app:  d.db.Base().Heap.NewAppender(),
+		keys: make([]int32, d.db.Schema.NumDims()),
+	}
+}
+
+// Add appends one fact given base-level member names in dimension order.
+func (l *Loader) Add(members []string, measure float64) error {
+	schema := l.db.db.Schema
+	if len(members) != schema.NumDims() {
+		return fmt.Errorf("mdxopt: %d members for %d dimensions", len(members), schema.NumDims())
+	}
+	for i, name := range members {
+		code, ok := schema.Dims[i].MemberCode(0, name)
+		if !ok {
+			return fmt.Errorf("mdxopt: dimension %s has no base member %q", schema.Dims[i].Name, name)
+		}
+		l.keys[i] = code
+	}
+	return l.app.Append(l.keys, []float64{measure})
+}
+
+// AddCodes appends one fact given base-level member codes.
+func (l *Loader) AddCodes(codes []int32, measure float64) error {
+	return l.app.Append(codes, []float64{measure})
+}
+
+// Close flushes the loader and invalidates cached plans (materialized
+// views are now stale and plan choices may change).
+func (l *Loader) Close() error {
+	l.db.invalidate()
+	return l.app.Close()
+}
+
+// ResultRow is one group of a query result, with member names at the
+// query's group-by levels.
+type ResultRow struct {
+	Members []string
+	Value   float64
+}
+
+// QueryResult is the evaluated output of one component query.
+type QueryResult struct {
+	Name      string   // q1, q2, ... in variant order
+	GroupBy   string   // paper notation, e.g. A'B''C''D'
+	Aggregate string   // SUM, COUNT, MIN, MAX or AVG
+	Columns   []string // dimension names contributing members, in order
+	Rows      []ResultRow
+}
+
+// Stats summarizes the work an Answer took.
+type Stats struct {
+	PageReads        int64
+	TuplesScanned    int64
+	TuplesFetched    int64
+	SimulatedSeconds float64 // on the paper's 1998 hardware model
+	WallNanos        int64
+}
+
+// ClassStats is the work one plan class's shared pass performed.
+type ClassStats struct {
+	View             string   // base view of the class
+	Regime           string   // "scan" or "probe"
+	Queries          []string // component query names in the class
+	PageReads        int64
+	TuplesScanned    int64
+	TuplesFetched    int64
+	SimulatedSeconds float64
+}
+
+// Answer is the result of evaluating one MDX expression.
+type Answer struct {
+	Queries []QueryResult
+	Plan    string // the global plan in the paper's notation
+	Classes []ClassStats
+	Stats   Stats
+}
+
+// Query parses, optimizes (with GG over the full cost model) and
+// executes an MDX expression. Use QueryWith for control.
+func (d *DB) Query(src string) (*Answer, error) {
+	return d.QueryWith(src, Options{})
+}
+
+// QueryWith is Query with explicit options.
+func (d *DB) QueryWith(src string, opts Options) (*Answer, error) {
+	return d.QueryContext(context.Background(), src, opts)
+}
+
+// QueryContext is QueryWith with cancellation: scans check ctx
+// periodically and abort with its error when it is done.
+func (d *DB) QueryContext(ctx context.Context, src string, opts Options) (*Answer, error) {
+	queries, g, err := d.plan(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return d.run(ctx, queries, g, opts)
+}
+
+// plan parses and optimizes src, consulting the plan cache.
+func (d *DB) plan(src string, opts Options) ([]*query.Query, *plan.Global, error) {
+	key := fmt.Sprintf("%s|%s|%t", src, opts.Algorithm, opts.PaperPlanSpace)
+	d.mu.Lock()
+	if c, ok := d.planCache[key]; ok && c.gen == d.gen {
+		d.cacheHits++
+		d.mu.Unlock()
+		return c.queries, c.global, nil
+	}
+	gen := d.gen
+	d.mu.Unlock()
+
+	queries, err := mdx.ParseAndTranslate(d.db.Schema, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(queries) == 0 {
+		return nil, nil, errors.New("mdxopt: expression denotes no queries")
+	}
+	g, _, err := d.optimize(queries, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	d.mu.Lock()
+	if d.gen == gen {
+		if d.planCache == nil || len(d.planCache) >= maxCachedPlans {
+			d.planCache = make(map[string]cachedPlan)
+		}
+		d.planCache[key] = cachedPlan{gen: gen, queries: queries, global: g}
+	}
+	d.mu.Unlock()
+	return queries, g, nil
+}
+
+// Explain parses and optimizes an MDX expression, returning the global
+// plan without executing it.
+func (d *DB) Explain(src string, opts Options) (string, error) {
+	queries, err := mdx.ParseAndTranslate(d.db.Schema, src)
+	if err != nil {
+		return "", err
+	}
+	g, _, err := d.optimize(queries, opts)
+	if err != nil {
+		return "", err
+	}
+	return g.Describe(), nil
+}
+
+func (d *DB) optimize(queries []*query.Query, opts Options) (*plan.Global, *plan.Estimator, error) {
+	var est *plan.Estimator
+	if opts.PaperPlanSpace {
+		est = plan.NewPaperEstimator(d.db)
+	} else {
+		est = plan.NewEstimator(d.db)
+	}
+	alg := core.Algorithm(opts.Algorithm)
+	if opts.Algorithm == "" {
+		alg = core.GG
+	}
+	g, err := core.Optimize(est, queries, alg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, est, nil
+}
+
+func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, opts Options) (*Answer, error) {
+	if opts.ColdCache {
+		if err := d.db.ColdReset(); err != nil {
+			return nil, err
+		}
+	}
+	env := exec.NewEnv(d.db)
+	env.Parallelism = opts.Parallelism
+	env.Ctx = ctx
+	var st exec.Stats
+	results, classStats, err := core.ExecuteDetailed(env, g, queries, &st)
+	if err != nil {
+		return nil, err
+	}
+	ans := &Answer{Plan: g.Describe()}
+	model := cost.Default()
+	for _, cs := range classStats {
+		ans.Classes = append(ans.Classes, ClassStats{
+			View:             cs.View,
+			Regime:           cs.Regime,
+			Queries:          cs.Queries,
+			PageReads:        cs.Stats.IO.Reads(),
+			TuplesScanned:    cs.Stats.TuplesScanned,
+			TuplesFetched:    cs.Stats.TuplesFetched,
+			SimulatedSeconds: cs.Stats.SimulatedSeconds(model),
+		})
+	}
+	for i, q := range queries {
+		ans.Queries = append(ans.Queries, d.formatResult(q, results[i]))
+	}
+	ans.Stats = Stats{
+		PageReads:        st.IO.Reads(),
+		TuplesScanned:    st.TuplesScanned,
+		TuplesFetched:    st.TuplesFetched,
+		SimulatedSeconds: st.SimulatedSeconds(cost.Default()),
+		WallNanos:        int64(st.Wall),
+	}
+	return ans, nil
+}
+
+func (d *DB) formatResult(q *query.Query, r *exec.Result) QueryResult {
+	schema := d.db.Schema
+	qr := QueryResult{Name: q.Name, GroupBy: q.GroupByName(), Aggregate: q.Agg.String()}
+	var dims []int
+	for i, l := range q.Levels {
+		if l != schema.Dims[i].AllLevel() {
+			dims = append(dims, i)
+			qr.Columns = append(qr.Columns, schema.Dims[i].Name)
+		}
+	}
+	for _, g := range r.Groups {
+		row := ResultRow{Value: g.Value}
+		for _, i := range dims {
+			row.Members = append(row.Members, schema.Dims[i].MemberName(q.Levels[i], g.Keys[i]))
+		}
+		qr.Rows = append(qr.Rows, row)
+	}
+	return qr
+}
