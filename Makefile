@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check build vet test race bench serve-bench clean
+
+# The full gate: compile everything, vet, and run the test suite under
+# the race detector.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Paper experiment benchmarks (Tests 1-7 etc.).
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx ./...
+
+# The serving-layer comparison; writes BENCH_serve.json.
+serve-bench:
+	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-servedb -scale 0.1 -exp serve -json BENCH_serve.json
+
+clean:
+	rm -rf /tmp/mdxopt-servedb

@@ -7,6 +7,7 @@
 //	mdxbench -dir ./benchdb -scale 0.1 -exp all
 //	mdxbench -exp test2            # just Figure 11
 //	mdxbench -exp ablations        # the ablation studies
+//	mdxbench -exp serve -json BENCH_serve.json   # batched vs separate serving
 //
 // The database is built on first use and reused afterwards. scale 1.0 is
 // the paper's 2,000,000-row configuration.
@@ -27,8 +28,18 @@ func main() {
 	log.SetPrefix("mdxbench: ")
 	dir := flag.String("dir", "mdxbenchdb", "database directory (built if missing)")
 	scale := flag.Float64("scale", 0.1, "scale factor (1.0 = the paper's 2M rows)")
-	exp := flag.String("exp", "all", "experiment: all, table1, test1..test7, study, ablations")
+	exp := flag.String("exp", "all", "experiment: all, table1, test1..test7, study, ablations, serve")
+	jsonOut := flag.String("json", "", "write the serve experiment's report to this JSON file")
 	flag.Parse()
+
+	// The serve experiment opens the database itself (it needs a
+	// deliberately small buffer pool).
+	if *exp == "serve" {
+		if err := runServe(os.Stdout, *dir, *scale, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	start := time.Now()
 	r, err := experiments.Open(*dir, *scale)

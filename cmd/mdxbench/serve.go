@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdxopt"
+	"mdxopt/internal/workload"
+)
+
+// The serve experiment measures the serving layer this repository adds
+// on top of the paper: concurrent clients replay a Poisson Q1–Q9
+// workload against a buffer pool far smaller than the data, once
+// through the admission scheduler (cross-request batches sharing
+// passes) and once with every request planned and run on its own.
+
+// serveConfig parameterizes one serve run.
+type serveConfig struct {
+	Scale      float64 `json:"scale"`
+	Clients    int     `json:"clients"`
+	PerClient  int     `json:"queries_per_client"`
+	RatePerSec float64 `json:"arrival_rate_per_sec"`
+	PoolFrames int     `json:"pool_frames"`
+	WindowMS   float64 `json:"batch_window_ms"`
+	Reps       int     `json:"reps"`
+}
+
+// serveSide is the measured outcome of one serving mode.
+type serveSide struct {
+	WallMS     float64 `json:"wall_ms"`      // mean per rep
+	QueriesSec float64 `json:"queries_per_sec"`
+	PageReads  int64   `json:"page_reads"` // attributed, mean per rep
+}
+
+type serveReport struct {
+	Config    serveConfig `json:"config"`
+	Batched   serveSide   `json:"batched"`
+	Separate  serveSide   `json:"separate"`
+	Speedup   float64     `json:"throughput_speedup"`
+	PageRatio float64     `json:"page_read_ratio"` // separate / batched
+	Coalesced int64       `json:"coalesced_submissions"`
+	Batches   int64       `json:"batches"`
+}
+
+// serveReplay runs the workload once: one goroutine per client, each
+// pacing its requests by the shared Poisson offsets. It returns the
+// wall time and total attributed page reads.
+func serveReplay(db *mdxopt.DB, perClient [][]workload.Arrival, opts mdxopt.Options) (time.Duration, int64, error) {
+	start := time.Now()
+	var pages atomic.Int64
+	errs := make(chan error, len(perClient))
+	var wg sync.WaitGroup
+	for _, reqs := range perClient {
+		wg.Add(1)
+		go func(reqs []workload.Arrival) {
+			defer wg.Done()
+			for _, req := range reqs {
+				if wait := req.At - time.Since(start); wait > 0 {
+					time.Sleep(wait)
+				}
+				a, err := db.QueryWith(req.Src, opts)
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", req.Name, err)
+					return
+				}
+				pages.Add(a.Stats.PageReads)
+			}
+		}(reqs)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, 0, err
+	default:
+	}
+	return wall, pages.Load(), nil
+}
+
+// runServe builds (or reuses) the benchmark database, replays the
+// workload in both modes, prints a summary, and optionally writes the
+// JSON report.
+func runServe(w io.Writer, dir string, scale float64, jsonPath string) error {
+	cfg := serveConfig{
+		Scale:      scale,
+		Clients:    8,
+		PerClient:  4,
+		RatePerSec: 2000,
+		PoolFrames: 64,
+		WindowMS:   5,
+		Reps:       5,
+	}
+
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		start := time.Now()
+		db, err := mdxopt.CreateSample(dir, scale)
+		if err != nil {
+			return err
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "built database in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+	db, err := mdxopt.OpenWith(dir, mdxopt.OpenOptions{PoolFrames: cfg.PoolFrames})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	arrivals := workload.Arrivals(rng, cfg.Clients*cfg.PerClient, cfg.RatePerSec)
+	perClient := workload.PerClient(arrivals, cfg.Clients)
+	queries := float64(cfg.Clients * cfg.PerClient)
+
+	measure := func(opts mdxopt.Options) (serveSide, error) {
+		// One warm-up rep settles the pool and the plan caches.
+		if _, _, err := serveReplay(db, perClient, opts); err != nil {
+			return serveSide{}, err
+		}
+		var wall time.Duration
+		var pages int64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			wl, pg, err := serveReplay(db, perClient, opts)
+			if err != nil {
+				return serveSide{}, err
+			}
+			wall += wl
+			pages += pg
+		}
+		mean := wall / time.Duration(cfg.Reps)
+		return serveSide{
+			WallMS:     float64(mean.Microseconds()) / 1e3,
+			QueriesSec: queries / mean.Seconds(),
+			PageReads:  pages / int64(cfg.Reps),
+		}, nil
+	}
+
+	db.EnableBatching(mdxopt.BatchConfig{
+		Window:   time.Duration(cfg.WindowMS * float64(time.Millisecond)),
+		MaxBatch: cfg.Clients,
+		MaxQueue: 4 * cfg.Clients,
+	})
+	batched, err := measure(mdxopt.Options{Batching: true})
+	if err != nil {
+		return err
+	}
+	bs := db.BatchStats()
+	db.DisableBatching()
+
+	separate, err := measure(mdxopt.Options{})
+	if err != nil {
+		return err
+	}
+
+	rep := serveReport{
+		Config:    cfg,
+		Batched:   batched,
+		Separate:  separate,
+		Speedup:   batched.QueriesSec / separate.QueriesSec,
+		Coalesced: bs.Coalesced,
+		Batches:   bs.Batches,
+	}
+	if batched.PageReads > 0 {
+		rep.PageRatio = float64(separate.PageReads) / float64(batched.PageReads)
+	}
+
+	fmt.Fprintf(w, "serve: %d clients x %d queries, scale %g, %d-frame pool\n",
+		cfg.Clients, cfg.PerClient, cfg.Scale, cfg.PoolFrames)
+	fmt.Fprintf(w, "  batched : %8.2f ms/run  %8.0f queries/s  %6d page reads\n",
+		batched.WallMS, batched.QueriesSec, batched.PageReads)
+	fmt.Fprintf(w, "  separate: %8.2f ms/run  %8.0f queries/s  %6d page reads\n",
+		separate.WallMS, separate.QueriesSec, separate.PageReads)
+	fmt.Fprintf(w, "  speedup %.2fx throughput, %.1fx fewer page reads (%d submissions coalesced into %d batches)\n",
+		rep.Speedup, rep.PageRatio, rep.Coalesced, rep.Batches)
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

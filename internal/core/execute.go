@@ -28,39 +28,56 @@ func Execute(env *exec.Env, g *plan.Global, queries []*query.Query, stats *exec.
 // ExecuteDetailed is Execute returning the per-class work breakdown
 // alongside the results.
 func ExecuteDetailed(env *exec.Env, g *plan.Global, queries []*query.Query, stats *exec.Stats) ([]*exec.Result, []ClassStat, error) {
+	results, classStats, _, err := ExecuteAttributed(env, g, queries, stats)
+	return results, classStats, err
+}
+
+// ExecuteAttributed is ExecuteDetailed additionally splitting each
+// class pass's work across its queries (exec.Attribute): perQuery[i] is
+// query i's non-shared work exactly plus an equal share of its class's
+// shared work (the scan, page I/O, lookup builds, wall time). The
+// returned classStats are parallel to g.Classes. Queries whose
+// per-submission context (Env.QueryCtx) was canceled mid-pass come
+// back with Result.Err set rather than failing the whole batch.
+func ExecuteAttributed(env *exec.Env, g *plan.Global, queries []*query.Query, stats *exec.Stats) ([]*exec.Result, []ClassStat, []exec.Stats, error) {
 	byQuery := map[*query.Query]*exec.Result{}
+	perQuery := map[*query.Query]exec.Stats{}
 	classStats := make([]ClassStat, 0, len(g.Classes))
 	for _, c := range g.Classes {
 		hashQs := plansQueries(c.HashPlans())
 		indexQs := plansQueries(c.IndexPlans())
 		var cs exec.Stats
+		var classQs []*query.Query
+		var classRs []*exec.Result
 		if c.Regime == plan.ProbeRegime {
 			if len(hashQs) > 0 {
-				return nil, nil, fmt.Errorf("core: class %s: probe regime with hash members", c.View.Name)
+				return nil, nil, nil, fmt.Errorf("core: class %s: probe regime with hash members", c.View.Name)
 			}
 			rs, err := exec.SharedIndex(env, c.View, indexQs, &cs)
 			if err != nil {
-				return nil, nil, fmt.Errorf("core: class %s: %w", c.View.Name, err)
+				return nil, nil, nil, fmt.Errorf("core: class %s: %w", c.View.Name, err)
 			}
-			for i, r := range rs {
-				byQuery[indexQs[i]] = r
-			}
+			classQs, classRs = indexQs, rs
 		} else {
 			hr, ir, err := exec.SharedMixed(env, c.View, hashQs, indexQs, &cs)
 			if err != nil {
-				return nil, nil, fmt.Errorf("core: class %s: %w", c.View.Name, err)
+				return nil, nil, nil, fmt.Errorf("core: class %s: %w", c.View.Name, err)
 			}
-			for i, r := range hr {
-				byQuery[hashQs[i]] = r
-			}
-			for i, r := range ir {
-				byQuery[indexQs[i]] = r
-			}
+			classQs = append(append([]*query.Query{}, hashQs...), indexQs...)
+			classRs = append(append([]*exec.Result{}, hr...), ir...)
+		}
+		owns := make([]exec.Stats, len(classRs))
+		for i, r := range classRs {
+			byQuery[classQs[i]] = r
+			owns[i] = r.Own
+		}
+		for i, s := range exec.Attribute(cs, owns) {
+			perQuery[classQs[i]] = s
 		}
 		stats.Add(cs)
 		names := make([]string, 0, len(c.Plans))
 		for _, p := range c.Plans {
-			names = append(names, p.Query.Name)
+			names = append(names, p.Query.QualifiedName())
 		}
 		classStats = append(classStats, ClassStat{
 			View:    c.View.Name,
@@ -70,14 +87,16 @@ func ExecuteDetailed(env *exec.Env, g *plan.Global, queries []*query.Query, stat
 		})
 	}
 	out := make([]*exec.Result, len(queries))
+	perQ := make([]exec.Stats, len(queries))
 	for i, q := range queries {
 		r, ok := byQuery[q]
 		if !ok {
-			return nil, nil, fmt.Errorf("core: plan has no result for %s", q)
+			return nil, nil, nil, fmt.Errorf("core: plan has no result for %s", q)
 		}
 		out[i] = r
+		perQ[i] = perQuery[q]
 	}
-	return out, classStats, nil
+	return out, classStats, perQ, nil
 }
 
 // ExecuteSeparately runs every query standalone with its locally chosen

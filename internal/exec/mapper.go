@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"mdxopt/internal/query"
@@ -143,6 +144,15 @@ type queryPipeline struct {
 	lookups []*dimLookup // one per dimension, indexed by dim position
 	agg     map[string]accum
 	keyBuf  []byte
+	// qctx is the query's per-submission context (Env.QueryCtx); when
+	// it is done the pipeline detaches: the shared pass keeps running
+	// for the other queries while this one stops consuming tuples.
+	qctx     context.Context
+	detached bool
+	// own is the pipeline's non-shared work — probes, aggregations,
+	// fetch routing, per-query bitmap building — counted alongside the
+	// pass stats so Attribute can split a shared pass per query.
+	own Stats
 }
 
 func newQueryPipeline(env *Env, stats *Stats, cache *lookupCache, q *query.Query, view *star.View) (*queryPipeline, error) {
@@ -153,6 +163,9 @@ func newQueryPipeline(env *Env, stats *Stats, cache *lookupCache, q *query.Query
 		agg:     make(map[string]accum),
 		keyBuf:  make([]byte, 4*nd),
 	}
+	if env.QueryCtx != nil {
+		p.qctx = env.QueryCtx(q)
+	}
 	for dim := 0; dim < nd; dim++ {
 		lk, err := cache.get(q, dim, view.Levels[dim])
 		if err != nil {
@@ -161,6 +174,37 @@ func newQueryPipeline(env *Env, stats *Stats, cache *lookupCache, q *query.Query
 		p.lookups[dim] = lk
 	}
 	return p, nil
+}
+
+// detachedNow polls the pipeline's per-query context, latching
+// detachment. Called only at scan checkpoints, not per tuple.
+func (p *queryPipeline) detachedNow() bool {
+	if p.detached {
+		return true
+	}
+	if p.qctx != nil {
+		select {
+		case <-p.qctx.Done():
+			p.detached = true
+		default:
+		}
+	}
+	return p.detached
+}
+
+// scanStep pushes one scanned tuple through the pipeline unless it has
+// detached, counting the work in both the pass stats and the
+// pipeline's own stats.
+func (p *queryPipeline) scanStep(st *Stats, keys []int32, vals [4]float64) {
+	if p.detached {
+		return
+	}
+	st.TupleProbes++
+	p.own.TupleProbes++
+	if p.probe(keys, vals) {
+		st.TuplesAgg++
+		p.own.TuplesAgg++
+	}
 }
 
 // probe pushes one base-table tuple through the pipeline: predicate

@@ -13,6 +13,49 @@ import (
 // lacking a bitmap join index for a restricted dimension.
 var ErrNoIndex = errors.New("exec: view has no bitmap join index for a restricted dimension")
 
+// errDetached stops a shared pass early once every pipeline has
+// detached; callers treat it as completion (each result then carries
+// its per-query context's error).
+var errDetached = errors.New("exec: all pipelines detached")
+
+// checkpoint polls global cancellation and per-pipeline detachment for
+// the given pipeline sets. It runs every checkEvery tuples, not per
+// tuple. It returns errDetached when no pipeline is left attached.
+func checkpoint(env *Env, sets ...[]*queryPipeline) error {
+	if err := env.canceled(); err != nil {
+		return err
+	}
+	alive, any := false, false
+	for _, set := range sets {
+		for _, p := range set {
+			any = true
+			if !p.detachedNow() {
+				alive = true
+			}
+		}
+	}
+	if any && !alive {
+		return errDetached
+	}
+	return nil
+}
+
+// emit converts pipelines into results, attaching each query's own
+// (non-shared) work and, for detached pipelines, the per-query
+// context's error.
+func emit(pipelines []*queryPipeline) []*Result {
+	out := make([]*Result, len(pipelines))
+	for i, p := range pipelines {
+		r := p.result()
+		r.Own = p.own
+		if p.qctx != nil {
+			r.Err = p.qctx.Err()
+		}
+		out[i] = r
+	}
+	return out
+}
+
 // checkAnswerable validates that view can compute every query, including
 // the aggregate-layout requirement (non-SUM queries need the base table
 // or a multi-aggregate view — a sum-only view has no count/min/max
@@ -71,12 +114,12 @@ func SharedScanHash(env *Env, view *star.View, queries []*query.Query, stats *St
 					}
 					return set, nil
 				},
+				func(state any) error {
+					return checkpoint(env, state.([]*queryPipeline))
+				},
 				func(state any, st *Stats, row int64, keys []int32, vals [4]float64) {
 					for _, p := range state.([]*queryPipeline) {
-						st.TupleProbes++
-						if p.probe(keys, vals) {
-							st.TuplesAgg++
-						}
+						p.scanStep(st, keys, vals)
 					}
 				},
 				func(state any) {
@@ -90,28 +133,22 @@ func SharedScanHash(env *Env, view *star.View, queries []*query.Query, stats *St
 		} else {
 			err := view.Heap.Scan(func(row int64, keys []int32, measures []float64) error {
 				if stats.TuplesScanned%checkEvery == 0 {
-					if err := env.canceled(); err != nil {
+					if err := checkpoint(env, pipelines); err != nil {
 						return err
 					}
 				}
 				stats.TuplesScanned++
 				vals := star.TupleAggregates(view, measures)
 				for _, p := range pipelines {
-					stats.TupleProbes++
-					if p.probe(keys, vals) {
-						stats.TuplesAgg++
-					}
+					p.scanStep(stats, keys, vals)
 				}
 				return nil
 			})
-			if err != nil {
+			if err != nil && err != errDetached {
 				return err
 			}
 		}
-		results = make([]*Result, len(pipelines))
-		for i, p := range pipelines {
-			results[i] = p.result()
-		}
+		results = emit(pipelines)
 		return nil
 	})
 	if err != nil {
@@ -159,6 +196,18 @@ func resultBitmap(env *Env, view *star.View, q *query.Query, stats *Stats) (*bit
 	return acc, residual, nil
 }
 
+// pipelineBitmap builds p's result bitmap, charging the bitmap work to
+// the pipeline's own stats as well as the pass stats.
+func pipelineBitmap(env *Env, view *star.View, p *queryPipeline, stats *Stats) (*bitmap.Bitset, []int, error) {
+	before := stats.BitmapWords
+	bs, residual, err := resultBitmap(env, view, p.q, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.own.BitmapWords += stats.BitmapWords - before
+	return bs, residual, nil
+}
+
 // IndexJoinQuery evaluates a single query with a bitmap-index star join
 // over view (§3.2's standard join index plan, Fig. 3): build the result
 // bitmap, probe the view at the set positions, roll up and aggregate.
@@ -190,7 +239,7 @@ func SharedIndex(env *Env, view *star.View, queries []*query.Query, stats *Stats
 				return err
 			}
 			pipelines[i] = p
-			bs, residual, err := resultBitmap(env, view, q, stats)
+			bs, residual, err := pipelineBitmap(env, view, p, stats)
 			if err != nil {
 				return err
 			}
@@ -203,32 +252,35 @@ func SharedIndex(env *Env, view *star.View, queries []*query.Query, stats *Stats
 		}
 		err := view.Heap.FetchRows(union.Iterator(), func(row int64, keys []int32, measures []float64) error {
 			if stats.TuplesFetched%checkEvery == 0 {
-				if err := env.canceled(); err != nil {
+				if err := checkpoint(env, pipelines); err != nil {
 					return err
 				}
 			}
 			stats.TuplesFetched++
 			vals := star.TupleAggregates(view, measures)
 			for i, p := range pipelines {
+				if p.detached {
+					continue
+				}
 				if len(pipelines) > 1 {
 					stats.BitTests++
+					p.own.BitTests++
 					if !bitmaps[i].Get(row) {
 						continue
 					}
 				}
+				p.own.TuplesFetched++
 				if p.foldFiltered(keys, vals, residuals[i]) {
 					stats.TuplesAgg++
+					p.own.TuplesAgg++
 				}
 			}
 			return nil
 		})
-		if err != nil {
+		if err != nil && err != errDetached {
 			return err
 		}
-		results = make([]*Result, len(pipelines))
-		for i, p := range pipelines {
-			results[i] = p.result()
-		}
+		results = emit(pipelines)
 		return nil
 	})
 	if err != nil {
@@ -273,12 +325,29 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 				return err
 			}
 			indexPipes[i] = p
-			bs, residual, err := resultBitmap(env, view, q, stats)
+			bs, residual, err := pipelineBitmap(env, view, p, stats)
 			if err != nil {
 				return err
 			}
 			bitmaps[i] = bs
 			residuals[i] = residual
+		}
+		// indexStep routes one scanned tuple to an index pipeline riding
+		// the scan as a bitmap filter (§3.3).
+		indexStep := func(i int, p *queryPipeline, st *Stats, row int64, keys []int32, vals [4]float64) {
+			if p.detached {
+				return
+			}
+			st.BitTests++
+			p.own.BitTests++
+			if bitmaps[i].Get(row) {
+				st.TuplesFetched++
+				p.own.TuplesFetched++
+				if p.foldFiltered(keys, vals, residuals[i]) {
+					st.TuplesAgg++
+					p.own.TuplesAgg++
+				}
+			}
 		}
 		if env.workers() > 1 {
 			type mixedState struct {
@@ -306,22 +375,17 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 					}
 					return ms, nil
 				},
+				func(state any) error {
+					ms := state.(*mixedState)
+					return checkpoint(env, ms.hash, ms.index)
+				},
 				func(state any, st *Stats, row int64, keys []int32, vals [4]float64) {
 					ms := state.(*mixedState)
 					for _, p := range ms.hash {
-						st.TupleProbes++
-						if p.probe(keys, vals) {
-							st.TuplesAgg++
-						}
+						p.scanStep(st, keys, vals)
 					}
 					for i, p := range ms.index {
-						st.BitTests++
-						if bitmaps[i].Get(row) {
-							st.TuplesFetched++
-							if p.foldFiltered(keys, vals, residuals[i]) {
-								st.TuplesAgg++
-							}
-						}
+						indexStep(i, p, st, row, keys, vals)
 					}
 				},
 				func(state any) {
@@ -339,41 +403,26 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 		} else {
 			err := view.Heap.Scan(func(row int64, keys []int32, measures []float64) error {
 				if stats.TuplesScanned%checkEvery == 0 {
-					if err := env.canceled(); err != nil {
+					if err := checkpoint(env, hashPipes, indexPipes); err != nil {
 						return err
 					}
 				}
 				stats.TuplesScanned++
 				vals := star.TupleAggregates(view, measures)
 				for _, p := range hashPipes {
-					stats.TupleProbes++
-					if p.probe(keys, vals) {
-						stats.TuplesAgg++
-					}
+					p.scanStep(stats, keys, vals)
 				}
 				for i, p := range indexPipes {
-					stats.BitTests++
-					if bitmaps[i].Get(row) {
-						stats.TuplesFetched++
-						if p.foldFiltered(keys, vals, residuals[i]) {
-							stats.TuplesAgg++
-						}
-					}
+					indexStep(i, p, stats, row, keys, vals)
 				}
 				return nil
 			})
-			if err != nil {
+			if err != nil && err != errDetached {
 				return err
 			}
 		}
-		hashResults = make([]*Result, len(hashPipes))
-		for i, p := range hashPipes {
-			hashResults[i] = p.result()
-		}
-		indexResults = make([]*Result, len(indexPipes))
-		for i, p := range indexPipes {
-			indexResults[i] = p.result()
-		}
+		hashResults = emit(hashPipes)
+		indexResults = emit(indexPipes)
 		return nil
 	})
 	if err != nil {

@@ -25,9 +25,10 @@ func (e *Env) workers() int {
 	return e.Parallelism
 }
 
-// merge folds another pipeline's aggregation table into p; both must
-// belong to the same query.
+// merge folds another pipeline's aggregation table and own-work stats
+// into p; both must belong to the same query.
 func (p *queryPipeline) merge(o *queryPipeline) {
+	p.own.Add(o.own)
 	for k, oc := range o.agg {
 		cur, ok := p.agg[k]
 		if !ok {
@@ -74,6 +75,9 @@ func scanPartitions(rows int64, n int) [][2]int64 {
 
 // parallelScan runs process over the view's rows with env.workers()
 // partitions. mkState builds one worker's private state (pipelines);
+// check runs at the worker's cancellation checkpoints (global context
+// plus per-pipeline detachment — a worker whose pipelines have all
+// detached stops early with errDetached, which is not an error);
 // process handles one tuple; afterwards the per-worker stats and states
 // are merged via mergeState. Lookups and bitmaps must be built before
 // calling (they are shared read-only).
@@ -82,6 +86,7 @@ func parallelScan(
 	view *star.View,
 	stats *Stats,
 	mkState func() (any, error),
+	check func(state any) error,
 	process func(state any, st *Stats, row int64, keys []int32, vals [4]float64),
 	mergeState func(state any),
 ) error {
@@ -108,7 +113,7 @@ func parallelScan(
 			errs[w] = view.Heap.ScanRange(parts[w][0], parts[w][1],
 				func(row int64, keys []int32, measures []float64) error {
 					if st.TuplesScanned%checkEvery == 0 {
-						if err := env.canceled(); err != nil {
+						if err := check(states[w]); err != nil {
 							return err
 						}
 					}
@@ -120,9 +125,11 @@ func parallelScan(
 	}
 	wg.Wait()
 	for w := range parts {
-		if errs[w] != nil {
+		if errs[w] != nil && errs[w] != errDetached {
 			return errs[w]
 		}
+	}
+	for w := range parts {
 		stats.Add(workerStats[w])
 		mergeState(states[w])
 	}

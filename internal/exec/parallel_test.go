@@ -1,0 +1,85 @@
+package exec
+
+import "testing"
+
+// checkPartitions asserts the fundamental partition invariants: the
+// ranges are contiguous, non-overlapping, and together cover exactly
+// [0, rows).
+func checkPartitions(t *testing.T, rows int64, n int) [][2]int64 {
+	t.Helper()
+	parts := scanPartitions(rows, n)
+	want := n
+	if want < 1 {
+		want = 1
+	}
+	if len(parts) != want {
+		t.Fatalf("scanPartitions(%d, %d): %d parts, want %d", rows, n, len(parts), want)
+	}
+	var from int64
+	for i, p := range parts {
+		if p[0] != from {
+			t.Fatalf("scanPartitions(%d, %d): part %d starts at %d, want %d (gap or overlap)", rows, n, i, p[0], from)
+		}
+		if p[1] < p[0] {
+			t.Fatalf("scanPartitions(%d, %d): part %d is inverted: [%d, %d)", rows, n, i, p[0], p[1])
+		}
+		from = p[1]
+	}
+	if from != rows {
+		t.Fatalf("scanPartitions(%d, %d): parts cover [0, %d), want [0, %d)", rows, n, from, rows)
+	}
+	return parts
+}
+
+func TestScanPartitionsEvenSplit(t *testing.T) {
+	parts := checkPartitions(t, 100, 4)
+	for i, p := range parts {
+		if p[1]-p[0] != 25 {
+			t.Fatalf("part %d has %d rows, want 25", i, p[1]-p[0])
+		}
+	}
+}
+
+func TestScanPartitionsRemainderGoesLast(t *testing.T) {
+	parts := checkPartitions(t, 10, 3)
+	// chunk = 3, the last partition absorbs the remainder.
+	if got := parts[2][1] - parts[2][0]; got != 4 {
+		t.Fatalf("last part has %d rows, want 4", got)
+	}
+}
+
+func TestScanPartitionsFewerRowsThanWorkers(t *testing.T) {
+	// rows < workers: chunk is 0, so leading partitions are empty and
+	// the last covers everything — still contiguous and covering.
+	parts := checkPartitions(t, 5, 8)
+	for i := 0; i < 7; i++ {
+		if parts[i][0] != parts[i][1] {
+			t.Fatalf("part %d should be empty, got [%d, %d)", i, parts[i][0], parts[i][1])
+		}
+	}
+	if parts[7][0] != 0 || parts[7][1] != 5 {
+		t.Fatalf("last part is [%d, %d), want [0, 5)", parts[7][0], parts[7][1])
+	}
+}
+
+func TestScanPartitionsZeroRows(t *testing.T) {
+	parts := checkPartitions(t, 0, 4)
+	for i, p := range parts {
+		if p[0] != 0 || p[1] != 0 {
+			t.Fatalf("part %d of an empty table is [%d, %d), want [0, 0)", i, p[0], p[1])
+		}
+	}
+}
+
+func TestScanPartitionsSingleWorker(t *testing.T) {
+	parts := checkPartitions(t, 7, 1)
+	if parts[0] != [2]int64{0, 7} {
+		t.Fatalf("single worker gets %v, want [0 7]", parts[0])
+	}
+}
+
+func TestScanPartitionsInvalidWorkerCount(t *testing.T) {
+	// n < 1 degrades to one covering partition rather than panicking.
+	checkPartitions(t, 42, 0)
+	checkPartitions(t, 42, -3)
+}

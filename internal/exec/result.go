@@ -20,6 +20,14 @@ type Group struct {
 type Result struct {
 	Query  *query.Query
 	Groups []Group
+	// Own is the query's non-shared work in the pass that produced the
+	// result (probes, aggregations, fetch routing); the pass's shared
+	// work (the scan itself, page I/O) is not included. See Attribute.
+	Own Stats
+	// Err is set when the query's per-submission context (Env.QueryCtx)
+	// was canceled and its pipelines detached from the shared pass;
+	// Groups is then partial and must be discarded.
+	Err error
 }
 
 // result converts the pipeline's aggregation table into a sorted Result.

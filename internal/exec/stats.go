@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"mdxopt/internal/cost"
+	"mdxopt/internal/query"
 	"mdxopt/internal/star"
 	"mdxopt/internal/storage"
 )
@@ -94,6 +95,15 @@ type Env struct {
 	// Ctx, when non-nil, is checked periodically during scans and
 	// probes; cancellation aborts the operator with the context's error.
 	Ctx context.Context
+	// QueryCtx, when non-nil, supplies a per-query context (it may
+	// return nil for queries without one). A done per-query context
+	// detaches that query's pipelines from a shared pass — the pass
+	// continues for the other queries, and only when every pipeline of
+	// the pass has detached does the pass itself stop early. Detached
+	// queries' results carry the context's error and must be discarded.
+	// The admission scheduler uses this so one caller's cancellation
+	// never aborts a scan other callers are sharing.
+	QueryCtx func(*query.Query) context.Context
 }
 
 // NewEnv returns an Env with default options.

@@ -109,6 +109,27 @@ func (c *Class) Queries() []*query.Query {
 	return out
 }
 
+// Origins returns the distinct submission origins of the class's
+// queries in first-appearance order. A class spanning more than one
+// origin merges work across independently submitted requests — the
+// cross-request generalization of the paper's sharing.
+func (c *Class) Origins() []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, p := range c.Plans {
+		o := p.Query.Origin
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// SharesOrigins reports whether the class merges queries from more than
+// one submission.
+func (c *Class) SharesOrigins() bool { return len(c.Origins()) > 1 }
+
 func (c *Class) String() string {
 	parts := make([]string, len(c.Plans))
 	for i, p := range c.Plans {
@@ -148,11 +169,13 @@ func (g *Global) Describe() string {
 	var b strings.Builder
 	for _, c := range g.Classes {
 		fmt.Fprintf(&b, "class %s [%s]:", c.View.Name, c.Regime)
-		// Stable output: queries in name order.
+		// Stable output: queries in (origin, name) order.
 		plans := append([]*Local(nil), c.Plans...)
-		sort.Slice(plans, func(i, j int) bool { return plans[i].Query.Name < plans[j].Query.Name })
+		sort.Slice(plans, func(i, j int) bool {
+			return plans[i].Query.QualifiedName() < plans[j].Query.QualifiedName()
+		})
 		for _, p := range plans {
-			fmt.Fprintf(&b, " (%s => %s [%s])", p.Query.Name, p.View.Name, p.Method)
+			fmt.Fprintf(&b, " (%s => %s [%s])", p.Query.QualifiedName(), p.View.Name, p.Method)
 		}
 		b.WriteString("\n")
 	}

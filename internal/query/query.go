@@ -89,6 +89,12 @@ type Query struct {
 	Preds  []Predicate // one per dimension, at Levels[i]
 	// Agg is the aggregate applied to the measure (default Sum).
 	Agg Agg
+	// Origin identifies the submission the query arrived with when it is
+	// served through the admission scheduler's cross-request batches;
+	// 0 means the query was not batched. The ID flows through plan
+	// classes and the shared operators so per-submission work can be
+	// attributed and per-submission contexts can detach pipelines.
+	Origin int
 }
 
 // New validates and builds a query. preds may be nil for no restrictions.
@@ -130,6 +136,17 @@ func New(name string, schema *star.Schema, levels []int, preds []Predicate) (*Qu
 
 // GroupByName renders the target group-by in the paper's notation.
 func (q *Query) GroupByName() string { return q.Schema.GroupByName(q.Levels) }
+
+// QualifiedName is Name prefixed with the submission origin when the
+// query arrived through the admission scheduler ("s2.q1"); un-batched
+// queries (Origin 0) keep their plain name. Plans and class stats use
+// it so queries from different submissions stay distinguishable.
+func (q *Query) QualifiedName() string {
+	if q.Origin == 0 {
+		return q.Name
+	}
+	return fmt.Sprintf("s%d.%s", q.Origin, q.Name)
+}
 
 // DimSelectivity returns the estimated selectivity of dimension i's
 // predicate under the uniform assumption: |members| / card(level).

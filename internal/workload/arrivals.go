@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Arrival is one request of a simulated multi-client serving workload:
+// an MDX expression from the Q1–Q9 pool with an offset from the start
+// of the run at which a client submits it.
+type Arrival struct {
+	Name string        // pool key, "Q1".."Q9"
+	Src  string        // the MDX source
+	At   time.Duration // offset from the start of the run
+}
+
+// Arrivals draws a Poisson arrival process of n requests at the given
+// aggregate rate (requests per second): inter-arrival gaps are
+// exponential with mean 1/rate, and each request picks uniformly from
+// the Q1–Q9 pool. The sequence is deterministic for a given rng, making
+// benchmark runs repeatable.
+func Arrivals(rng *rand.Rand, n int, ratePerSec float64) []Arrival {
+	pool := MDX()
+	names := make([]string, 0, len(pool))
+	for name := range pool {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	out := make([]Arrival, n)
+	var at time.Duration
+	for i := range out {
+		if ratePerSec > 0 {
+			gap := rng.ExpFloat64() / ratePerSec
+			at += time.Duration(gap * float64(time.Second))
+		}
+		name := names[rng.Intn(len(names))]
+		out[i] = Arrival{Name: name, Src: pool[name], At: at}
+	}
+	return out
+}
+
+// PerClient deals arrivals round-robin to clients goroutine-friendly:
+// each client replays its own slice, pacing by the shared At offsets,
+// which preserves the aggregate Poisson process.
+func PerClient(arrivals []Arrival, clients int) [][]Arrival {
+	if clients < 1 {
+		clients = 1
+	}
+	out := make([][]Arrival, clients)
+	for i, a := range arrivals {
+		c := i % clients
+		out[c] = append(out[c], a)
+	}
+	return out
+}

@@ -27,7 +27,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"mdxopt/internal/core"
 	"mdxopt/internal/cost"
@@ -36,6 +39,7 @@ import (
 	"mdxopt/internal/mdx"
 	"mdxopt/internal/plan"
 	"mdxopt/internal/query"
+	"mdxopt/internal/sched"
 	"mdxopt/internal/star"
 )
 
@@ -75,26 +79,51 @@ type SchemaSpec struct {
 
 // DB is an open mdxopt database.
 //
-// Queries (Query, QueryWith, Explain) may be issued concurrently from
-// multiple goroutines. Mutations — Load, Materialize, BuildBitmapIndex,
-// Refresh, Compact — must not run concurrently with each other or with
-// queries.
+// Queries (Query, QueryWith, QueryContext, Explain) may be issued
+// concurrently from multiple goroutines. Mutations — Materialize,
+// MaterializeMulti, BuildBitmapIndex, Refresh, Compact, and a Loader's
+// Close — are serialized internally against each other and against
+// in-flight queries: a mutation waits for running queries to finish and
+// blocks new ones until it completes. The only remaining caller
+// obligation is the Loader itself: its Add/AddCodes calls must not run
+// concurrently with queries or other mutations (Close marks the safe
+// point).
 type DB struct {
 	db *star.Database
 
+	// stateMu serializes database mutations (writers) against queries
+	// (readers).
+	stateMu sync.RWMutex
+
 	// Plan cache: optimized global plans keyed by (MDX text, options),
 	// invalidated whenever the database mutates (loads, refreshes,
-	// materializations, index changes). Guarded by mu.
-	mu        sync.Mutex
-	gen       uint64
-	planCache map[string]cachedPlan
-	cacheHits int64
+	// materializations, index changes). Guarded by mu. batchCache is the
+	// cross-request analogue, keyed by batch composition.
+	mu         sync.Mutex
+	gen        uint64
+	planCache  map[string]cachedPlan
+	batchCache map[string]cachedBatch
+	cacheHits  int64
+
+	// Admission scheduler for batched serving (Options.Batching /
+	// EnableBatching). Guarded by schedMu.
+	schedMu  sync.Mutex
+	batcher  *sched.Scheduler
+	batchCfg BatchConfig
 }
 
 type cachedPlan struct {
 	gen     uint64
 	queries []*query.Query
 	global  *plan.Global
+}
+
+type cachedBatch struct {
+	gen uint64
+	// perPos holds the query set of each submission in the key's sorted
+	// order; the global plan references exactly these objects.
+	perPos [][]*query.Query
+	global *plan.Global
 }
 
 // maxCachedPlans bounds the plan cache; eviction is wholesale (the cache
@@ -106,6 +135,7 @@ func (d *DB) invalidate() {
 	d.mu.Lock()
 	d.gen++
 	d.planCache = nil
+	d.batchCache = nil
 	d.mu.Unlock()
 }
 
@@ -132,6 +162,14 @@ type Options struct {
 	// (per-worker aggregation tables merged afterwards). Values below 2
 	// run serially.
 	Parallelism int
+	// Batching routes the query through the admission scheduler: it is
+	// held for a short window, merged with other concurrent submissions
+	// into one cross-request query set, optimized and executed as a
+	// single global plan, and demultiplexed back. The batched path uses
+	// the scheduler's BatchConfig for algorithm and execution settings
+	// (EnableBatching; defaults apply otherwise), so the other fields of
+	// this struct are ignored when Batching is set.
+	Batching bool
 }
 
 // Create makes a new database directory with the given schema. Facts are
@@ -174,15 +212,37 @@ func CreateSample(dir string, scale float64) (*DB, error) {
 
 // Open opens an existing database directory.
 func Open(dir string) (*DB, error) {
-	db, err := star.Open(dir, 2048)
+	return OpenWith(dir, OpenOptions{})
+}
+
+// OpenOptions configures Open.
+type OpenOptions struct {
+	// PoolFrames sizes the buffer pool (frames of 8 KiB; default 2048).
+	// Small pools model datasets much larger than memory: repeated scans
+	// pay physical page reads instead of hitting the pool, which is the
+	// regime where sharing one pass across requests matters most.
+	PoolFrames int
+}
+
+// OpenWith opens an existing database directory with explicit options.
+func OpenWith(dir string, opts OpenOptions) (*DB, error) {
+	frames := opts.PoolFrames
+	if frames <= 0 {
+		frames = 2048
+	}
+	db, err := star.Open(dir, frames)
 	if err != nil {
 		return nil, err
 	}
 	return &DB{db: db}, nil
 }
 
-// Close persists metadata and closes all files.
-func (d *DB) Close() error { return d.db.Close() }
+// Close stops the admission scheduler (if batching was enabled),
+// persists metadata and closes all files.
+func (d *DB) Close() error {
+	d.DisableBatching()
+	return d.db.Close()
+}
 
 // Dimensions returns the dimension names in schema order.
 func (d *DB) Dimensions() []string {
@@ -247,6 +307,8 @@ func (d *DB) Materialize(levelNames ...string) error {
 	if err != nil {
 		return err
 	}
+	d.stateMu.Lock()
+	defer d.stateMu.Unlock()
 	if _, err := d.db.Materialize(levels); err != nil {
 		return err
 	}
@@ -262,6 +324,8 @@ func (d *DB) MaterializeMulti(levelNames ...string) error {
 	if err != nil {
 		return err
 	}
+	d.stateMu.Lock()
+	defer d.stateMu.Unlock()
 	if _, err := d.db.MaterializeMulti(levels); err != nil {
 		return err
 	}
@@ -287,6 +351,8 @@ func (d *DB) buildIndex(dim string, levelNames []string, compressed bool) error 
 	if err != nil {
 		return err
 	}
+	d.stateMu.Lock()
+	defer d.stateMu.Unlock()
 	v := d.db.ViewByLevels(levels)
 	if v == nil {
 		return fmt.Errorf("mdxopt: group-by %v is not materialized", levelNames)
@@ -317,6 +383,8 @@ func (d *DB) StaleViews() []string {
 // rebuilds affected bitmap join indexes. Refreshed views may hold
 // several rows per group (results stay exact); Compact merges them.
 func (d *DB) Refresh() error {
+	d.stateMu.Lock()
+	defer d.stateMu.Unlock()
 	d.invalidate()
 	return d.db.Refresh()
 }
@@ -328,6 +396,8 @@ func (d *DB) Compact(levelNames ...string) error {
 	if err != nil {
 		return err
 	}
+	d.stateMu.Lock()
+	defer d.stateMu.Unlock()
 	v := d.db.ViewByLevels(levels)
 	if v == nil {
 		return fmt.Errorf("mdxopt: group-by %v is not materialized", levelNames)
@@ -380,8 +450,11 @@ func (l *Loader) AddCodes(codes []int32, measure float64) error {
 }
 
 // Close flushes the loader and invalidates cached plans (materialized
-// views are now stale and plan choices may change).
+// views are now stale and plan choices may change). It serializes with
+// in-flight queries like the other mutations.
 func (l *Loader) Close() error {
+	l.db.stateMu.Lock()
+	defer l.db.stateMu.Unlock()
 	l.db.invalidate()
 	return l.app.Close()
 }
@@ -428,6 +501,20 @@ type Answer struct {
 	Plan    string // the global plan in the paper's notation
 	Classes []ClassStats
 	Stats   Stats
+
+	// Batched reports that the query went through the admission
+	// scheduler. Plan then describes the whole merged batch, Classes
+	// holds only the passes this request participated in (batch mates'
+	// queries appear origin-qualified, e.g. "s2.q1"), and Stats is this
+	// request's attributed share of the work: its non-shared operators
+	// exactly, plus an equal split of each shared pass.
+	Batched bool
+	// BatchSize is how many concurrent requests the merged batch held
+	// (1 when the window closed with no company). Zero when not batched.
+	BatchSize int
+	// SharedWith counts the *other* requests whose queries shared at
+	// least one pass with this one's; 0 means every pass was private.
+	SharedWith int
 }
 
 // Query parses, optimizes (with GG over the full cost model) and
@@ -442,8 +529,16 @@ func (d *DB) QueryWith(src string, opts Options) (*Answer, error) {
 }
 
 // QueryContext is QueryWith with cancellation: scans check ctx
-// periodically and abort with its error when it is done.
+// periodically and abort with its error when it is done. With
+// opts.Batching the request is admitted to the scheduler instead, and
+// cancellation detaches only this request's pipelines — a shared pass
+// keeps running for the other requests in the batch.
 func (d *DB) QueryContext(ctx context.Context, src string, opts Options) (*Answer, error) {
+	if opts.Batching {
+		return d.queryBatched(ctx, src)
+	}
+	d.stateMu.RLock()
+	defer d.stateMu.RUnlock()
 	queries, g, err := d.plan(src, opts)
 	if err != nil {
 		return nil, err
@@ -488,6 +583,8 @@ func (d *DB) plan(src string, opts Options) ([]*query.Query, *plan.Global, error
 // Explain parses and optimizes an MDX expression, returning the global
 // plan without executing it.
 func (d *DB) Explain(src string, opts Options) (string, error) {
+	d.stateMu.RLock()
+	defer d.stateMu.RUnlock()
 	queries, err := mdx.ParseAndTranslate(d.db.Schema, src)
 	if err != nil {
 		return "", err
@@ -532,17 +629,8 @@ func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, op
 		return nil, err
 	}
 	ans := &Answer{Plan: g.Describe()}
-	model := cost.Default()
 	for _, cs := range classStats {
-		ans.Classes = append(ans.Classes, ClassStats{
-			View:             cs.View,
-			Regime:           cs.Regime,
-			Queries:          cs.Queries,
-			PageReads:        cs.Stats.IO.Reads(),
-			TuplesScanned:    cs.Stats.TuplesScanned,
-			TuplesFetched:    cs.Stats.TuplesFetched,
-			SimulatedSeconds: cs.Stats.SimulatedSeconds(model),
-		})
+		ans.Classes = append(ans.Classes, classStatsOut(cs))
 	}
 	for i, q := range queries {
 		ans.Queries = append(ans.Queries, d.formatResult(q, results[i]))
@@ -555,6 +643,20 @@ func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, op
 		WallNanos:        int64(st.Wall),
 	}
 	return ans, nil
+}
+
+// classStatsOut converts one class's execution breakdown to the public
+// shape.
+func classStatsOut(cs core.ClassStat) ClassStats {
+	return ClassStats{
+		View:             cs.View,
+		Regime:           cs.Regime,
+		Queries:          cs.Queries,
+		PageReads:        cs.Stats.IO.Reads(),
+		TuplesScanned:    cs.Stats.TuplesScanned,
+		TuplesFetched:    cs.Stats.TuplesFetched,
+		SimulatedSeconds: cs.Stats.SimulatedSeconds(cost.Default()),
+	}
 }
 
 func (d *DB) formatResult(q *query.Query, r *exec.Result) QueryResult {
@@ -575,4 +677,232 @@ func (d *DB) formatResult(q *query.Query, r *exec.Result) QueryResult {
 		qr.Rows = append(qr.Rows, row)
 	}
 	return qr
+}
+
+// Batched serving.
+//
+// With batching enabled, concurrent requests are admitted to a
+// scheduler that collects them for a short window and optimizes the
+// whole cross-request query set as one — the paper's multi-query
+// optimization applied across independent callers instead of within one
+// MDX expression. Requests whose queries land in the same plan class
+// share a single scan or probe pass; each caller gets its own results,
+// an attributed share of the work, and Answer.SharedWith reporting how
+// many other requests it shared a pass with.
+
+// ErrBusy is returned by batched queries when the admission queue is
+// full — backpressure; retry after a pause.
+var ErrBusy = sched.ErrQueueFull
+
+// BatchConfig configures the admission scheduler (EnableBatching).
+type BatchConfig struct {
+	// Window is how long the scheduler collects concurrent submissions
+	// after the first arrives (default 3ms; 2–10ms is the useful range —
+	// longer merges more work, shorter bounds added latency).
+	Window time.Duration
+	// MaxBatch caps submissions merged into one batch (default 16); a
+	// full batch runs without waiting out the window.
+	MaxBatch int
+	// MaxQueue bounds the admission queue; submissions beyond it fail
+	// with ErrBusy (default 64).
+	MaxQueue int
+	// Algorithm is the multi-query optimization algorithm for merged
+	// batches (default GG).
+	Algorithm Algorithm
+	// PaperPlanSpace confines batch plans to the paper's plan space.
+	PaperPlanSpace bool
+	// Parallelism partitions each batch's shared scans across workers.
+	Parallelism int
+	// ColdCache flushes the buffer pool before every batch, as in the
+	// paper's measurements.
+	ColdCache bool
+}
+
+// EnableBatching (re)starts the admission scheduler with the given
+// configuration. Queries opt in per call with Options.Batching; a query
+// with Batching set before EnableBatching starts a scheduler with
+// default configuration.
+func (d *DB) EnableBatching(cfg BatchConfig) {
+	d.DisableBatching()
+	d.schedMu.Lock()
+	defer d.schedMu.Unlock()
+	d.batchCfg = cfg
+	d.batcher = sched.New(sched.Config{
+		Window:   cfg.Window,
+		MaxBatch: cfg.MaxBatch,
+		MaxQueue: cfg.MaxQueue,
+		Run:      d.runBatchSubs,
+	})
+}
+
+// DisableBatching stops the admission scheduler; in-flight submissions
+// fail with an error. Queries with Options.Batching lazily restart it.
+func (d *DB) DisableBatching() {
+	d.schedMu.Lock()
+	s := d.batcher
+	d.batcher = nil
+	d.schedMu.Unlock()
+	if s != nil {
+		s.Stop()
+	}
+}
+
+// BatchStats snapshots the admission scheduler's counters.
+type BatchStats struct {
+	Batches     int64 // batches executed
+	Submissions int64 // requests admitted
+	Coalesced   int64 // requests that ran in a batch with company
+	Rejected    int64 // requests refused with ErrBusy
+}
+
+// BatchStats reports scheduler activity since batching was enabled.
+func (d *DB) BatchStats() BatchStats {
+	d.schedMu.Lock()
+	s := d.batcher
+	d.schedMu.Unlock()
+	if s == nil {
+		return BatchStats{}
+	}
+	m := s.Metrics()
+	return BatchStats{Batches: m.Batches, Submissions: m.Submissions, Coalesced: m.Coalesced, Rejected: m.Rejected}
+}
+
+// ensureBatcher returns the scheduler, starting one with default
+// configuration on first use.
+func (d *DB) ensureBatcher() *sched.Scheduler {
+	d.schedMu.Lock()
+	defer d.schedMu.Unlock()
+	if d.batcher == nil {
+		d.batcher = sched.New(sched.Config{Run: d.runBatchSubs})
+	}
+	return d.batcher
+}
+
+// queryBatched parses the expression, submits it to the scheduler, and
+// shapes the demultiplexed outcome into an Answer.
+func (d *DB) queryBatched(ctx context.Context, src string) (*Answer, error) {
+	queries, err := mdx.ParseAndTranslate(d.db.Schema, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(queries) == 0 {
+		return nil, errors.New("mdxopt: expression denotes no queries")
+	}
+	out, err := d.ensureBatcher().Submit(ctx, src, queries)
+	if err != nil {
+		return nil, err
+	}
+	ans := &Answer{
+		Plan:       out.Plan,
+		Batched:    true,
+		BatchSize:  out.BatchSize,
+		SharedWith: out.SharedWith,
+	}
+	for _, cs := range out.Classes {
+		ans.Classes = append(ans.Classes, classStatsOut(cs))
+	}
+	var st exec.Stats
+	for _, qs := range out.PerQuery {
+		st.Add(qs)
+	}
+	for i, q := range out.Queries {
+		ans.Queries = append(ans.Queries, d.formatResult(q, out.Results[i]))
+	}
+	ans.Stats = Stats{
+		PageReads:        st.IO.Reads(),
+		TuplesScanned:    st.TuplesScanned,
+		TuplesFetched:    st.TuplesFetched,
+		SimulatedSeconds: st.SimulatedSeconds(cost.Default()),
+		WallNanos:        int64(st.Wall),
+	}
+	return ans, nil
+}
+
+// runBatchSubs evaluates one admitted batch: it holds the read lock (so
+// mutations wait out the batch), prepares the execution environment,
+// and hands the cross-request pipeline to sched.Exec.
+func (d *DB) runBatchSubs(subs []*sched.Submission) {
+	d.schedMu.Lock()
+	cfg := d.batchCfg
+	d.schedMu.Unlock()
+	d.stateMu.RLock()
+	defer d.stateMu.RUnlock()
+	if cfg.ColdCache {
+		if err := d.db.ColdReset(); err != nil {
+			for _, sub := range subs {
+				sub.Finish(&sched.Outcome{Err: err})
+			}
+			return
+		}
+	}
+	env := exec.NewEnv(d.db)
+	env.Parallelism = cfg.Parallelism
+	planFn := func(subQ [][]*query.Query, keys []string) ([][]*query.Query, *plan.Global, error) {
+		return d.planBatch(cfg, subQ, keys)
+	}
+	sched.Exec(env, planFn, subs)
+}
+
+// planBatch optimizes a merged cross-request query set, consulting the
+// batch plan cache. The cache is keyed by batch *composition* — the
+// multiset of member MDX sources plus planning options — so a recurring
+// mix of concurrent requests replans nothing, while any new mix
+// optimizes fresh. On a hit the submissions' freshly parsed queries are
+// replaced by the cached ones the stored plan references.
+func (d *DB) planBatch(cfg BatchConfig, subQueries [][]*query.Query, keys []string) ([][]*query.Query, *plan.Global, error) {
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	sortedKeys := make([]string, len(order))
+	for p, i := range order {
+		sortedKeys[p] = keys[i]
+	}
+	ckey := fmt.Sprintf("batch|%s|%t|%s", cfg.Algorithm, cfg.PaperPlanSpace, strings.Join(sortedKeys, "\x1f"))
+
+	d.mu.Lock()
+	if c, ok := d.batchCache[ckey]; ok && c.gen == d.gen && len(c.perPos) == len(order) {
+		valid := true
+		for p, i := range order {
+			if len(c.perPos[p]) != len(subQueries[i]) {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			d.cacheHits++
+			out := make([][]*query.Query, len(subQueries))
+			for p, i := range order {
+				out[i] = c.perPos[p]
+			}
+			g := c.global
+			d.mu.Unlock()
+			return out, g, nil
+		}
+	}
+	gen := d.gen
+	d.mu.Unlock()
+
+	// Optimize the merged set in composition order so equal batches
+	// yield identical plans regardless of arrival order.
+	var merged []*query.Query
+	perPos := make([][]*query.Query, len(order))
+	for p, i := range order {
+		perPos[p] = subQueries[i]
+		merged = append(merged, subQueries[i]...)
+	}
+	g, _, err := d.optimize(merged, Options{Algorithm: cfg.Algorithm, PaperPlanSpace: cfg.PaperPlanSpace})
+	if err != nil {
+		return nil, nil, err
+	}
+	d.mu.Lock()
+	if d.gen == gen {
+		if d.batchCache == nil || len(d.batchCache) >= maxCachedPlans {
+			d.batchCache = make(map[string]cachedBatch)
+		}
+		d.batchCache[ckey] = cachedBatch{gen: gen, perPos: perPos, global: g}
+	}
+	d.mu.Unlock()
+	return subQueries, g, nil
 }

@@ -19,6 +19,9 @@ func TestMain(m *testing.M) {
 	if sampleDir != "" {
 		os.RemoveAll(sampleDir)
 	}
+	if serveDBDir != "" {
+		os.RemoveAll(serveDBDir)
+	}
 	os.Exit(code)
 }
 

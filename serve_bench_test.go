@@ -1,0 +1,130 @@
+package mdxopt
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mdxopt/internal/workload"
+)
+
+// Serving benchmarks: a multi-client burst of Q1–Q9 requests against a
+// pool much smaller than the data, served batched (admission scheduler
+// merging concurrent requests into shared passes) versus separate (each
+// request planned and executed on its own). Reported metrics: queries/s
+// and the total attributed physical page reads per iteration.
+
+const (
+	serveClients          = 8
+	serveQueriesPerClient = 4
+	servePoolFrames       = 64
+)
+
+var (
+	serveDBOnce sync.Once
+	serveDB     *DB
+	serveDBDir  string
+	serveDBErr  error
+)
+
+// serveFixture builds the sample database once per benchmark binary and
+// reopens it with a deliberately small buffer pool.
+func serveFixture(b *testing.B) *DB {
+	b.Helper()
+	serveDBOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "mdxopt-serve-bench")
+		if err != nil {
+			serveDBErr = err
+			return
+		}
+		serveDBDir = dir
+		dbDir := filepath.Join(dir, "db")
+		db, err := CreateSample(dbDir, benchScale())
+		if err != nil {
+			serveDBErr = err
+			return
+		}
+		if err := db.Close(); err != nil {
+			serveDBErr = err
+			return
+		}
+		serveDB, serveDBErr = OpenWith(dbDir, OpenOptions{PoolFrames: servePoolFrames})
+	})
+	if serveDBErr != nil {
+		b.Fatal(serveDBErr)
+	}
+	return serveDB
+}
+
+// serveWorkload deals a deterministic Poisson arrival sequence to the
+// clients; the same seed keeps both benchmarks on identical request
+// streams.
+func serveWorkload() [][]workload.Arrival {
+	rng := rand.New(rand.NewSource(7))
+	arrivals := workload.Arrivals(rng, serveClients*serveQueriesPerClient, 2000)
+	return workload.PerClient(arrivals, serveClients)
+}
+
+// serveRun replays the workload with one goroutine per client, pacing
+// each request by its arrival offset, and returns the attributed page
+// reads across all answers.
+func serveRun(b *testing.B, db *DB, opts Options) int64 {
+	b.Helper()
+	perClient := serveWorkload()
+	start := time.Now()
+	var pages atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, serveClients)
+	for _, reqs := range perClient {
+		wg.Add(1)
+		go func(reqs []workload.Arrival) {
+			defer wg.Done()
+			for _, req := range reqs {
+				if wait := req.At - time.Since(start); wait > 0 {
+					time.Sleep(wait)
+				}
+				a, err := db.QueryContext(context.Background(), req.Src, opts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				pages.Add(a.Stats.PageReads)
+			}
+		}(reqs)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+	return pages.Load()
+}
+
+func serveBench(b *testing.B, opts Options) {
+	db := serveFixture(b)
+	if opts.Batching {
+		// MaxBatch equal to the client count keeps the closed loop from
+		// waiting out the window once every client is in flight: a full
+		// batch launches immediately.
+		db.EnableBatching(BatchConfig{Window: 5 * time.Millisecond, MaxBatch: serveClients, MaxQueue: 256})
+		defer db.DisableBatching()
+	}
+	queries := int64(serveClients * serveQueriesPerClient)
+	var pages int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pages += serveRun(b, db, opts)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(pages)/float64(b.N), "pages/run")
+	b.ReportMetric(float64(queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+func BenchmarkServeBatched(b *testing.B)  { serveBench(b, Options{Batching: true}) }
+func BenchmarkServeSeparate(b *testing.B) { serveBench(b, Options{}) }
