@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench serve-bench clean
+.PHONY: check build vet test race bench go-bench scan-bench serve-bench clean
 
 # The full gate: compile everything, vet, and run the test suite under
 # the race detector.
@@ -18,13 +18,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# All benchmarks: the Go micro/paper benchmarks plus the scan and serve
+# experiments (both seeded deterministically; they write BENCH_scan.json
+# and BENCH_serve.json).
+bench: go-bench scan-bench serve-bench
+
 # Paper experiment benchmarks (Tests 1-7 etc.).
-bench:
-	$(GO) test -bench . -benchtime 1x -run xxx ./...
+go-bench:
+	$(GO) test -bench . -benchtime 1x -benchmem -run xxx ./...
+
+# The storage hot-path grid (workers x pool sharding x readahead);
+# writes BENCH_scan.json.
+scan-bench:
+	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-scandb -scale 0.1 -exp scan -json BENCH_scan.json
 
 # The serving-layer comparison; writes BENCH_serve.json.
 serve-bench:
 	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-servedb -scale 0.1 -exp serve -json BENCH_serve.json
 
 clean:
-	rm -rf /tmp/mdxopt-servedb
+	rm -rf /tmp/mdxopt-servedb /tmp/mdxopt-scandb

@@ -28,14 +28,20 @@ func main() {
 	log.SetPrefix("mdxbench: ")
 	dir := flag.String("dir", "mdxbenchdb", "database directory (built if missing)")
 	scale := flag.Float64("scale", 0.1, "scale factor (1.0 = the paper's 2M rows)")
-	exp := flag.String("exp", "all", "experiment: all, table1, test1..test7, study, ablations, serve")
-	jsonOut := flag.String("json", "", "write the serve experiment's report to this JSON file")
+	exp := flag.String("exp", "all", "experiment: all, table1, test1..test7, study, ablations, serve, scan")
+	jsonOut := flag.String("json", "", "write the serve/scan experiment's report to this JSON file")
 	flag.Parse()
 
-	// The serve experiment opens the database itself (it needs a
-	// deliberately small buffer pool).
+	// The serve and scan experiments open the database themselves (they
+	// need deliberately sized/sharded buffer pools).
 	if *exp == "serve" {
 		if err := runServe(os.Stdout, *dir, *scale, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *exp == "scan" {
+		if err := runScan(os.Stdout, *dir, *scale, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"mdxopt/internal/datagen"
+	"mdxopt/internal/exec"
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+	"mdxopt/internal/storage"
+	"mdxopt/internal/workload"
+)
+
+// The scan experiment measures the storage hot path this repository
+// rebuilt for concurrency: the shared scan (Q1–Q4's hash star-join
+// pipelines over the base table) is run across a grid of worker counts
+// × buffer-pool sharding × sequential readahead. Because the interesting
+// quantity is how well the pool overlaps I/O with per-tuple CPU — not
+// how fast the host's page cache is — every physical read of the base
+// table carries a fixed simulated latency (the cost model's ballpark for
+// a sequential page), injected through the storage layer's fault hook.
+
+// scanConfig parameterizes the scan experiment.
+type scanConfig struct {
+	Scale      float64  `json:"scale"`
+	Seed       int64    `json:"seed"` // datagen is seeded; recorded for reproducibility
+	PoolFrames int      `json:"pool_frames"`
+	Shards     int      `json:"pool_shards"` // the "sharded" side of the grid
+	Readahead  int      `json:"readahead_pages"`
+	LatencyUS  int      `json:"simulated_read_latency_us"`
+	Reps       int      `json:"reps"`
+	Queries    []string `json:"queries"`
+	BaseRows   int64    `json:"base_rows"`
+	BasePages  int64    `json:"base_pages"`
+}
+
+// scanVariant is one cell of the grid.
+type scanVariant struct {
+	Workers      int     `json:"workers"`
+	Shards       int     `json:"shards"`
+	Prefetch     bool    `json:"prefetch"`
+	WallMS       float64 `json:"wall_ms"` // mean over reps
+	RowsPerSec   float64 `json:"rows_per_sec"`
+	PageReads    int64   `json:"page_reads"` // per rep
+	Prefetched   int64   `json:"prefetched"`
+	PrefetchHits int64   `json:"prefetch_hits"`
+}
+
+type scanReport struct {
+	Config   scanConfig    `json:"config"`
+	Variants []scanVariant `json:"variants"`
+	// Derived acceptance figures.
+	Speedup8Workers        float64 `json:"speedup_8_workers"`         // sharded w=1 / sharded w=8, prefetch off
+	ShardedVsGlobal8       float64 `json:"sharded_vs_global_8"`       // global w=8 / sharded w=8, prefetch off
+	PrefetchGain1Worker    float64 `json:"prefetch_gain_1_worker"`    // sharded w=1 off / on
+	SingleWorkerReadsEqual bool    `json:"single_worker_reads_equal"` // page reads identical across all w=1 cells
+	SingleWorkerPageReads  int64   `json:"single_worker_page_reads"`  // the common w=1 count
+}
+
+// runScanVariant opens the database with the variant's pool, installs
+// the read latency on the base table, and runs the shared scan reps
+// times cold, verifying results against want (or filling it on the
+// first variant).
+func runScanVariant(dir string, cfg scanConfig, workers, shards int, prefetch bool, queries []string, want *[]*exec.Result) (scanVariant, error) {
+	v := scanVariant{Workers: workers, Shards: shards, Prefetch: prefetch}
+	readahead := 0
+	if prefetch {
+		readahead = cfg.Readahead
+	}
+	db, err := star.OpenWith(dir, storage.PoolOpts{
+		Frames:    cfg.PoolFrames,
+		Shards:    shards,
+		Readahead: readahead,
+	})
+	if err != nil {
+		return v, err
+	}
+	defer db.Close()
+
+	qs, err := workload.PaperQueries(db.Schema)
+	if err != nil {
+		return v, err
+	}
+	batch := make([]*query.Query, len(queries))
+	for i, name := range queries {
+		q, ok := qs[name]
+		if !ok {
+			return v, fmt.Errorf("unknown query %s", name)
+		}
+		batch[i] = q
+	}
+
+	// Charge every physical read of the base table the simulated
+	// latency; dimension tables (a handful of pages, read once into the
+	// lookup tables) stay fast so the measurement isolates the scan.
+	latency := time.Duration(cfg.LatencyUS) * time.Microsecond
+	db.Base().Heap.File().Disk().SetFault(func(op string, page uint32) error {
+		if op == "read" {
+			time.Sleep(latency)
+		}
+		return nil
+	})
+	defer db.Base().Heap.File().Disk().SetFault(nil)
+
+	env := exec.NewEnv(db)
+	env.Parallelism = workers
+
+	rows := db.Base().Rows()
+	var wall time.Duration
+	var reads, prefetched, hits int64
+	for rep := -1; rep < cfg.Reps; rep++ { // rep -1 is the warm-up
+		if err := db.ColdReset(); err != nil {
+			return v, err
+		}
+		var st exec.Stats
+		start := time.Now()
+		results, err := exec.SharedScanHash(env, db.Base(), batch, &st)
+		if err != nil {
+			return v, err
+		}
+		elapsed := time.Since(start)
+		if *want == nil {
+			*want = results
+		} else {
+			for i := range results {
+				if !results[i].Equal((*want)[i]) {
+					return v, fmt.Errorf("workers=%d shards=%d prefetch=%v: query %s result differs from baseline",
+						workers, shards, prefetch, queries[i])
+				}
+			}
+		}
+		if rep < 0 {
+			continue
+		}
+		wall += elapsed
+		reads += st.IO.Reads()
+		prefetched += st.IO.Prefetched
+		hits += st.IO.PrefetchHits
+	}
+	mean := wall / time.Duration(cfg.Reps)
+	v.WallMS = float64(mean.Microseconds()) / 1e3
+	v.RowsPerSec = float64(rows) / mean.Seconds()
+	v.PageReads = reads / int64(cfg.Reps)
+	v.Prefetched = prefetched / int64(cfg.Reps)
+	v.PrefetchHits = hits / int64(cfg.Reps)
+	return v, nil
+}
+
+// runScan builds (or reuses) the benchmark database and sweeps the
+// worker × sharding × prefetch grid, printing a table and optionally
+// writing the JSON report.
+func runScan(w io.Writer, dir string, scale float64, jsonPath string) error {
+	cfg := scanConfig{
+		Scale:      scale,
+		Seed:       datagen.PaperSpec(scale).Seed,
+		PoolFrames: 256,
+		Shards:     16,
+		Readahead:  8,
+		LatencyUS:  300,
+		Reps:       3,
+		Queries:    []string{"Q1", "Q2", "Q3", "Q4"},
+	}
+
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		start := time.Now()
+		db, err := datagen.Build(dir, datagen.PaperSpec(scale))
+		if err != nil {
+			return err
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "built database in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+	{
+		db, err := star.Open(dir, 64)
+		if err != nil {
+			return err
+		}
+		cfg.BaseRows = db.Base().Rows()
+		cfg.BasePages = db.Base().Heap.DataPages()
+		if err := db.Close(); err != nil {
+			return err
+		}
+	}
+
+	type cell struct {
+		workers, shards int
+		prefetch        bool
+	}
+	var grid []cell
+	for _, workers := range []int{1, 4, 8} {
+		for _, shards := range []int{1, cfg.Shards} {
+			for _, prefetch := range []bool{false, true} {
+				grid = append(grid, cell{workers, shards, prefetch})
+			}
+		}
+	}
+	sort.SliceStable(grid, func(i, j int) bool { return grid[i].workers < grid[j].workers })
+
+	fmt.Fprintf(w, "scan: %d rows (%d pages), %d-frame pool, %dµs/page simulated read latency, queries %v\n",
+		cfg.BaseRows, cfg.BasePages, cfg.PoolFrames, cfg.LatencyUS, cfg.Queries)
+	fmt.Fprintf(w, "  %-8s %-7s %-8s %10s %14s %10s %12s\n",
+		"workers", "shards", "prefetch", "wall ms", "rows/s", "reads", "pf hit/read")
+
+	var want []*exec.Result
+	rep := scanReport{Config: cfg}
+	byCell := map[cell]scanVariant{}
+	for _, c := range grid {
+		v, err := runScanVariant(dir, cfg, c.workers, c.shards, c.prefetch, cfg.Queries, &want)
+		if err != nil {
+			return err
+		}
+		rep.Variants = append(rep.Variants, v)
+		byCell[c] = v
+		fmt.Fprintf(w, "  %-8d %-7d %-8v %10.2f %14.0f %10d %7d/%d\n",
+			v.Workers, v.Shards, v.Prefetch, v.WallMS, v.RowsPerSec, v.PageReads, v.PrefetchHits, v.Prefetched)
+	}
+
+	sharded1 := byCell[cell{1, cfg.Shards, false}]
+	sharded8 := byCell[cell{8, cfg.Shards, false}]
+	global8 := byCell[cell{8, 1, false}]
+	sharded1pf := byCell[cell{1, cfg.Shards, true}]
+	if sharded8.WallMS > 0 {
+		rep.Speedup8Workers = sharded1.WallMS / sharded8.WallMS
+		rep.ShardedVsGlobal8 = global8.WallMS / sharded8.WallMS
+	}
+	if sharded1pf.WallMS > 0 {
+		rep.PrefetchGain1Worker = sharded1.WallMS / sharded1pf.WallMS
+	}
+	rep.SingleWorkerReadsEqual = true
+	rep.SingleWorkerPageReads = sharded1.PageReads
+	for _, v := range rep.Variants {
+		if v.Workers == 1 && v.PageReads != rep.SingleWorkerPageReads {
+			rep.SingleWorkerReadsEqual = false
+		}
+	}
+
+	fmt.Fprintf(w, "  8-worker speedup over 1 worker (sharded): %.2fx\n", rep.Speedup8Workers)
+	fmt.Fprintf(w, "  sharded vs global pool at 8 workers:      %.2fx\n", rep.ShardedVsGlobal8)
+	fmt.Fprintf(w, "  readahead gain at 1 worker:               %.2fx\n", rep.PrefetchGain1Worker)
+	fmt.Fprintf(w, "  single-worker page reads equal:           %v (%d)\n",
+		rep.SingleWorkerReadsEqual, rep.SingleWorkerPageReads)
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

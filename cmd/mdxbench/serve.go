@@ -33,7 +33,7 @@ type serveConfig struct {
 
 // serveSide is the measured outcome of one serving mode.
 type serveSide struct {
-	WallMS     float64 `json:"wall_ms"`      // mean per rep
+	WallMS     float64 `json:"wall_ms"` // mean per rep
 	QueriesSec float64 `json:"queries_per_sec"`
 	PageReads  int64   `json:"page_reads"` // attributed, mean per rep
 }

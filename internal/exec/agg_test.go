@@ -211,8 +211,9 @@ func TestScanPartitions(t *testing.T) {
 	for _, c := range []struct {
 		rows int64
 		n    int
-	}{{100, 3}, {7, 10}, {0, 2}, {5, 1}, {1000, 4}} {
-		parts := scanPartitions(c.rows, c.n)
+		tpp  int
+	}{{100, 3, 8}, {7, 10, 3}, {0, 2, 5}, {5, 1, 409}, {1000, 4, 13}} {
+		parts := scanPartitions(c.rows, c.n, c.tpp)
 		var covered int64
 		prev := int64(0)
 		for _, p := range parts {

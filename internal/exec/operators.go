@@ -7,6 +7,7 @@ import (
 	"mdxopt/internal/bitmap"
 	"mdxopt/internal/query"
 	"mdxopt/internal/star"
+	"mdxopt/internal/table"
 )
 
 // ErrNoIndex is returned when an index star join is requested on a view
@@ -101,6 +102,16 @@ func SharedScanHash(env *Env, view *star.View, queries []*query.Query, stats *St
 			}
 			pipelines[i] = p
 		}
+		// scanBatch feeds one decoded page of tuples to a pipeline set.
+		scanBatch := func(set []*queryPipeline, st *Stats, b *table.Batch) {
+			for t := 0; t < b.N; t++ {
+				keys, measures := b.Row(t)
+				vals := star.TupleAggregates(view, measures)
+				for _, p := range set {
+					p.scanStep(st, keys, vals)
+				}
+			}
+		}
 		if env.workers() > 1 {
 			err := parallelScan(env, view, stats,
 				func() (any, error) {
@@ -117,10 +128,8 @@ func SharedScanHash(env *Env, view *star.View, queries []*query.Query, stats *St
 				func(state any) error {
 					return checkpoint(env, state.([]*queryPipeline))
 				},
-				func(state any, st *Stats, row int64, keys []int32, vals [4]float64) {
-					for _, p := range state.([]*queryPipeline) {
-						p.scanStep(st, keys, vals)
-					}
+				func(state any, st *Stats, b *table.Batch) {
+					scanBatch(state.([]*queryPipeline), st, b)
 				},
 				func(state any) {
 					for i, p := range state.([]*queryPipeline) {
@@ -131,17 +140,12 @@ func SharedScanHash(env *Env, view *star.View, queries []*query.Query, stats *St
 				return err
 			}
 		} else {
-			err := view.Heap.Scan(func(row int64, keys []int32, measures []float64) error {
-				if stats.TuplesScanned%checkEvery == 0 {
-					if err := checkpoint(env, pipelines); err != nil {
-						return err
-					}
+			err := view.Heap.ScanRangeBatches(0, view.Rows(), func(b *table.Batch) error {
+				if err := checkpoint(env, pipelines); err != nil {
+					return err
 				}
-				stats.TuplesScanned++
-				vals := star.TupleAggregates(view, measures)
-				for _, p := range pipelines {
-					p.scanStep(stats, keys, vals)
-				}
+				stats.TuplesScanned += int64(b.N)
+				scanBatch(pipelines, stats, b)
 				return nil
 			})
 			if err != nil && err != errDetached {
@@ -349,6 +353,21 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 				}
 			}
 		}
+		// mixedBatch feeds one decoded page to both pipeline sets; index
+		// pipelines need the absolute row number for their bitmap tests.
+		mixedBatch := func(hash, index []*queryPipeline, st *Stats, b *table.Batch) {
+			for t := 0; t < b.N; t++ {
+				keys, measures := b.Row(t)
+				vals := star.TupleAggregates(view, measures)
+				for _, p := range hash {
+					p.scanStep(st, keys, vals)
+				}
+				row := b.Start + int64(t)
+				for i, p := range index {
+					indexStep(i, p, st, row, keys, vals)
+				}
+			}
+		}
 		if env.workers() > 1 {
 			type mixedState struct {
 				hash, index []*queryPipeline
@@ -379,14 +398,9 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 					ms := state.(*mixedState)
 					return checkpoint(env, ms.hash, ms.index)
 				},
-				func(state any, st *Stats, row int64, keys []int32, vals [4]float64) {
+				func(state any, st *Stats, b *table.Batch) {
 					ms := state.(*mixedState)
-					for _, p := range ms.hash {
-						p.scanStep(st, keys, vals)
-					}
-					for i, p := range ms.index {
-						indexStep(i, p, st, row, keys, vals)
-					}
+					mixedBatch(ms.hash, ms.index, st, b)
 				},
 				func(state any) {
 					ms := state.(*mixedState)
@@ -401,20 +415,12 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 				return err
 			}
 		} else {
-			err := view.Heap.Scan(func(row int64, keys []int32, measures []float64) error {
-				if stats.TuplesScanned%checkEvery == 0 {
-					if err := checkpoint(env, hashPipes, indexPipes); err != nil {
-						return err
-					}
+			err := view.Heap.ScanRangeBatches(0, view.Rows(), func(b *table.Batch) error {
+				if err := checkpoint(env, hashPipes, indexPipes); err != nil {
+					return err
 				}
-				stats.TuplesScanned++
-				vals := star.TupleAggregates(view, measures)
-				for _, p := range hashPipes {
-					p.scanStep(stats, keys, vals)
-				}
-				for i, p := range indexPipes {
-					indexStep(i, p, stats, row, keys, vals)
-				}
+				stats.TuplesScanned += int64(b.N)
+				mixedBatch(hashPipes, indexPipes, stats, b)
 				return nil
 			})
 			if err != nil && err != errDetached {

@@ -5,6 +5,7 @@ import (
 
 	"mdxopt/internal/query"
 	"mdxopt/internal/star"
+	"mdxopt/internal/table"
 )
 
 // Parallel shared scans.
@@ -54,31 +55,49 @@ func (p *queryPipeline) merge(o *queryPipeline) {
 	}
 }
 
-// scanPartitions returns the row ranges for n workers over rows rows.
-func scanPartitions(rows int64, n int) [][2]int64 {
+// scanPartitions returns the row ranges for n workers over rows rows,
+// aligned to page boundaries (tpp tuples per page) so that no two
+// workers ever share a page: whole pages are dealt out as evenly as
+// possible (the first pages%n workers get one extra), which both keeps
+// the per-worker work balanced and prevents a boundary page from being
+// fetched — and its read double-counted — by two workers.
+func scanPartitions(rows int64, n, tpp int) [][2]int64 {
 	if n < 1 {
 		n = 1
 	}
+	if tpp < 1 {
+		tpp = 1
+	}
+	pages := (rows + int64(tpp) - 1) / int64(tpp)
 	out := make([][2]int64, 0, n)
-	chunk := rows / int64(n)
-	var from int64
+	var fromPage int64
 	for w := 0; w < n; w++ {
-		to := from + chunk
-		if w == n-1 {
+		share := pages / int64(n)
+		if int64(w) < pages%int64(n) {
+			share++
+		}
+		toPage := fromPage + share
+		from := fromPage * int64(tpp)
+		to := toPage * int64(tpp)
+		if from > rows {
+			from = rows
+		}
+		if to > rows || w == n-1 {
 			to = rows
 		}
 		out = append(out, [2]int64{from, to})
-		from = to
+		fromPage = toPage
 	}
 	return out
 }
 
-// parallelScan runs process over the view's rows with env.workers()
-// partitions. mkState builds one worker's private state (pipelines);
-// check runs at the worker's cancellation checkpoints (global context
-// plus per-pipeline detachment — a worker whose pipelines have all
-// detached stops early with errDetached, which is not an error);
-// process handles one tuple; afterwards the per-worker stats and states
+// parallelScan runs processBatch over the view's rows with
+// env.workers() page-aligned partitions. mkState builds one worker's
+// private state (pipelines); check runs at the worker's cancellation
+// checkpoints — once per page batch — (global context plus per-pipeline
+// detachment: a worker whose pipelines have all detached stops early
+// with errDetached, which is not an error); processBatch handles one
+// decoded page of tuples; afterwards the per-worker stats and states
 // are merged via mergeState. Lookups and bitmaps must be built before
 // calling (they are shared read-only).
 func parallelScan(
@@ -87,11 +106,11 @@ func parallelScan(
 	stats *Stats,
 	mkState func() (any, error),
 	check func(state any) error,
-	process func(state any, st *Stats, row int64, keys []int32, vals [4]float64),
+	processBatch func(state any, st *Stats, b *table.Batch),
 	mergeState func(state any),
 ) error {
 	n := env.workers()
-	parts := scanPartitions(view.Rows(), n)
+	parts := scanPartitions(view.Rows(), n, view.Heap.TuplesPerPage())
 
 	states := make([]any, len(parts))
 	for i := range states {
@@ -110,15 +129,13 @@ func parallelScan(
 		go func(w int) {
 			defer wg.Done()
 			st := &workerStats[w]
-			errs[w] = view.Heap.ScanRange(parts[w][0], parts[w][1],
-				func(row int64, keys []int32, measures []float64) error {
-					if st.TuplesScanned%checkEvery == 0 {
-						if err := check(states[w]); err != nil {
-							return err
-						}
+			errs[w] = view.Heap.ScanRangeBatches(parts[w][0], parts[w][1],
+				func(b *table.Batch) error {
+					if err := check(states[w]); err != nil {
+						return err
 					}
-					st.TuplesScanned++
-					process(states[w], st, row, keys, star.TupleAggregates(view, measures))
+					st.TuplesScanned += int64(b.N)
+					processBatch(states[w], st, b)
 					return nil
 				})
 		}(w)

@@ -3,36 +3,45 @@ package exec
 import "testing"
 
 // checkPartitions asserts the fundamental partition invariants: the
-// ranges are contiguous, non-overlapping, and together cover exactly
-// [0, rows).
-func checkPartitions(t *testing.T, rows int64, n int) [][2]int64 {
+// ranges are contiguous, non-overlapping, together cover exactly
+// [0, rows), and — except where clamped by the end of the table — start
+// and end on page boundaries, so no two workers ever fetch the same
+// page.
+func checkPartitions(t *testing.T, rows int64, n, tpp int) [][2]int64 {
 	t.Helper()
-	parts := scanPartitions(rows, n)
+	parts := scanPartitions(rows, n, tpp)
 	want := n
 	if want < 1 {
 		want = 1
 	}
 	if len(parts) != want {
-		t.Fatalf("scanPartitions(%d, %d): %d parts, want %d", rows, n, len(parts), want)
+		t.Fatalf("scanPartitions(%d, %d, %d): %d parts, want %d", rows, n, tpp, len(parts), want)
 	}
 	var from int64
 	for i, p := range parts {
 		if p[0] != from {
-			t.Fatalf("scanPartitions(%d, %d): part %d starts at %d, want %d (gap or overlap)", rows, n, i, p[0], from)
+			t.Fatalf("scanPartitions(%d, %d, %d): part %d starts at %d, want %d (gap or overlap)", rows, n, tpp, i, p[0], from)
 		}
 		if p[1] < p[0] {
-			t.Fatalf("scanPartitions(%d, %d): part %d is inverted: [%d, %d)", rows, n, i, p[0], p[1])
+			t.Fatalf("scanPartitions(%d, %d, %d): part %d is inverted: [%d, %d)", rows, n, tpp, i, p[0], p[1])
+		}
+		if p[0]%int64(tpp) != 0 && p[0] != rows {
+			t.Fatalf("scanPartitions(%d, %d, %d): part %d starts mid-page at row %d", rows, n, tpp, i, p[0])
+		}
+		if p[1]%int64(tpp) != 0 && p[1] != rows {
+			t.Fatalf("scanPartitions(%d, %d, %d): part %d ends mid-page at row %d", rows, n, tpp, i, p[1])
 		}
 		from = p[1]
 	}
 	if from != rows {
-		t.Fatalf("scanPartitions(%d, %d): parts cover [0, %d), want [0, %d)", rows, n, from, rows)
+		t.Fatalf("scanPartitions(%d, %d, %d): parts cover [0, %d), want [0, %d)", rows, n, tpp, from, rows)
 	}
 	return parts
 }
 
 func TestScanPartitionsEvenSplit(t *testing.T) {
-	parts := checkPartitions(t, 100, 4)
+	// 100 rows at 5 per page = 20 pages over 4 workers: 5 pages each.
+	parts := checkPartitions(t, 100, 4, 5)
 	for i, p := range parts {
 		if p[1]-p[0] != 25 {
 			t.Fatalf("part %d has %d rows, want 25", i, p[1]-p[0])
@@ -40,30 +49,59 @@ func TestScanPartitionsEvenSplit(t *testing.T) {
 	}
 }
 
-func TestScanPartitionsRemainderGoesLast(t *testing.T) {
-	parts := checkPartitions(t, 10, 3)
-	// chunk = 3, the last partition absorbs the remainder.
-	if got := parts[2][1] - parts[2][0]; got != 4 {
-		t.Fatalf("last part has %d rows, want 4", got)
+func TestScanPartitionsPageAligned(t *testing.T) {
+	// 10 pages of 7 over 3 workers deal out as 4/3/3 pages; the last
+	// page is partial (68 rows total).
+	parts := checkPartitions(t, 68, 3, 7)
+	want := [][2]int64{{0, 28}, {28, 49}, {49, 68}}
+	for i, p := range parts {
+		if p != want[i] {
+			t.Fatalf("part %d is %v, want %v", i, p, want[i])
+		}
 	}
 }
 
-func TestScanPartitionsFewerRowsThanWorkers(t *testing.T) {
-	// rows < workers: chunk is 0, so leading partitions are empty and
-	// the last covers everything — still contiguous and covering.
-	parts := checkPartitions(t, 5, 8)
-	for i := 0; i < 7; i++ {
+func TestScanPartitionsFewerPagesThanWorkers(t *testing.T) {
+	// 5 rows fit on one page: the first worker gets the page, the rest
+	// are empty — still contiguous and covering.
+	parts := checkPartitions(t, 5, 8, 409)
+	if parts[0][0] != 0 || parts[0][1] != 5 {
+		t.Fatalf("first part is [%d, %d), want [0, 5)", parts[0][0], parts[0][1])
+	}
+	for i := 1; i < 8; i++ {
 		if parts[i][0] != parts[i][1] {
 			t.Fatalf("part %d should be empty, got [%d, %d)", i, parts[i][0], parts[i][1])
 		}
 	}
-	if parts[7][0] != 0 || parts[7][1] != 5 {
-		t.Fatalf("last part is [%d, %d), want [0, 5)", parts[7][0], parts[7][1])
+}
+
+func TestScanPartitionsNeverSplitPage(t *testing.T) {
+	// Exhaustive small sweep: every page is visited by exactly one
+	// worker.
+	for rows := int64(0); rows <= 40; rows++ {
+		for n := 1; n <= 6; n++ {
+			for _, tpp := range []int{1, 3, 7} {
+				parts := checkPartitions(t, rows, n, tpp)
+				owner := make(map[int64]int)
+				for w, p := range parts {
+					if p[0] == p[1] {
+						continue
+					}
+					for pg := p[0] / int64(tpp); pg*int64(tpp) < p[1]; pg++ {
+						if prev, ok := owner[pg]; ok && prev != w {
+							t.Fatalf("rows=%d n=%d tpp=%d: page %d split between workers %d and %d",
+								rows, n, tpp, pg, prev, w)
+						}
+						owner[pg] = w
+					}
+				}
+			}
+		}
 	}
 }
 
 func TestScanPartitionsZeroRows(t *testing.T) {
-	parts := checkPartitions(t, 0, 4)
+	parts := checkPartitions(t, 0, 4, 10)
 	for i, p := range parts {
 		if p[0] != 0 || p[1] != 0 {
 			t.Fatalf("part %d of an empty table is [%d, %d), want [0, 0)", i, p[0], p[1])
@@ -72,14 +110,20 @@ func TestScanPartitionsZeroRows(t *testing.T) {
 }
 
 func TestScanPartitionsSingleWorker(t *testing.T) {
-	parts := checkPartitions(t, 7, 1)
+	parts := checkPartitions(t, 7, 1, 3)
 	if parts[0] != [2]int64{0, 7} {
 		t.Fatalf("single worker gets %v, want [0 7]", parts[0])
 	}
 }
 
-func TestScanPartitionsInvalidWorkerCount(t *testing.T) {
-	// n < 1 degrades to one covering partition rather than panicking.
-	checkPartitions(t, 42, 0)
-	checkPartitions(t, 42, -3)
+func TestScanPartitionsInvalidArgs(t *testing.T) {
+	// n < 1 degrades to one covering partition, tpp < 1 to row
+	// granularity, rather than panicking.
+	checkPartitions(t, 42, 0, 5)
+	checkPartitions(t, 42, -3, 5)
+	checkPartitions(t, 42, 4, 1)
+	parts := scanPartitions(42, 4, 0)
+	if got := len(parts); got != 4 {
+		t.Fatalf("tpp=0 gave %d parts, want 4", got)
+	}
 }

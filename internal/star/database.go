@@ -400,8 +400,16 @@ func (db *Database) Save() error {
 	return db.Pool.FlushAll()
 }
 
-// Open loads a database saved by Save.
+// Open loads a database saved by Save, with a single-shard buffer pool
+// of poolFrames frames (no readahead).
 func Open(dir string, poolFrames int) (*Database, error) {
+	return OpenWith(dir, storage.PoolOpts{Frames: poolFrames})
+}
+
+// OpenWith loads a database saved by Save with explicit buffer-pool
+// options (lock shard count and sequential readahead in addition to
+// capacity).
+func OpenWith(dir string, pool storage.PoolOpts) (*Database, error) {
 	blob, err := os.ReadFile(filepath.Join(dir, metaFile))
 	if err != nil {
 		return nil, fmt.Errorf("star: open database %s: %w", dir, err)
@@ -422,7 +430,7 @@ func Open(dir string, poolFrames int) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &Database{Dir: dir, Pool: storage.NewPool(poolFrames), Schema: schema}
+	db := &Database{Dir: dir, Pool: storage.NewPoolWith(pool), Schema: schema}
 	for i, file := range meta.DimTables {
 		h, err := table.Open(db.Pool, filepath.Join(dir, file), schema.DimTableSchema(i))
 		if err != nil {

@@ -13,9 +13,11 @@ type Fault func(op string, page uint32) error
 
 // DiskManager stores fixed-size pages in a single operating-system file.
 // Page numbers are dense, starting at zero. DiskManager is safe for
-// concurrent use.
+// concurrent use; reads and writes of already-allocated pages take the
+// lock shared (ReadAt/WriteAt are positioned, so operations on distinct
+// pages proceed in parallel), while Allocate and Close are exclusive.
 type DiskManager struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	f      *os.File
 	path   string
 	pages  uint32
@@ -53,8 +55,8 @@ func (d *DiskManager) Path() string { return d.path }
 
 // NumPages returns the number of allocated pages.
 func (d *DiskManager) NumPages() uint32 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.pages
 }
 
@@ -84,8 +86,8 @@ func (d *DiskManager) ReadPage(page uint32, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("storage: read buffer is %d bytes, want %d", len(buf), PageSize)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.closed {
 		return ErrClosed
 	}
@@ -109,8 +111,8 @@ func (d *DiskManager) WritePage(page uint32, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("storage: write buffer is %d bytes, want %d", len(buf), PageSize)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.closed {
 		return ErrClosed
 	}

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // File is a page file registered with a Pool. All page access goes through
@@ -11,6 +12,23 @@ type File struct {
 	id   FileID
 	disk *DiskManager
 	pool *Pool
+
+	// lastRead is the last physically read page (-1 = none) and drives
+	// the seed accounting contract: a read is sequential iff it follows
+	// the file's previous physical read. Readahead reads advance it
+	// monotonically (CAS-max) so a prefetched run stays sequential.
+	lastRead atomic.Int64
+
+	// Prefetch state; see prefetch.go. streams is a small table of
+	// per-stream cursors so several interleaved scans of one file are
+	// each recognized as sequential runs, which the single lastRead
+	// cursor cannot do.
+	streams      [maxStreams]atomic.Int64
+	streamClock  atomic.Uint32
+	prefetchNext atomic.Int64 // first page past the last scheduled window
+	prefetchBusy atomic.Bool  // one readahead window in flight per file
+	closing      atomic.Bool  // CloseFile in progress: prefetchers stand down
+	prefetchWG   sync.WaitGroup
 }
 
 // ID returns the pool-local identifier of the file.
@@ -25,6 +43,42 @@ func (f *File) Path() string { return f.disk.Path() }
 // Disk exposes the underlying DiskManager (used by tests for fault
 // injection).
 func (f *File) Disk() *DiskManager { return f.disk }
+
+// noteRead updates f's sequential-read state for a demand (non-prefetch)
+// physical read of page. It returns the classification of this read and
+// the length of the sequential run the read extends, per the stream
+// table (0 when readahead is disabled).
+func (f *File) noteRead(page uint32) (seq bool, run int) {
+	last := f.lastRead.Swap(int64(page))
+	seq = last < 0 || int64(page) == last+1
+	if f.pool.readahead <= 0 {
+		return seq, 0
+	}
+	return seq, f.noteStream(page)
+}
+
+// advanceLastRead moves the sequential cursor forward to page if it is
+// not already past it. Used by prefetch reads, which complete out of
+// order: the cursor only ever advances, so the consumer's next demand
+// miss after a prefetched run is still classified sequential.
+func (f *File) advanceLastRead(page int64) {
+	for {
+		cur := f.lastRead.Load()
+		if cur >= page || f.lastRead.CompareAndSwap(cur, page) {
+			return
+		}
+	}
+}
+
+// resetReadState forgets sequential-read and prefetch-window history
+// (called on cold-cache flushes).
+func (f *File) resetReadState() {
+	f.lastRead.Store(-1)
+	for i := range f.streams {
+		f.streams[i].Store(0)
+	}
+	f.prefetchNext.Store(0)
+}
 
 // Page is a pinned page in the buffer pool. Data must not be retained
 // after Unpin.
@@ -41,81 +95,194 @@ func (p *Page) Key() PageKey { return p.key }
 func (p *Page) Data() []byte { return p.frame.buf }
 
 // MarkDirty records that the page buffer was modified and must be written
-// back before its frame is recycled.
+// back before its frame is recycled. Lock-free: the dirty bit is atomic
+// on the frame.
 func (p *Page) MarkDirty() {
-	p.pool.mu.Lock()
-	p.frame.dirty = true
-	p.pool.mu.Unlock()
+	p.frame.dirty.Store(true)
 }
 
 // Unpin releases the caller's pin. The page may be evicted afterwards.
+// Lock-free: the pin count and second-chance bit are atomics on the
+// frame, so steady-state page release never touches a shard lock.
 func (p *Page) Unpin() {
-	p.pool.mu.Lock()
-	defer p.pool.mu.Unlock()
-	if p.frame.pins > 0 {
-		p.frame.pins--
+	fr := p.frame
+	fr.referenced.Store(true)
+	for {
+		pins := fr.pins.Load()
+		if pins <= 0 || fr.pins.CompareAndSwap(pins, pins-1) {
+			return
+		}
 	}
-	p.frame.referenced = true
 }
 
+// frame is one page-sized buffer slot. The hot per-access state (pins,
+// dirty, referenced, prefetched) is atomic so pinned readers never take
+// a lock; key/buf/valid/disk are guarded by the owning shard's mutex.
+// pins is only ever incremented while holding that mutex, which is what
+// makes the victim scan's pins==0 check sound.
 type frame struct {
 	key        PageKey
 	buf        []byte
-	pins       int
-	dirty      bool
-	referenced bool // clock hand second-chance bit
+	disk       *DiskManager // backing file of key, for write-back
+	pins       atomic.Int32
+	dirty      atomic.Bool
+	referenced atomic.Bool // clock hand second-chance bit
+	prefetched atomic.Bool // loaded by readahead, not yet demanded
 	valid      bool
 }
 
-// Pool is a buffer pool of fixed-size frames shared by any number of page
-// files, with clock (second-chance) replacement. It tracks sequential
-// versus random reads per file: a read of page n is sequential when the
-// previous physical read of the same file was page n-1 (or this is the
-// first read of the file after a reset).
-type Pool struct {
-	mu       sync.Mutex
-	frames   []frame
-	dir      map[PageKey]int // page -> frame index
-	files    map[FileID]*DiskManager
-	byPath   map[string]*File
-	nextID   FileID
-	hand     int
-	lastRead map[FileID]int64 // last physically read page per file, -1 = none
-	stats    Stats
+// writeBack flushes the frame's page to its backing file and clears the
+// dirty bit, crediting the write to st.
+func (fr *frame) writeBack(st *Stats) error {
+	if fr.disk == nil {
+		return fmt.Errorf("storage: write-back for unregistered %s", fr.key)
+	}
+	if err := fr.disk.WritePage(fr.key.Page, fr.buf); err != nil {
+		return err
+	}
+	fr.dirty.Store(false)
+	st.Writes++
+	return nil
 }
 
-// NewPool creates a pool with the given number of frames. frames must be
-// at least 1.
+// poolShard is one lock domain of the pool: a slice of the frames, the
+// directory entries for the page keys that hash here, its own clock
+// hand, and its own Stats (aggregated on read so counting never shares a
+// cache line across shards).
+type poolShard struct {
+	mu     sync.Mutex
+	frames []*frame
+	dir    map[PageKey]*frame
+	hand   int
+	stats  Stats
+}
+
+// Pool is a buffer pool of fixed-size frames shared by any number of page
+// files, with clock (second-chance) replacement per shard. The frame
+// directory is split into power-of-two shards by a hash of the PageKey;
+// each shard has its own mutex, so fetches of different pages contend
+// only when they hash together. With Shards=1 (the NewPool default) the
+// pool behaves exactly like a single global-mutex pool.
+//
+// It tracks sequential versus random reads per file: a read of page n is
+// sequential when the previous physical read of the same file was page
+// n-1 (or this is the first read of the file after a reset).
+type Pool struct {
+	shards    []*poolShard
+	shardMask uint32
+	nframes   int
+	readahead int
+
+	fmu    sync.RWMutex
+	files  map[FileID]*File
+	byPath map[string]*File
+	nextID FileID
+
+	flushedAll atomic.Int64
+}
+
+// PoolOpts configures a Pool.
+type PoolOpts struct {
+	// Frames is the pool capacity in 8 KiB pages. Must be at least 1.
+	Frames int
+	// Shards is the number of lock shards the frame directory is split
+	// into. Rounded down to a power of two and clamped to Frames; 0 or 1
+	// means a single global shard (the seed behavior).
+	Shards int
+	// Readahead is the sequential prefetch window in pages. When > 0 and
+	// the pool detects a sequential run on a file, it asynchronously
+	// reads the next Readahead pages so scans overlap I/O with CPU.
+	// 0 disables prefetching.
+	Readahead int
+}
+
+// NewPool creates a single-shard pool (global mutex, no readahead) with
+// the given number of frames. frames must be at least 1.
 func NewPool(frames int) *Pool {
-	if frames < 1 {
+	return NewPoolWith(PoolOpts{Frames: frames})
+}
+
+// NewPoolWith creates a pool with explicit sharding and readahead
+// options.
+func NewPoolWith(opts PoolOpts) *Pool {
+	if opts.Frames < 1 {
 		panic("storage: pool needs at least one frame")
 	}
-	p := &Pool{
-		frames:   make([]frame, frames),
-		dir:      make(map[PageKey]int),
-		files:    make(map[FileID]*DiskManager),
-		byPath:   make(map[string]*File),
-		lastRead: make(map[FileID]int64),
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
 	}
-	for i := range p.frames {
-		p.frames[i].buf = make([]byte, PageSize)
+	if shards > opts.Frames {
+		shards = opts.Frames
+	}
+	for shards&(shards-1) != 0 {
+		shards &= shards - 1 // round down to a power of two
+	}
+	readahead := opts.Readahead
+	if readahead < 0 {
+		readahead = 0
+	}
+	p := &Pool{
+		shards:    make([]*poolShard, shards),
+		shardMask: uint32(shards - 1),
+		nframes:   opts.Frames,
+		readahead: readahead,
+		files:     make(map[FileID]*File),
+		byPath:    make(map[string]*File),
+	}
+	for i := range p.shards {
+		p.shards[i] = &poolShard{dir: make(map[PageKey]*frame)}
+	}
+	for i := 0; i < opts.Frames; i++ {
+		s := p.shards[i%len(p.shards)]
+		s.frames = append(s.frames, &frame{buf: make([]byte, PageSize)})
 	}
 	return p
 }
 
 // NumFrames returns the pool capacity in pages.
-func (p *Pool) NumFrames() int { return len(p.frames) }
+func (p *Pool) NumFrames() int { return p.nframes }
+
+// NumShards returns the number of lock shards.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Readahead returns the configured sequential prefetch window in pages
+// (0 = disabled).
+func (p *Pool) Readahead() int { return p.readahead }
+
+// shardOf maps a page key to its lock shard.
+func (p *Pool) shardOf(key PageKey) *poolShard {
+	if p.shardMask == 0 {
+		return p.shards[0]
+	}
+	h := (uint64(key.File)<<32 | uint64(key.Page)) * 0x9E3779B97F4A7C15
+	return p.shards[uint32(h>>32)&p.shardMask]
+}
+
+// lockAll acquires every shard lock in index order (the one sanctioned
+// ordering for holding more than one).
+func (p *Pool) lockAll() {
+	for _, s := range p.shards {
+		s.mu.Lock()
+	}
+}
+
+func (p *Pool) unlockAll() {
+	for _, s := range p.shards {
+		s.mu.Unlock()
+	}
+}
 
 // OpenFile opens a page file at path and registers it with the pool.
 // Opening a path that is already registered returns the existing File, so
 // a page is never cached under two identities.
 func (p *Pool) OpenFile(path string) (*File, error) {
-	p.mu.Lock()
-	if f, ok := p.byPath[path]; ok {
-		p.mu.Unlock()
+	p.fmu.RLock()
+	f, ok := p.byPath[path]
+	p.fmu.RUnlock()
+	if ok {
 		return f, nil
 	}
-	p.mu.Unlock()
 	disk, err := OpenDisk(path)
 	if err != nil {
 		return nil, err
@@ -124,8 +291,8 @@ func (p *Pool) OpenFile(path string) (*File, error) {
 }
 
 func (p *Pool) register(disk *DiskManager) *File {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.fmu.Lock()
+	defer p.fmu.Unlock()
 	if f, ok := p.byPath[disk.Path()]; ok {
 		// Lost a race with another opener of the same path.
 		disk.Close()
@@ -133,43 +300,60 @@ func (p *Pool) register(disk *DiskManager) *File {
 	}
 	id := p.nextID
 	p.nextID++
-	p.files[id] = disk
-	p.lastRead[id] = -1
 	f := &File{id: id, disk: disk, pool: p}
+	f.lastRead.Store(-1)
+	p.files[id] = f
 	p.byPath[disk.Path()] = f
 	return f
 }
 
 // CloseFile flushes and drops every cached page of f, deregisters it and
 // closes its backing file, so the path can be removed, renamed over, or
-// reopened. Fails if any of f's pages is pinned.
+// reopened. Fails if any of f's pages is pinned. In-flight readahead on
+// f is waited out first; the caller must not race CloseFile against its
+// own fetches or appends on the same file.
 func (p *Pool) CloseFile(f *File) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, ok := p.files[f.id]; !ok {
+	p.fmu.RLock()
+	registered := p.files[f.id] == f
+	p.fmu.RUnlock()
+	if !registered {
 		return fmt.Errorf("storage: file %s is not registered", f.Path())
 	}
-	for i := range p.frames {
-		fr := &p.frames[i]
-		if !fr.valid || fr.key.File != f.id {
-			continue
-		}
-		if fr.pins > 0 {
-			return fmt.Errorf("storage: CloseFile with pinned page %s", fr.key)
-		}
-		if fr.dirty {
-			if err := p.writeBackLocked(fr); err != nil {
-				return err
+	f.closing.Store(true)
+	f.prefetchWG.Wait()
+	p.lockAll()
+	for _, s := range p.shards {
+		for _, fr := range s.frames {
+			if fr.valid && fr.key.File == f.id && fr.pins.Load() > 0 {
+				p.unlockAll()
+				f.closing.Store(false)
+				return fmt.Errorf("storage: CloseFile with pinned page %s", fr.key)
 			}
 		}
-		delete(p.dir, fr.key)
-		fr.valid = false
-		fr.dirty = false
-		fr.referenced = false
 	}
+	for _, s := range p.shards {
+		for _, fr := range s.frames {
+			if !fr.valid || fr.key.File != f.id {
+				continue
+			}
+			if fr.dirty.Load() {
+				if err := fr.writeBack(&s.stats); err != nil {
+					p.unlockAll()
+					f.closing.Store(false)
+					return err
+				}
+			}
+			delete(s.dir, fr.key)
+			fr.valid = false
+			fr.referenced.Store(false)
+			fr.prefetched.Store(false)
+		}
+	}
+	p.unlockAll()
+	p.fmu.Lock()
 	delete(p.files, f.id)
 	delete(p.byPath, f.disk.Path())
-	delete(p.lastRead, f.id)
+	p.fmu.Unlock()
 	return f.disk.Close()
 }
 
@@ -179,63 +363,115 @@ func (p *Pool) CloseFiles() error {
 	if err := p.FlushAll(); err != nil {
 		return err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.fmu.Lock()
+	defer p.fmu.Unlock()
 	var firstErr error
-	for id, disk := range p.files {
-		if err := disk.Close(); err != nil && firstErr == nil {
+	for id, f := range p.files {
+		if err := f.disk.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		delete(p.files, id)
-		delete(p.lastRead, id)
 	}
 	p.byPath = make(map[string]*File)
 	return firstErr
 }
 
-// Stats returns a copy of the accumulated I/O statistics.
+// Stats returns a copy of the accumulated I/O statistics, aggregated
+// over the shards.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var total Stats
+	for _, s := range p.shards {
+		s.mu.Lock()
+		total.Add(s.stats)
+		s.mu.Unlock()
+	}
+	total.FlushedAll += p.flushedAll.Load()
+	return total
 }
 
 // ResetStats zeroes the I/O counters.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.stats = Stats{}
+		s.mu.Unlock()
+	}
+	p.flushedAll.Store(0)
 }
 
-// Fetch pins the given page, reading it from disk if necessary.
+// Fetch pins the given page, reading it from disk if necessary. A miss
+// performs the read while holding the page's shard lock, so concurrent
+// fetches of the same page queue on the shard and find the directory
+// entry when they wake — a page is never read twice concurrently.
 func (p *Pool) Fetch(f *File, page uint32) (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	key := PageKey{File: f.id, Page: page}
-	if idx, ok := p.dir[key]; ok {
-		fr := &p.frames[idx]
-		fr.pins++
-		fr.referenced = true
-		p.stats.Hits++
+	s := p.shardOf(key)
+	s.mu.Lock()
+	if fr, ok := s.dir[key]; ok {
+		p.hitLocked(s, fr)
+		wasPrefetched := fr.prefetched.Swap(false)
+		if wasPrefetched {
+			s.stats.PrefetchHits++
+		}
+		s.mu.Unlock()
+		if wasPrefetched {
+			f.notePrefetchHit(page)
+		}
 		return &Page{key: key, frame: fr, pool: p}, nil
 	}
-	idx, err := p.victimLocked()
+	fr, retried, err := p.reserveLocked(s)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
-	fr := &p.frames[idx]
+	if retried {
+		if exist, ok := s.dir[key]; ok {
+			// Someone loaded the page while we were stealing a frame
+			// from another shard; keep the spare as shard capacity.
+			fr.pins.Store(0)
+			p.hitLocked(s, exist)
+			wasPrefetched := exist.prefetched.Swap(false)
+			if wasPrefetched {
+				s.stats.PrefetchHits++
+			}
+			s.mu.Unlock()
+			if wasPrefetched {
+				f.notePrefetchHit(page)
+			}
+			return &Page{key: key, frame: exist, pool: p}, nil
+		}
+	}
 	if err := f.disk.ReadPage(page, fr.buf); err != nil {
+		fr.pins.Store(0)
 		fr.valid = false
+		s.mu.Unlock()
 		return nil, err
 	}
-	p.accountReadLocked(f.id, page)
+	seq, run := f.noteRead(page)
+	if seq {
+		s.stats.SeqReads++
+	} else {
+		s.stats.RandReads++
+	}
 	fr.key = key
-	fr.pins = 1
-	fr.dirty = false
-	fr.referenced = true
+	fr.disk = f.disk
 	fr.valid = true
-	p.dir[key] = idx
+	fr.dirty.Store(false)
+	fr.referenced.Store(true)
+	fr.prefetched.Store(false)
+	s.dir[key] = fr
+	s.mu.Unlock()
+	if run >= prefetchMinRun {
+		p.maybePrefetch(f, int64(page)+1)
+	}
 	return &Page{key: key, frame: fr, pool: p}, nil
+}
+
+// hitLocked pins fr as a pool hit under the shard lock.
+func (p *Pool) hitLocked(s *poolShard, fr *frame) {
+	fr.pins.Add(1)
+	fr.referenced.Store(true)
+	s.stats.Hits++
 }
 
 // NewPage allocates a fresh page in f and returns it pinned and dirty.
@@ -244,24 +480,24 @@ func (p *Pool) NewPage(f *File) (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.Allocs++
-	idx, err := p.victimLocked()
+	key := PageKey{File: f.id, Page: page}
+	s := p.shardOf(key)
+	s.mu.Lock()
+	s.stats.Allocs++
+	fr, _, err := p.reserveLocked(s)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
-	fr := &p.frames[idx]
-	for i := range fr.buf {
-		fr.buf[i] = 0
-	}
-	key := PageKey{File: f.id, Page: page}
+	clear(fr.buf)
 	fr.key = key
-	fr.pins = 1
-	fr.dirty = true
-	fr.referenced = true
+	fr.disk = f.disk
 	fr.valid = true
-	p.dir[key] = idx
+	fr.dirty.Store(true)
+	fr.referenced.Store(true)
+	fr.prefetched.Store(false)
+	s.dir[key] = fr
+	s.mu.Unlock()
 	return &Page{key: key, frame: fr, pool: p}, nil
 }
 
@@ -271,83 +507,130 @@ func (p *Pool) NewPage(f *File) (*Page, error) {
 // Sequential-read tracking is also reset. It is an error to call FlushAll
 // while pages are pinned.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for i := range p.frames {
-		fr := &p.frames[i]
-		if !fr.valid {
-			continue
-		}
-		if fr.pins > 0 {
-			return fmt.Errorf("storage: FlushAll with pinned page %s", fr.key)
-		}
-		if fr.dirty {
-			if err := p.writeBackLocked(fr); err != nil {
-				return err
+	p.fmu.RLock()
+	files := make([]*File, 0, len(p.files))
+	for _, f := range p.files {
+		files = append(files, f)
+	}
+	p.fmu.RUnlock()
+	for _, f := range files {
+		f.prefetchWG.Wait()
+	}
+	p.lockAll()
+	defer p.unlockAll()
+	for _, s := range p.shards {
+		for _, fr := range s.frames {
+			if fr.valid && fr.pins.Load() > 0 {
+				return fmt.Errorf("storage: FlushAll with pinned page %s", fr.key)
 			}
 		}
-		delete(p.dir, fr.key)
-		fr.valid = false
-		fr.dirty = false
-		fr.referenced = false
 	}
-	for id := range p.lastRead {
-		p.lastRead[id] = -1
+	for _, s := range p.shards {
+		for _, fr := range s.frames {
+			if !fr.valid {
+				continue
+			}
+			if fr.dirty.Load() {
+				if err := fr.writeBack(&s.stats); err != nil {
+					return err
+				}
+			}
+			delete(s.dir, fr.key)
+			fr.valid = false
+			fr.referenced.Store(false)
+			fr.prefetched.Store(false)
+		}
 	}
-	p.stats.FlushedAll++
+	for _, f := range files {
+		f.resetReadState()
+	}
+	p.flushedAll.Add(1)
 	return nil
 }
 
-// accountReadLocked classifies a physical read as sequential or random.
-func (p *Pool) accountReadLocked(id FileID, page uint32) {
-	last := p.lastRead[id]
-	if last < 0 || int64(page) == last+1 {
-		p.stats.SeqReads++
-	} else {
-		p.stats.RandReads++
+// reserveLocked acquires a reusable frame for shard s, which must be
+// locked. The frame comes back reserved: out of the directory with pins
+// already 1, so no concurrent victim scan can hand it out twice. When s
+// has no evictable frame the shard lock is dropped and a frame is stolen
+// from another shard (migrating it into s), so the pool reports
+// ErrPoolFull only when every frame pool-wide is pinned — the same
+// semantics as a single global pool. The second result reports whether
+// the shard lock was released and reacquired; callers must then recheck
+// the directory.
+func (p *Pool) reserveLocked(s *poolShard) (*frame, bool, error) {
+	fr, err := s.victimLocked()
+	if err == nil {
+		return fr, false, nil
 	}
-	p.lastRead[id] = int64(page)
-}
-
-// victimLocked finds a reusable frame with the clock algorithm, writing
-// back its previous contents if dirty.
-func (p *Pool) victimLocked() (int, error) {
-	n := len(p.frames)
-	for sweep := 0; sweep < 2*n; sweep++ {
-		idx := p.hand
-		p.hand = (p.hand + 1) % n
-		fr := &p.frames[idx]
-		if fr.pins > 0 {
+	if err != ErrPoolFull || len(p.shards) == 1 {
+		return nil, false, err
+	}
+	s.mu.Unlock()
+	var stolen *frame
+	stealErr := error(ErrPoolFull)
+	for _, t := range p.shards {
+		if t == s {
 			continue
 		}
-		if fr.valid && fr.referenced {
-			fr.referenced = false
+		t.mu.Lock()
+		fr, err := t.victimLocked()
+		if err == nil {
+			for i, g := range t.frames {
+				if g == fr {
+					t.frames[i] = t.frames[len(t.frames)-1]
+					t.frames = t.frames[:len(t.frames)-1]
+					break
+				}
+			}
+			t.mu.Unlock()
+			stolen, stealErr = fr, nil
+			break
+		}
+		t.mu.Unlock()
+		if err != ErrPoolFull {
+			stealErr = err
+			break
+		}
+	}
+	s.mu.Lock()
+	if stolen != nil {
+		s.frames = append(s.frames, stolen)
+	}
+	return stolen, true, stealErr
+}
+
+// victimLocked finds a reusable frame in s with the clock algorithm,
+// writing back its previous contents if dirty. The caller must hold
+// s.mu.
+func (s *poolShard) victimLocked() (*frame, error) {
+	n := len(s.frames)
+	for sweep := 0; sweep < 2*n; sweep++ {
+		if s.hand >= n {
+			s.hand = 0
+		}
+		fr := s.frames[s.hand]
+		s.hand++
+		if fr.pins.Load() > 0 {
+			continue
+		}
+		if fr.valid && fr.referenced.Load() {
+			fr.referenced.Store(false)
 			continue
 		}
 		if fr.valid {
-			if fr.dirty {
-				if err := p.writeBackLocked(fr); err != nil {
-					return 0, err
+			if fr.dirty.Load() {
+				if err := fr.writeBack(&s.stats); err != nil {
+					return nil, err
 				}
 			}
-			delete(p.dir, fr.key)
+			delete(s.dir, fr.key)
 			fr.valid = false
-			p.stats.Evictions++
+			s.stats.Evictions++
 		}
-		return idx, nil
+		fr.pins.Store(1)
+		fr.referenced.Store(false)
+		fr.prefetched.Store(false)
+		return fr, nil
 	}
-	return 0, ErrPoolFull
-}
-
-func (p *Pool) writeBackLocked(fr *frame) error {
-	disk, ok := p.files[fr.key.File]
-	if !ok {
-		return fmt.Errorf("storage: write-back for unregistered %s", fr.key)
-	}
-	if err := disk.WritePage(fr.key.Page, fr.buf); err != nil {
-		return err
-	}
-	fr.dirty = false
-	p.stats.Writes++
-	return nil
+	return nil, ErrPoolFull
 }

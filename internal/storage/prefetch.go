@@ -1,0 +1,169 @@
+package storage
+
+import "sync"
+
+// Sequential readahead.
+//
+// The pool watches demand reads for sequential runs. Classification for
+// Stats uses the file's single lastRead cursor (the seed contract), but
+// run *detection* uses a small table of stream cursors per file, because
+// a parallel scan interleaves several per-worker sequential streams that
+// a single cursor would see as random. Each slot stores, packed into one
+// int64, the next page the stream expects (biased by +1 so 0 means
+// empty) and the run length so far:
+//
+//	slot = (nextExpected+1)<<streamShift | runLength
+//
+// Once a stream's run reaches prefetchMinRun, the pool schedules one
+// asynchronous window of the next Readahead pages. At most one window
+// per file is in flight; within a window up to prefetchFanout goroutines
+// read disjoint chunks so the simulated (or real) I/O latencies overlap.
+// When a consumer demands a page the window loaded (a prefetch hit) past
+// the midpoint of the window, the next window is chained immediately, so
+// a steady scan always has readahead in front of it.
+//
+// Prefetch reads are polite: they never steal frames from other shards,
+// skip pages already cached, count as sequential reads (they are part of
+// a detected run), and a window that cannot get a frame or hits any
+// error just stops — correctness never depends on readahead.
+
+const (
+	maxStreams     = 16 // stream cursors per file
+	streamShift    = 16
+	maxRunLen      = 1<<streamShift - 1
+	prefetchMinRun = 2 // demand reads in a row before scheduling readahead
+	prefetchFanout = 4 // concurrent page reads per window
+)
+
+// noteStream records a read of page against f's stream table and returns
+// the length of the sequential run it extends (1 for a fresh stream).
+func (f *File) noteStream(page uint32) int {
+	next := int64(page) + 1
+	for i := range f.streams {
+		v := f.streams[i].Load()
+		if v == 0 || v>>streamShift != next {
+			continue
+		}
+		run := (v & maxRunLen) + 1
+		if run > maxRunLen {
+			run = maxRunLen
+		}
+		// A lost race just means another reader of the same stream
+		// advanced it first; either way the run continues.
+		f.streams[i].CompareAndSwap(v, (next+1)<<streamShift|run)
+		return int(run)
+	}
+	// No stream expected this page: start one in a round-robin victim
+	// slot.
+	slot := int(f.streamClock.Add(1)) % maxStreams
+	f.streams[slot].Store((next+1)<<streamShift | 1)
+	return 1
+}
+
+// notePrefetchHit records that a consumer demanded a page readahead had
+// loaded: the stream advances, and when the consumer is past the middle
+// of the current window the next window is chained.
+func (f *File) notePrefetchHit(page uint32) {
+	if f.pool.readahead <= 0 {
+		return
+	}
+	f.noteStream(page)
+	next := f.prefetchNext.Load()
+	if next > 0 && int64(page) >= next-int64(f.pool.readahead)/2-1 {
+		f.pool.maybePrefetch(f, next)
+	}
+}
+
+// maybePrefetch schedules an asynchronous readahead window starting at
+// page start, unless one is already in flight for f.
+func (p *Pool) maybePrefetch(f *File, start int64) {
+	if p.readahead <= 0 || start < 0 || f.closing.Load() {
+		return
+	}
+	if !f.prefetchBusy.CompareAndSwap(false, true) {
+		return
+	}
+	f.prefetchWG.Add(1)
+	go p.prefetchWindow(f, start)
+}
+
+// prefetchWindow reads pages [start, start+readahead) into the pool
+// unpinned, fanning the reads out over a few goroutines so their I/O
+// latencies overlap.
+func (p *Pool) prefetchWindow(f *File, start int64) {
+	defer f.prefetchWG.Done()
+	defer f.prefetchBusy.Store(false)
+	if f.closing.Load() {
+		return
+	}
+	end := start + int64(p.readahead)
+	if n := int64(f.disk.NumPages()); end > n {
+		end = n
+	}
+	if start >= end {
+		return
+	}
+	f.prefetchNext.Store(end)
+	span := end - start
+	workers := int64(prefetchFanout)
+	if workers > span {
+		workers = span
+	}
+	var wg sync.WaitGroup
+	from := start
+	for w := int64(0); w < workers; w++ {
+		to := from + span/workers
+		if w < span%workers {
+			to++
+		}
+		wg.Add(1)
+		go func(from, to int64) {
+			defer wg.Done()
+			for pg := from; pg < to; pg++ {
+				if f.closing.Load() || !p.prefetchPage(f, uint32(pg)) {
+					return
+				}
+			}
+		}(from, to)
+		from = to
+	}
+	wg.Wait()
+}
+
+// prefetchPage reads one page into the pool unpinned, marked prefetched.
+// It returns false when the rest of the window should be abandoned (an
+// I/O error, or no evictable frame in the page's shard — readahead never
+// steals frames from other shards).
+func (p *Pool) prefetchPage(f *File, page uint32) bool {
+	key := PageKey{File: f.id, Page: page}
+	s := p.shardOf(key)
+	s.mu.Lock()
+	if _, ok := s.dir[key]; ok {
+		s.mu.Unlock()
+		return true
+	}
+	fr, err := s.victimLocked()
+	if err != nil {
+		s.mu.Unlock()
+		return false
+	}
+	if err := f.disk.ReadPage(page, fr.buf); err != nil {
+		fr.pins.Store(0)
+		fr.valid = false
+		s.mu.Unlock()
+		return false
+	}
+	f.advanceLastRead(int64(page))
+	s.stats.SeqReads++ // readahead continues a detected sequential run
+	s.stats.Prefetched++
+	fr.key = key
+	fr.disk = f.disk
+	fr.valid = true
+	fr.dirty.Store(false)
+	fr.referenced.Store(true)
+	fr.prefetched.Store(true)
+	s.dir[key] = fr
+	fr.pins.Store(0)
+	s.mu.Unlock()
+	return true
+}

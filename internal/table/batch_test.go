@@ -1,0 +1,119 @@
+package table
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestScanRangeBatchesMatchesScanRange checks the batched scan against
+// the per-row scan tuple for tuple, across aligned and unaligned
+// ranges.
+func TestScanRangeBatchesMatchesScanRange(t *testing.T) {
+	_, h := newHeap(t, testSchema())
+	const rows = 1000 // several pages at 4 keys + 1 measure per tuple
+	appendN(t, h, rows)
+	tpp := int64(h.TuplesPerPage())
+
+	ranges := [][2]int64{
+		{0, rows},                // full table
+		{0, tpp},                 // exactly one page
+		{tpp, 2 * tpp},           // interior page
+		{3, 5},                   // inside one page
+		{tpp - 2, tpp + 3},       // straddles a page boundary
+		{rows - 1, rows},         // last row
+		{rows - 3, rows + 50},    // clamped at the end
+		{-5, 2},                  // clamped at the start
+		{rows + 1, rows + 10},    // fully out of range
+		{2 * tpp, 2*tpp + tpp/2}, // half a page
+	}
+	for _, r := range ranges {
+		type tuple struct {
+			row  int64
+			keys [4]int32
+			m    float64
+		}
+		var want []tuple
+		if err := h.ScanRange(r[0], r[1], func(row int64, keys []int32, measures []float64) error {
+			want = append(want, tuple{row, [4]int32{keys[0], keys[1], keys[2], keys[3]}, measures[0]})
+			return nil
+		}); err != nil {
+			t.Fatalf("ScanRange%v: %v", r, err)
+		}
+		var got []tuple
+		if err := h.ScanRangeBatches(r[0], r[1], func(b *Batch) error {
+			if b.N <= 0 || b.N > h.TuplesPerPage() {
+				t.Fatalf("range %v: batch of %d tuples (tpp %d)", r, b.N, h.TuplesPerPage())
+			}
+			// A batch never crosses a page boundary.
+			if b.Start/tpp != (b.Start+int64(b.N)-1)/tpp {
+				t.Fatalf("range %v: batch [%d, %d) spans pages", r, b.Start, b.Start+int64(b.N))
+			}
+			for i := 0; i < b.N; i++ {
+				keys, measures := b.Row(i)
+				got = append(got, tuple{b.Start + int64(i), [4]int32{keys[0], keys[1], keys[2], keys[3]}, measures[0]})
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("ScanRangeBatches%v: %v", r, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("range %v: %d tuples batched, %d per-row", r, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("range %v tuple %d: batched %+v, per-row %+v", r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScanRangeBatchesStopsOnError checks that a callback error aborts
+// the scan immediately and propagates.
+func TestScanRangeBatchesStopsOnError(t *testing.T) {
+	_, h := newHeap(t, testSchema())
+	appendN(t, h, 1000)
+	boom := errors.New("boom")
+	calls := 0
+	err := h.ScanRangeBatches(0, h.Count(), func(b *Batch) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("callback ran %d times after error, want 2", calls)
+	}
+}
+
+// TestBatchBuffersAreReused documents the aliasing contract: the batch
+// arrays are reused from page to page, so retained slices are
+// overwritten.
+func TestBatchBuffersAreReused(t *testing.T) {
+	_, h := newHeap(t, testSchema())
+	appendN(t, h, 3*h.TuplesPerPage())
+	var first []int32
+	batches := 0
+	if err := h.ScanRangeBatches(0, h.Count(), func(b *Batch) error {
+		batches++
+		if first == nil {
+			keys, _ := b.Row(0)
+			first = keys // deliberately retained without copying
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if batches != 3 {
+		t.Fatalf("got %d batches, want 3", batches)
+	}
+	// After the scan the retained slice aliases the LAST page's first
+	// tuple, not the first page's.
+	wantRow := int64(2) * int64(h.TuplesPerPage())
+	if first[0] != int32(wantRow) {
+		t.Fatalf("retained slice holds key %d, want %d (buffers must be reused)", first[0], wantRow)
+	}
+}

@@ -214,6 +214,41 @@ func (h *HeapFile) Scan(fn func(row int64, keys []int32, measures []float64) err
 // buffer pool is safe for concurrent use and each call keeps its own
 // decode buffers.
 func (h *HeapFile) ScanRange(from, to int64, fn func(row int64, keys []int32, measures []float64) error) error {
+	return h.ScanRangeBatches(from, to, func(b *Batch) error {
+		for i := 0; i < b.N; i++ {
+			keys, measures := b.Row(i)
+			if err := fn(b.Start+int64(i), keys, measures); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Batch is one data page's worth of decoded tuples, produced by
+// ScanRangeBatches. Keys and Measures are flat column-major-per-row
+// arrays: row i's keys occupy Keys[i*nk:(i+1)*nk] and its measures
+// Measures[i*nm:(i+1)*nm]. The backing arrays are reused from page to
+// page; callers must copy anything they retain across calls.
+type Batch struct {
+	Start    int64     // row number of the batch's first tuple
+	N        int       // number of tuples in the batch
+	Keys     []int32   // N*nk decoded key columns
+	Measures []float64 // N*nm decoded measure columns
+	nk, nm   int
+}
+
+// Row returns the key and measure slices of tuple i of the batch.
+func (b *Batch) Row(i int) ([]int32, []float64) {
+	return b.Keys[i*b.nk : (i+1)*b.nk], b.Measures[i*b.nm : (i+1)*b.nm]
+}
+
+// ScanRangeBatches iterates over rows in [from, to), clamped to the
+// table, handing fn one whole page of decoded tuples at a time. The page
+// is decoded into the batch's reusable buffers and unpinned before fn
+// runs, so fn never executes with a pinned page and batches never alias
+// pool frames. A non-nil error from fn stops the scan and is returned.
+func (h *HeapFile) ScanRangeBatches(from, to int64, fn func(b *Batch) error) error {
 	if from < 0 {
 		from = 0
 	}
@@ -223,8 +258,13 @@ func (h *HeapFile) ScanRange(from, to int64, fn func(row int64, keys []int32, me
 	if from >= to {
 		return nil
 	}
-	keys := make([]int32, h.schema.NumKeys())
-	measures := make([]float64, h.schema.NumMeasures())
+	nk, nm := h.schema.NumKeys(), h.schema.NumMeasures()
+	b := &Batch{
+		Keys:     make([]int32, h.tpp*nk),
+		Measures: make([]float64, h.tpp*nm),
+		nk:       nk,
+		nm:       nm,
+	}
 	row := from
 	for row < to {
 		pageNo := uint32(row/int64(h.tpp)) + 1
@@ -237,16 +277,18 @@ func (h *HeapFile) ScanRange(from, to int64, fn func(row int64, keys []int32, me
 		if pageEnd := (row/int64(h.tpp) + 1) * int64(h.tpp); pageEnd > to {
 			end = slot + int(to-row)
 		}
+		n := end - slot
 		data := page.Data()
-		for s := slot; s < end; s++ {
-			decodeTuple(data[s*h.size:], keys, measures)
-			if err := fn(row, keys, measures); err != nil {
-				page.Unpin()
-				return err
-			}
-			row++
+		for i := 0; i < n; i++ {
+			decodeTuple(data[(slot+i)*h.size:], b.Keys[i*nk:(i+1)*nk], b.Measures[i*nm:(i+1)*nm])
 		}
 		page.Unpin()
+		b.Start = row
+		b.N = n
+		if err := fn(b); err != nil {
+			return err
+		}
+		row += int64(n)
 	}
 	return nil
 }

@@ -41,6 +41,7 @@ import (
 	"mdxopt/internal/query"
 	"mdxopt/internal/sched"
 	"mdxopt/internal/star"
+	"mdxopt/internal/storage"
 )
 
 // Algorithm selects the multi-query optimization strategy.
@@ -222,6 +223,22 @@ type OpenOptions struct {
 	// pay physical page reads instead of hitting the pool, which is the
 	// regime where sharing one pass across requests matters most.
 	PoolFrames int
+
+	// PoolShards splits the buffer pool's frame directory into this
+	// many lock shards (rounded down to a power of two) so concurrent
+	// fetches of different pages don't contend on one mutex. Default 8;
+	// set to 1 for a single global-mutex pool. Eviction still behaves
+	// globally: the pool only reports "full" when every frame of every
+	// shard is pinned.
+	PoolShards int
+
+	// Readahead is the sequential prefetch window in pages. When > 0,
+	// a detected sequential scan asynchronously reads the next
+	// Readahead pages so I/O overlaps with per-tuple CPU. Default 0
+	// (off), which keeps page-read accounting exactly deterministic;
+	// prefetched pages are counted in the Prefetched/PrefetchHits
+	// stats when enabled.
+	Readahead int
 }
 
 // OpenWith opens an existing database directory with explicit options.
@@ -230,7 +247,15 @@ func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 	if frames <= 0 {
 		frames = 2048
 	}
-	db, err := star.Open(dir, frames)
+	shards := opts.PoolShards
+	if shards <= 0 {
+		shards = 8
+	}
+	db, err := star.OpenWith(dir, storage.PoolOpts{
+		Frames:    frames,
+		Shards:    shards,
+		Readahead: opts.Readahead,
+	})
 	if err != nil {
 		return nil, err
 	}
