@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench go-bench scan-bench serve-bench clean
+.PHONY: check build vet test race bench go-bench scan-bench serve-bench mem-bench clean
 
 # The full gate: compile everything, vet, and run the test suite under
 # the race detector.
@@ -18,10 +18,10 @@ test:
 race:
 	$(GO) test -race ./...
 
-# All benchmarks: the Go micro/paper benchmarks plus the scan and serve
-# experiments (both seeded deterministically; they write BENCH_scan.json
-# and BENCH_serve.json).
-bench: go-bench scan-bench serve-bench
+# All benchmarks: the Go micro/paper benchmarks plus the scan, serve
+# and mem experiments (all seeded deterministically; they write
+# BENCH_scan.json, BENCH_serve.json and BENCH_mem.json).
+bench: go-bench scan-bench serve-bench mem-bench
 
 # Paper experiment benchmarks (Tests 1-7 etc.).
 go-bench:
@@ -36,5 +36,10 @@ scan-bench:
 serve-bench:
 	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-servedb -scale 0.1 -exp serve -json BENCH_serve.json
 
+# Memory-governed execution: budget x concurrency sweep showing bounded
+# peak memory with spill-backed degradation; writes BENCH_mem.json.
+mem-bench:
+	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-memdb -scale 0.1 -exp mem -json BENCH_mem.json
+
 clean:
-	rm -rf /tmp/mdxopt-servedb /tmp/mdxopt-scandb
+	rm -rf /tmp/mdxopt-servedb /tmp/mdxopt-scandb /tmp/mdxopt-memdb

@@ -28,12 +28,12 @@ func main() {
 	log.SetPrefix("mdxbench: ")
 	dir := flag.String("dir", "mdxbenchdb", "database directory (built if missing)")
 	scale := flag.Float64("scale", 0.1, "scale factor (1.0 = the paper's 2M rows)")
-	exp := flag.String("exp", "all", "experiment: all, table1, test1..test7, study, ablations, serve, scan")
-	jsonOut := flag.String("json", "", "write the serve/scan experiment's report to this JSON file")
+	exp := flag.String("exp", "all", "experiment: all, table1, test1..test7, study, ablations, serve, scan, mem")
+	jsonOut := flag.String("json", "", "write the serve/scan/mem experiment's report to this JSON file")
 	flag.Parse()
 
-	// The serve and scan experiments open the database themselves (they
-	// need deliberately sized/sharded buffer pools).
+	// The serve, scan and mem experiments open the database themselves
+	// (they need deliberately sized buffer pools and memory budgets).
 	if *exp == "serve" {
 		if err := runServe(os.Stdout, *dir, *scale, *jsonOut); err != nil {
 			log.Fatal(err)
@@ -42,6 +42,12 @@ func main() {
 	}
 	if *exp == "scan" {
 		if err := runScan(os.Stdout, *dir, *scale, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *exp == "mem" {
+		if err := runMem(os.Stdout, *dir, *scale, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 		return

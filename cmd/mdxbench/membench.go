@@ -1,0 +1,308 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdxopt"
+	"mdxopt/internal/workload"
+)
+
+// The mem experiment measures memory-governed execution: a Poisson
+// workload of aggregation-heavy queries replays at increasing
+// concurrency under decreasing memory budgets. Every cell reopens the
+// database with one budget so the broker's accounting is per-cell, runs
+// the replay through the admission scheduler, and records the broker's
+// peak, spill volume and admission deferrals. The point of the sweep:
+// peak tracked memory stays at or under the budget while throughput
+// degrades smoothly (spill + deferred admission) instead of falling
+// over.
+//
+// The paper's Q1–Q9 aggregate to coarse levels, so their hash tables
+// are a few KiB — nothing worth governing. This workload mixes in
+// leaf-level group-bys (A.MEMBERS × B.MEMBERS …) whose aggregation
+// state runs to MiBs, putting the refusable share of memory far above
+// the required lookups and making the budget the binding constraint.
+
+type memConfig struct {
+	Scale      float64 `json:"scale"`
+	Clients    []int   `json:"clients"`
+	PerClient  int     `json:"queries_per_client"`
+	RatePerSec float64 `json:"arrival_rate_per_sec"`
+	PoolFrames int     `json:"pool_frames"`
+	WindowMS   float64 `json:"batch_window_ms"`
+	Reps       int     `json:"reps"`
+}
+
+// memCell is one (budget, concurrency) measurement.
+type memCell struct {
+	BudgetBytes int64   `json:"budget_bytes"` // 0 = track only
+	Clients     int     `json:"clients"`
+	WallMS      float64 `json:"wall_ms"` // mean per rep
+	QueriesSec  float64 `json:"queries_per_sec"`
+
+	PeakBytes       int64   `json:"peak_bytes"` // broker high-water mark
+	SpillBytes      int64   `json:"spill_bytes"`
+	SpillPartitions int64   `json:"spill_partitions"`
+	Denied          int64   `json:"denied_grants"`
+	Deferred        int64   `json:"deferred_batches"`
+	DeferredForMS   float64 `json:"deferred_for_ms"`
+
+	// WithinBudget is PeakBytes <= BudgetBytes (vacuously true for the
+	// unbudgeted cell); DrainedToZero is the broker's Used after the
+	// replays finished.
+	WithinBudget  bool `json:"peak_within_budget"`
+	DrainedToZero bool `json:"drained_to_zero"`
+}
+
+type memReport struct {
+	Config        memConfig `json:"config"`
+	UnboundedPeak int64     `json:"unbounded_peak_bytes"` // probe at max concurrency
+	Cells         []memCell `json:"cells"`
+}
+
+// memPool is the experiment's query mix: leaf-level group-bys with
+// large aggregation state plus a few of the paper's coarse queries for
+// plan variety.
+func memPool() map[string]string {
+	base := workload.MDX()
+	return map[string]string{
+		"F1": `{A.MEMBERS} on COLUMNS {B.MEMBERS} on ROWS CONTEXT ABCD FILTER (D'.DD1)`,
+		"F2": `{A.MEMBERS} on COLUMNS {B.MEMBERS} on ROWS {C.MEMBERS} on PAGES CONTEXT ABCD FILTER (D'.DD1)`,
+		"F3": `{B.MEMBERS} on COLUMNS {C.MEMBERS} on ROWS CONTEXT ABCD FILTER (D'.DD2)`,
+		"F4": `{A.MEMBERS} on COLUMNS {C.MEMBERS} on ROWS CONTEXT ABCD`,
+		"Q2": base["Q2"],
+		"Q6": base["Q6"],
+		"Q9": base["Q9"],
+	}
+}
+
+// memArrivals draws a Poisson arrival sequence over memPool, mirroring
+// workload.Arrivals (deterministic for a given rng).
+func memArrivals(rng *rand.Rand, n int, ratePerSec float64) []workload.Arrival {
+	pool := memPool()
+	names := make([]string, 0, len(pool))
+	for name := range pool {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]workload.Arrival, n)
+	var at time.Duration
+	for i := range out {
+		if ratePerSec > 0 {
+			at += time.Duration(rng.ExpFloat64() / ratePerSec * float64(time.Second))
+		}
+		name := names[rng.Intn(len(names))]
+		out[i] = workload.Arrival{Name: name, Src: pool[name], At: at}
+	}
+	return out
+}
+
+// memReplay pushes the workload through the scheduler at the given
+// concurrency and returns wall time plus the spill counters summed over
+// the answers.
+func memReplay(db *mdxopt.DB, perClient [][]workload.Arrival) (time.Duration, int64, int64, error) {
+	start := time.Now()
+	var spillBytes, spillParts atomic.Int64
+	errs := make(chan error, len(perClient))
+	var wg sync.WaitGroup
+	for _, reqs := range perClient {
+		wg.Add(1)
+		go func(reqs []workload.Arrival) {
+			defer wg.Done()
+			for _, req := range reqs {
+				if wait := req.At - time.Since(start); wait > 0 {
+					time.Sleep(wait)
+				}
+				a, err := db.QueryWith(req.Src, mdxopt.Options{Batching: true})
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", req.Name, err)
+					return
+				}
+				spillBytes.Add(a.Stats.SpillBytes)
+				spillParts.Add(a.Stats.SpillPartitions)
+			}
+		}(reqs)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, 0, 0, err
+	default:
+	}
+	return wall, spillBytes.Load(), spillParts.Load(), nil
+}
+
+// memOpen opens the benchmark database with one budget and batching
+// sized for the given concurrency.
+func memOpen(dir string, cfg memConfig, budget int64, clients int) (*mdxopt.DB, error) {
+	db, err := mdxopt.OpenWith(dir, mdxopt.OpenOptions{
+		PoolFrames:   cfg.PoolFrames,
+		MemoryBudget: budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.EnableBatching(mdxopt.BatchConfig{
+		Window:   time.Duration(cfg.WindowMS * float64(time.Millisecond)),
+		MaxBatch: clients,
+		MaxQueue: 4 * clients,
+	})
+	return db, nil
+}
+
+// runMem builds (or reuses) the benchmark database, probes the
+// workload's unbudgeted peak, sweeps budget x concurrency, prints the
+// grid, and optionally writes the JSON report.
+func runMem(w io.Writer, dir string, scale float64, jsonPath string) error {
+	cfg := memConfig{
+		Scale:      scale,
+		Clients:    []int{1, 2, 4, 8},
+		PerClient:  4,
+		RatePerSec: 2000,
+		PoolFrames: 256,
+		WindowMS:   5,
+		Reps:       3,
+	}
+
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		start := time.Now()
+		db, err := mdxopt.CreateSample(dir, scale)
+		if err != nil {
+			return err
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "built database in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	maxClients := cfg.Clients[len(cfg.Clients)-1]
+	arrivalsFor := func(clients int) [][]workload.Arrival {
+		rng := rand.New(rand.NewSource(11))
+		return workload.PerClient(memArrivals(rng, clients*cfg.PerClient, cfg.RatePerSec), clients)
+	}
+
+	// Probe: the workload's untracked-budget peak at max concurrency
+	// anchors the budget ladder below the working set.
+	probe, err := memOpen(dir, cfg, 0, maxClients)
+	if err != nil {
+		return err
+	}
+	if _, _, _, err := memReplay(probe, arrivalsFor(maxClients)); err != nil {
+		probe.Close()
+		return err
+	}
+	unbounded := probe.MemoryStats().Peak
+	if err := probe.Close(); err != nil {
+		return err
+	}
+
+	// The floor keeps budgets above the required-state footprint
+	// (lookups, bitmaps, one spill page), which is granted past the
+	// budget and would otherwise put the peak over tiny budgets.
+	const minBudget = 16 << 10
+	budgets := []int64{0}
+	for _, div := range []int64{2, 4, 8} {
+		b := unbounded / div
+		if b < minBudget {
+			b = minBudget
+		}
+		if budgets[len(budgets)-1] != b {
+			budgets = append(budgets, b)
+		}
+	}
+
+	rep := memReport{Config: cfg, UnboundedPeak: unbounded}
+	fmt.Fprintf(w, "mem: scale %g, unbudgeted peak %d KiB, %d-frame pool\n",
+		cfg.Scale, unbounded>>10, cfg.PoolFrames)
+	fmt.Fprintf(w, "  %10s %8s %10s %10s %10s %10s %8s %8s %6s\n",
+		"budget", "clients", "ms/run", "queries/s", "peakKiB", "spillKiB", "denied", "defer", "ok")
+
+	for _, budget := range budgets {
+		for _, clients := range cfg.Clients {
+			db, err := memOpen(dir, cfg, budget, clients)
+			if err != nil {
+				return err
+			}
+			perClient := arrivalsFor(clients)
+			// One warm-up rep settles the pool and the plan caches.
+			if _, _, _, err := memReplay(db, perClient); err != nil {
+				db.Close()
+				return err
+			}
+			var wall time.Duration
+			var spillBytes, spillParts int64
+			for r := 0; r < cfg.Reps; r++ {
+				wl, sb, sp, err := memReplay(db, perClient)
+				if err != nil {
+					db.Close()
+					return err
+				}
+				wall += wl
+				spillBytes += sb
+				spillParts += sp
+			}
+			ms := db.MemoryStats()
+			if err := db.Close(); err != nil {
+				return err
+			}
+			mean := wall / time.Duration(cfg.Reps)
+			cell := memCell{
+				BudgetBytes:     budget,
+				Clients:         clients,
+				WallMS:          float64(mean.Microseconds()) / 1e3,
+				QueriesSec:      float64(clients*cfg.PerClient) / mean.Seconds(),
+				PeakBytes:       ms.Peak,
+				SpillBytes:      spillBytes,
+				SpillPartitions: spillParts,
+				Denied:          ms.Denied,
+				Deferred:        ms.Deferred,
+				DeferredForMS:   float64(ms.DeferredFor.Microseconds()) / 1e3,
+				WithinBudget:    budget == 0 || ms.Peak <= budget,
+				DrainedToZero:   ms.Used == 0,
+			}
+			rep.Cells = append(rep.Cells, cell)
+			bs := "none"
+			if budget > 0 {
+				bs = fmt.Sprintf("%dKiB", budget>>10)
+			}
+			ok := "yes"
+			if !cell.WithinBudget || !cell.DrainedToZero {
+				ok = "NO"
+			}
+			fmt.Fprintf(w, "  %10s %8d %10.2f %10.0f %10d %10d %8d %8d %6s\n",
+				bs, clients, cell.WallMS, cell.QueriesSec,
+				cell.PeakBytes>>10, cell.SpillBytes>>10, cell.Denied, cell.Deferred, ok)
+		}
+	}
+
+	for _, c := range rep.Cells {
+		if !c.WithinBudget {
+			return fmt.Errorf("mem: budget %d clients %d: peak %d exceeds budget", c.BudgetBytes, c.Clients, c.PeakBytes)
+		}
+		if !c.DrainedToZero {
+			return fmt.Errorf("mem: budget %d clients %d: broker not drained", c.BudgetBytes, c.Clients)
+		}
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"mdxopt/internal/mem"
 	"mdxopt/internal/query"
 	"mdxopt/internal/star"
 )
@@ -29,16 +30,29 @@ type lookupKey struct {
 	sig       string // query-side signature: target level + predicate
 }
 
+// lookupBytesPerRow is the estimated footprint of one view-level code in
+// a dimLookup: 4 bytes of out plus 1 byte of pass. The plan.Estimator
+// memory model mirrors this constant.
+const lookupBytesPerRow = 5
+
 // lookupCache shares dimension lookups across the queries of one shared
-// operator invocation.
+// operator invocation. Lookups are required state — the join cannot run
+// without them — so their memory is an overdraft grant on the broker,
+// held until the pass closes the cache.
 type lookupCache struct {
 	env     *Env
 	entries map[lookupKey]*dimLookup
 	stats   *Stats
+	res     *mem.Reservation
 }
 
 func newLookupCache(env *Env, stats *Stats) *lookupCache {
-	return &lookupCache{env: env, entries: map[lookupKey]*dimLookup{}, stats: stats}
+	return &lookupCache{
+		env:     env,
+		entries: map[lookupKey]*dimLookup{},
+		stats:   stats,
+		res:     env.Mem.Reserve("lookups"),
+	}
 }
 
 // get returns the lookup for dimension dim of q against a view column at
@@ -54,11 +68,18 @@ func (c *lookupCache) get(q *query.Query, dim, viewLevel int) (*dimLookup, error
 	if err != nil {
 		return nil, err
 	}
+	c.res.MustGrow(int64(len(lk.out)) * lookupBytesPerRow)
 	if c.env.ShareLookups {
 		c.entries[key] = lk
 	}
 	return lk, nil
 }
+
+// memPeak returns the cache reservation's high-water mark.
+func (c *lookupCache) memPeak() int64 { return c.res.Peak() }
+
+// close releases the cache's memory reservation. Idempotent.
+func (c *lookupCache) close() { c.res.Release() }
 
 // dimSignature identifies the query side of a lookup: target level and
 // predicate members.
@@ -138,17 +159,21 @@ type accum struct {
 }
 
 // queryPipeline is the per-query tail of a star join: dimension lookups
-// plus an aggregation hash table.
+// plus an aggregation table that spills under memory pressure.
 type queryPipeline struct {
 	q       *query.Query
 	lookups []*dimLookup // one per dimension, indexed by dim position
-	agg     map[string]accum
+	tab     *aggTable
 	keyBuf  []byte
 	// qctx is the query's per-submission context (Env.QueryCtx); when
 	// it is done the pipeline detaches: the shared pass keeps running
 	// for the other queries while this one stops consuming tuples.
 	qctx     context.Context
 	detached bool
+	// ioErr latches the first spill I/O failure; checked at scan
+	// checkpoints and at emit, so the pass aborts without a per-tuple
+	// error branch.
+	ioErr error
 	// own is the pipeline's non-shared work — probes, aggregations,
 	// fetch routing, per-query bitmap building — counted alongside the
 	// pass stats so Attribute can split a shared pass per query.
@@ -160,7 +185,7 @@ func newQueryPipeline(env *Env, stats *Stats, cache *lookupCache, q *query.Query
 	p := &queryPipeline{
 		q:       q,
 		lookups: make([]*dimLookup, nd),
-		agg:     make(map[string]accum),
+		tab:     newAggTable(env, q.Agg, 4*nd, q.Name),
 		keyBuf:  make([]byte, 4*nd),
 	}
 	if env.QueryCtx != nil {
@@ -169,11 +194,21 @@ func newQueryPipeline(env *Env, stats *Stats, cache *lookupCache, q *query.Query
 	for dim := 0; dim < nd; dim++ {
 		lk, err := cache.get(q, dim, view.Levels[dim])
 		if err != nil {
+			p.close()
 			return nil, err
 		}
 		p.lookups[dim] = lk
 	}
 	return p, nil
+}
+
+// close releases the pipeline's aggregation memory and spill file.
+// Idempotent and nil-safe; safe to call before or after result().
+func (p *queryPipeline) close() {
+	if p == nil {
+		return
+	}
+	p.tab.close()
 }
 
 // detachedNow polls the pipeline's per-query context, latching
@@ -257,28 +292,16 @@ func (p *queryPipeline) fold(keys []int32, vals [4]float64) {
 }
 
 // absorb folds vals into the group currently addressed by keyBuf,
-// according to the query's aggregate.
+// according to the query's aggregate. Spill failures are latched into
+// ioErr rather than returned — the hot loop stays branch-light and the
+// next checkpoint aborts the pass.
 func (p *queryPipeline) absorb(vals [4]float64) {
-	cur := p.agg[string(p.keyBuf)]
-	switch p.q.Agg {
-	case query.Sum:
-		cur.a += vals[star.AggSum]
-	case query.Count:
-		cur.a += vals[star.AggCount]
-	case query.Min:
-		if !cur.set || vals[star.AggMin] < cur.a {
-			cur.a = vals[star.AggMin]
-		}
-	case query.Max:
-		if !cur.set || vals[star.AggMax] > cur.a {
-			cur.a = vals[star.AggMax]
-		}
-	case query.Avg:
-		cur.a += vals[star.AggSum]
-		cur.b += vals[star.AggCount]
+	if p.ioErr != nil {
+		return
 	}
-	cur.set = true
-	p.agg[string(p.keyBuf)] = cur
+	if err := p.tab.add(p.keyBuf, deltaOf(p.q.Agg, vals)); err != nil {
+		p.ioErr = err
+	}
 }
 
 // finalize converts a group's accumulation state into its result value.

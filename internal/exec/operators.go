@@ -19,9 +19,10 @@ var ErrNoIndex = errors.New("exec: view has no bitmap join index for a restricte
 // its per-query context's error).
 var errDetached = errors.New("exec: all pipelines detached")
 
-// checkpoint polls global cancellation and per-pipeline detachment for
-// the given pipeline sets. It runs every checkEvery tuples, not per
-// tuple. It returns errDetached when no pipeline is left attached.
+// checkpoint polls global cancellation, spill I/O failures, and
+// per-pipeline detachment for the given pipeline sets. It runs every
+// checkEvery tuples, not per tuple. It returns errDetached when no
+// pipeline is left attached.
 func checkpoint(env *Env, sets ...[]*queryPipeline) error {
 	if err := env.canceled(); err != nil {
 		return err
@@ -29,6 +30,9 @@ func checkpoint(env *Env, sets ...[]*queryPipeline) error {
 	alive, any := false, false
 	for _, set := range sets {
 		for _, p := range set {
+			if p.ioErr != nil {
+				return p.ioErr
+			}
 			any = true
 			if !p.detachedNow() {
 				alive = true
@@ -41,21 +45,47 @@ func checkpoint(env *Env, sets ...[]*queryPipeline) error {
 	return nil
 }
 
-// emit converts pipelines into results, attaching each query's own
-// (non-shared) work and, for detached pipelines, the per-query
-// context's error.
-func emit(pipelines []*queryPipeline) []*Result {
+// closePipes releases every pipeline's memory and spill state; used as
+// a deferred cleanup so no path leaks reservations or temp files.
+func closePipes(pipelines []*queryPipeline) {
+	for _, p := range pipelines {
+		p.close()
+	}
+}
+
+// emit converts pipelines into results (merging any spilled state),
+// attaching each query's own (non-shared) work and, for detached
+// pipelines, the per-query context's error. Each pipeline's memory
+// counters — reservation peak, spill volume, partitions — are folded
+// into both its own stats and the pass stats.
+func emit(stats *Stats, pipelines []*queryPipeline) ([]*Result, error) {
 	out := make([]*Result, len(pipelines))
 	for i, p := range pipelines {
-		r := p.result()
+		if p.ioErr != nil {
+			return nil, p.ioErr
+		}
+		r, err := p.result()
+		if err != nil {
+			return nil, err
+		}
+		peak, spillBytes, spillParts := p.tab.memStats()
+		p.own.PeakMemory += peak
+		p.own.SpillBytes += spillBytes
+		p.own.SpillPartitions += spillParts
+		stats.PeakMemory += p.own.PeakMemory
+		stats.SpillBytes += p.own.SpillBytes
+		stats.SpillPartitions += p.own.SpillPartitions
 		r.Own = p.own
 		if p.qctx != nil {
 			r.Err = p.qctx.Err()
 		}
 		out[i] = r
 	}
-	return out
+	return out, nil
 }
+
+// bitsetBytes is the memory footprint of one result bitmap over rows.
+func bitsetBytes(rows int64) int64 { return (rows + 63) / 64 * 8 }
 
 // checkAnswerable validates that view can compute every query, including
 // the aggregate-layout requirement (non-SUM queries need the base table
@@ -94,7 +124,9 @@ func SharedScanHash(env *Env, view *star.View, queries []*query.Query, stats *St
 	var results []*Result
 	err := env.measure(stats, func() error {
 		cache := newLookupCache(env, stats)
+		defer cache.close()
 		pipelines := make([]*queryPipeline, len(queries))
+		defer closePipes(pipelines)
 		for i, q := range queries {
 			p, err := newQueryPipeline(env, stats, cache, q, view)
 			if err != nil {
@@ -119,6 +151,7 @@ func SharedScanHash(env *Env, view *star.View, queries []*query.Query, stats *St
 					for i, q := range queries {
 						p, err := newQueryPipeline(env, stats, cache, q, view)
 						if err != nil {
+							closePipes(set)
 							return nil, err
 						}
 						set[i] = p
@@ -131,10 +164,16 @@ func SharedScanHash(env *Env, view *star.View, queries []*query.Query, stats *St
 				func(state any, st *Stats, b *table.Batch) {
 					scanBatch(state.([]*queryPipeline), st, b)
 				},
-				func(state any) {
+				func(state any) error {
 					for i, p := range state.([]*queryPipeline) {
-						pipelines[i].merge(p)
+						if err := pipelines[i].merge(p); err != nil {
+							return err
+						}
 					}
+					return nil
+				},
+				func(state any) {
+					closePipes(state.([]*queryPipeline))
 				})
 			if err != nil {
 				return err
@@ -152,8 +191,10 @@ func SharedScanHash(env *Env, view *star.View, queries []*query.Query, stats *St
 				return err
 			}
 		}
-		results = emit(pipelines)
-		return nil
+		stats.PeakMemory += cache.memPeak()
+		var err error
+		results, err = emit(stats, pipelines)
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -234,7 +275,14 @@ func SharedIndex(env *Env, view *star.View, queries []*query.Query, stats *Stats
 	var results []*Result
 	err := env.measure(stats, func() error {
 		cache := newLookupCache(env, stats)
+		defer cache.close()
+		// Result bitmaps (and the union) are required state: the probe
+		// cannot run without them, so their footprint is an overdraft
+		// grant held for the duration of the pass.
+		bres := env.Mem.Reserve("bitmaps")
+		defer bres.Release()
 		pipelines := make([]*queryPipeline, len(queries))
+		defer closePipes(pipelines)
 		bitmaps := make([]*bitmap.Bitset, len(queries))
 		residuals := make([][]int, len(queries))
 		for i, q := range queries {
@@ -247,10 +295,12 @@ func SharedIndex(env *Env, view *star.View, queries []*query.Query, stats *Stats
 			if err != nil {
 				return err
 			}
+			bres.MustGrow(bitsetBytes(view.Rows()))
 			bitmaps[i] = bs
 			residuals[i] = residual
 		}
 		union := bitmaps[0].Clone()
+		bres.MustGrow(bitsetBytes(view.Rows()))
 		for _, bs := range bitmaps[1:] {
 			stats.BitmapWords += union.Or(bs)
 		}
@@ -284,8 +334,9 @@ func SharedIndex(env *Env, view *star.View, queries []*query.Query, stats *Stats
 		if err != nil && err != errDetached {
 			return err
 		}
-		results = emit(pipelines)
-		return nil
+		stats.PeakMemory += cache.memPeak() + bres.Peak()
+		results, err = emit(stats, pipelines)
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -312,7 +363,11 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 	}
 	err = env.measure(stats, func() error {
 		cache := newLookupCache(env, stats)
+		defer cache.close()
+		bres := env.Mem.Reserve("bitmaps")
+		defer bres.Release()
 		hashPipes := make([]*queryPipeline, len(hashQueries))
+		defer closePipes(hashPipes)
 		for i, q := range hashQueries {
 			p, err := newQueryPipeline(env, stats, cache, q, view)
 			if err != nil {
@@ -321,6 +376,7 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 			hashPipes[i] = p
 		}
 		indexPipes := make([]*queryPipeline, len(indexQueries))
+		defer closePipes(indexPipes)
 		bitmaps := make([]*bitmap.Bitset, len(indexQueries))
 		residuals := make([][]int, len(indexQueries))
 		for i, q := range indexQueries {
@@ -333,6 +389,7 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 			if err != nil {
 				return err
 			}
+			bres.MustGrow(bitsetBytes(view.Rows()))
 			bitmaps[i] = bs
 			residuals[i] = residual
 		}
@@ -381,6 +438,7 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 					for i, q := range hashQueries {
 						p, err := newQueryPipeline(env, stats, cache, q, view)
 						if err != nil {
+							closePipes(ms.hash)
 							return nil, err
 						}
 						ms.hash[i] = p
@@ -388,6 +446,8 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 					for i, q := range indexQueries {
 						p, err := newQueryPipeline(env, stats, cache, q, view)
 						if err != nil {
+							closePipes(ms.hash)
+							closePipes(ms.index)
 							return nil, err
 						}
 						ms.index[i] = p
@@ -402,14 +462,24 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 					ms := state.(*mixedState)
 					mixedBatch(ms.hash, ms.index, st, b)
 				},
-				func(state any) {
+				func(state any) error {
 					ms := state.(*mixedState)
 					for i, p := range ms.hash {
-						hashPipes[i].merge(p)
+						if err := hashPipes[i].merge(p); err != nil {
+							return err
+						}
 					}
 					for i, p := range ms.index {
-						indexPipes[i].merge(p)
+						if err := indexPipes[i].merge(p); err != nil {
+							return err
+						}
 					}
+					return nil
+				},
+				func(state any) {
+					ms := state.(*mixedState)
+					closePipes(ms.hash)
+					closePipes(ms.index)
 				})
 			if err != nil {
 				return err
@@ -427,9 +497,14 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 				return err
 			}
 		}
-		hashResults = emit(hashPipes)
-		indexResults = emit(indexPipes)
-		return nil
+		stats.PeakMemory += cache.memPeak() + bres.Peak()
+		var err error
+		hashResults, err = emit(stats, hashPipes)
+		if err != nil {
+			return err
+		}
+		indexResults, err = emit(stats, indexPipes)
+		return err
 	})
 	if err != nil {
 		return nil, nil, err

@@ -3,7 +3,6 @@ package exec
 import (
 	"sync"
 
-	"mdxopt/internal/query"
 	"mdxopt/internal/star"
 	"mdxopt/internal/table"
 )
@@ -26,33 +25,24 @@ func (e *Env) workers() int {
 	return e.Parallelism
 }
 
-// merge folds another pipeline's aggregation table and own-work stats
-// into p; both must belong to the same query.
-func (p *queryPipeline) merge(o *queryPipeline) {
-	p.own.Add(o.own)
-	for k, oc := range o.agg {
-		cur, ok := p.agg[k]
-		if !ok {
-			p.agg[k] = oc
-			continue
-		}
-		switch p.q.Agg {
-		case query.Sum, query.Count:
-			cur.a += oc.a
-		case query.Min:
-			if oc.a < cur.a {
-				cur.a = oc.a
-			}
-		case query.Max:
-			if oc.a > cur.a {
-				cur.a = oc.a
-			}
-		case query.Avg:
-			cur.a += oc.a
-			cur.b += oc.b
-		}
-		p.agg[k] = cur
+// merge folds another pipeline's aggregation table (in-memory or
+// spilled), memory counters, and own-work stats into p; both must
+// belong to the same query. The worker's table is closed afterwards —
+// its spill file, if any, is destroyed once its records are absorbed.
+func (p *queryPipeline) merge(o *queryPipeline) error {
+	if o.ioErr != nil {
+		return o.ioErr
 	}
+	p.own.Add(o.own)
+	if err := p.tab.mergeFrom(o.tab); err != nil {
+		return err
+	}
+	peak, spillBytes, spillParts := o.tab.memStats()
+	p.own.PeakMemory += peak
+	p.own.SpillBytes += spillBytes
+	p.own.SpillPartitions += spillParts
+	o.close()
+	return nil
 }
 
 // scanPartitions returns the row ranges for n workers over rows rows,
@@ -98,8 +88,12 @@ func scanPartitions(rows int64, n, tpp int) [][2]int64 {
 // detachment: a worker whose pipelines have all detached stops early
 // with errDetached, which is not an error); processBatch handles one
 // decoded page of tuples; afterwards the per-worker stats and states
-// are merged via mergeState. Lookups and bitmaps must be built before
-// calling (they are shared read-only).
+// are merged via mergeState (which may itself fail, e.g. draining a
+// worker's spill file). discard must release a state's resources — it
+// runs (deferred, idempotently) for every state on every path, so
+// memory reservations and spill files never leak on errors. Lookups
+// and bitmaps must be built before calling (they are shared
+// read-only).
 func parallelScan(
 	env *Env,
 	view *star.View,
@@ -107,12 +101,20 @@ func parallelScan(
 	mkState func() (any, error),
 	check func(state any) error,
 	processBatch func(state any, st *Stats, b *table.Batch),
-	mergeState func(state any),
+	mergeState func(state any) error,
+	discard func(state any),
 ) error {
 	n := env.workers()
 	parts := scanPartitions(view.Rows(), n, view.Heap.TuplesPerPage())
 
 	states := make([]any, len(parts))
+	defer func() {
+		for _, s := range states {
+			if s != nil {
+				discard(s)
+			}
+		}
+	}()
 	for i := range states {
 		s, err := mkState()
 		if err != nil {
@@ -148,7 +150,9 @@ func parallelScan(
 	}
 	for w := range parts {
 		stats.Add(workerStats[w])
-		mergeState(states[w])
+		if err := mergeState(states[w]); err != nil {
+			return err
+		}
 	}
 	return nil
 }

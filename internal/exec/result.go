@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"mdxopt/internal/query"
@@ -31,23 +30,25 @@ type Result struct {
 }
 
 // result converts the pipeline's aggregation table into a sorted Result.
-func (p *queryPipeline) result() *Result {
+// Spilled tables are merged partition by partition (spill.go); the
+// groups come out in the same raw-key order either way.
+func (p *queryPipeline) result() (*Result, error) {
+	pairs, err := p.tab.pairs()
+	if err != nil {
+		return nil, err
+	}
 	q := p.q
 	nd := q.Schema.NumDims()
-	keys := make([]string, 0, len(p.agg))
-	for k := range p.agg {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	groups := make([]Group, len(keys))
-	for i, k := range keys {
-		g := Group{Keys: make([]int32, nd), Value: p.finalize(p.agg[k])}
+	groups := make([]Group, len(pairs))
+	for i, pr := range pairs {
+		k := pr.key
+		g := Group{Keys: make([]int32, nd), Value: p.finalize(pr.ac)}
 		for d := 0; d < nd; d++ {
 			g.Keys[d] = int32(uint32(k[d*4]) | uint32(k[d*4+1])<<8 | uint32(k[d*4+2])<<16 | uint32(k[d*4+3])<<24)
 		}
 		groups[i] = g
 	}
-	return &Result{Query: q, Groups: groups}
+	return &Result{Query: q, Groups: groups}, nil
 }
 
 // Find returns the value for the given group keys.

@@ -19,17 +19,32 @@ package exec
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"mdxopt/internal/cost"
+	"mdxopt/internal/mem"
 	"mdxopt/internal/query"
 	"mdxopt/internal/star"
 	"mdxopt/internal/storage"
 )
 
-// Stats accumulates the work performed by one or more operators.
+// Stats accumulates the work performed by one or more operators. It is
+// the single authoritative record of every counter the engine reports;
+// each field is documented here and nowhere else.
+//
+// All fields are additive: Add sums them component-wise, and Attribute
+// splits a shared pass's totals across its queries (non-shared work
+// exactly, shared work as an equal split of the residual). Every int64
+// field must also be listed in statComponents (attribution.go), which
+// has a compile-coupled test.
 type Stats struct {
-	IO storage.Stats // physical page I/O observed at the buffer pool
+	// IO is the physical page I/O observed at the buffer pool: sequential
+	// and random reads, writes, hits, allocations, evictions, and full
+	// flushes. Spill I/O does NOT appear here — spill files are written
+	// through a private DiskManager, bypassing the pool, and are counted
+	// in SpillBytes instead.
+	IO storage.Stats
 
 	TuplesScanned int64 // tuples decoded by sequential scans
 	TupleProbes   int64 // tuple × query hash star-join probes
@@ -38,6 +53,22 @@ type Stats struct {
 	HashBuildRows int64 // dimension rows inserted into join lookup tables
 	BitmapWords   int64 // 64-bit words of bitmap AND/OR
 	BitTests      int64 // per-tuple bitmap membership tests
+
+	// PeakMemory is the sum of the high-water marks of every memory
+	// reservation the work held (aggregation tables, dimension lookups,
+	// bitmaps, spill buffers), in bytes. Because the components peak at
+	// different times, this is an upper bound on the true simultaneous
+	// footprint; the broker's own Peak (mem.Broker.Stats) is the exact
+	// global high-water mark. Sum-of-peaks is used here because it is
+	// deterministic and additive, so Attribute can split it per query.
+	PeakMemory int64
+	// SpillBytes counts aggregation record bytes written to spill
+	// partition files, including records rewritten by merge overflow
+	// sub-passes. Zero when everything fit in budget.
+	SpillBytes int64
+	// SpillPartitions counts spill partitions created (fanout per spill
+	// event). Zero when everything fit in budget.
+	SpillPartitions int64
 
 	Wall time.Duration // measured wall-clock time
 }
@@ -52,6 +83,9 @@ func (s *Stats) Add(other Stats) {
 	s.HashBuildRows += other.HashBuildRows
 	s.BitmapWords += other.BitmapWords
 	s.BitTests += other.BitTests
+	s.PeakMemory += other.PeakMemory
+	s.SpillBytes += other.SpillBytes
+	s.SpillPartitions += other.SpillPartitions
 	s.Wall += other.Wall
 }
 
@@ -74,9 +108,10 @@ func (s Stats) SimulatedSeconds(m *cost.Model) float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("io{%s} scan=%d probe=%d agg=%d fetch=%d build=%d bmwords=%d bittest=%d wall=%s",
+	return fmt.Sprintf("io{%s} scan=%d probe=%d agg=%d fetch=%d build=%d bmwords=%d bittest=%d peakmem=%d spill=%d/%dp wall=%s",
 		s.IO, s.TuplesScanned, s.TupleProbes, s.TuplesAgg, s.TuplesFetched,
-		s.HashBuildRows, s.BitmapWords, s.BitTests, s.Wall)
+		s.HashBuildRows, s.BitmapWords, s.BitTests,
+		s.PeakMemory, s.SpillBytes, s.SpillPartitions, s.Wall)
 }
 
 // Env carries what operators need: the database (dimension tables, views,
@@ -104,6 +139,21 @@ type Env struct {
 	// The admission scheduler uses this so one caller's cancellation
 	// never aborts a scan other callers are sharing.
 	QueryCtx func(*query.Query) context.Context
+	// Mem, when non-nil, is the memory broker governing operator state:
+	// every aggregation table, dimension lookup, bitmap, and spill buffer
+	// holds a reservation against it. Aggregation tables degrade to a
+	// partitioned disk spill when the broker refuses to grow them (see
+	// spill.go); lookups, bitmaps, and spill buffers are required state
+	// and use overdraft grants. A nil Mem runs ungoverned (reservations
+	// are no-ops).
+	Mem *mem.Broker
+	// SpillDir is the directory for aggregation spill temp files; empty
+	// means os.TempDir(). Files are removed when the pass finishes.
+	SpillDir string
+	// SpillFanout overrides the spill partition count (default 16).
+	// Merge memory per partition is roughly the final group footprint
+	// divided by the fanout.
+	SpillFanout int
 }
 
 // NewEnv returns an Env with default options.
@@ -114,6 +164,22 @@ func NewEnv(db *star.Database) *Env {
 // checkEvery is how many tuples an operator processes between
 // cancellation checks.
 const checkEvery = 4096
+
+// spillDir resolves the directory for spill temp files.
+func (e *Env) spillDir() string {
+	if e.SpillDir != "" {
+		return e.SpillDir
+	}
+	return os.TempDir()
+}
+
+// spillFanout resolves the spill partition count.
+func (e *Env) spillFanout() int {
+	if e.SpillFanout > 0 {
+		return e.SpillFanout
+	}
+	return defaultSpillFanout
+}
 
 // canceled returns the context's error if the Env's context is done.
 func (e *Env) canceled() error {

@@ -1,0 +1,127 @@
+package plan
+
+import (
+	"fmt"
+
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+)
+
+// Memory model.
+//
+// The scheduler admits a batch only when its estimated operator-state
+// footprint fits the memory broker's budget (internal/mem), so the
+// estimator mirrors the execution layer's accounting: dimension lookup
+// tables, result bitmaps, and aggregation hash tables, with the same
+// per-entry constants internal/exec charges its reservations with.
+// Estimates intentionally ignore sharing's timing (everything is priced
+// as if live simultaneously) — admission wants a peak bound, and the
+// operators' spill paths recover from underestimates.
+
+const (
+	// memLookupBytesPerRow mirrors exec's lookupBytesPerRow: 4 bytes of
+	// rollup target plus 1 byte of predicate pass per view-level code.
+	memLookupBytesPerRow = 5
+	// memAggEntryOverhead mirrors exec's aggEntryOverhead: hash-table
+	// bookkeeping per group on top of the packed key.
+	memAggEntryOverhead = 96
+)
+
+// memLookupKey identifies one shareable dimension lookup, mirroring
+// exec's lookupKey: queries with the same dimension, view level, target
+// level, and predicate share one table when lookup sharing is on.
+type memLookupKey struct {
+	dim       int
+	viewLevel int
+	sig       string
+}
+
+func memLookupSig(q *query.Query, dim int) string {
+	s := fmt.Sprintf("%d:", q.Levels[dim])
+	if q.Preds[dim].IsRestricted() {
+		for _, m := range q.Preds[dim].Members {
+			s += fmt.Sprintf("%d,", m)
+		}
+	} else {
+		s += "*"
+	}
+	return s
+}
+
+// groupEstimate estimates q's result group count on v: the group-by
+// space capped by the qualifying rows (a query cannot produce more
+// groups than tuples it aggregates).
+func (e *Estimator) groupEstimate(q *query.Query, v *star.View) float64 {
+	groups := 1.0
+	for dim, d := range q.Schema.Dims {
+		groups *= float64(d.Card(q.Levels[dim]))
+	}
+	if rows := e.selRows(q, v); rows < groups {
+		groups = rows
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	return groups
+}
+
+// aggMemory estimates q's aggregation-table footprint on v in bytes.
+func (e *Estimator) aggMemory(q *query.Query, v *star.View) int64 {
+	keyLen := 4 * len(q.Schema.Dims)
+	return int64(e.groupEstimate(q, v) * float64(keyLen+memAggEntryOverhead))
+}
+
+// bitmapMemory is one result bitmap's footprint over v in bytes.
+func bitmapMemory(v *star.View) int64 {
+	return (v.Rows() + 63) / 64 * 8
+}
+
+// ClassMemory estimates the operator-state footprint of evaluating
+// class c in one shared pass, in bytes: deduplicated dimension lookups
+// (assuming lookup sharing), one aggregation table per member, one
+// result bitmap per index member, and the union bitmap in the probe
+// regime. Methods and Regime must already be assigned (ClassCost does
+// this); an unpriced class is estimated as if in the scan regime with
+// its current methods.
+func (e *Estimator) ClassMemory(c *Class) int64 {
+	if len(c.Plans) == 0 {
+		return 0
+	}
+	v := c.View
+	var total int64
+	lookups := make(map[memLookupKey]struct{})
+	bitmaps := 0
+	for _, p := range c.Plans {
+		q := p.Query
+		for dim, d := range q.Schema.Dims {
+			key := memLookupKey{dim: dim, viewLevel: v.Levels[dim], sig: memLookupSig(q, dim)}
+			if _, ok := lookups[key]; ok {
+				continue
+			}
+			lookups[key] = struct{}{}
+			total += int64(d.Card(v.Levels[dim])) * memLookupBytesPerRow
+		}
+		total += e.aggMemory(q, v)
+		if p.Method == IndexSJ {
+			bitmaps++
+		}
+	}
+	total += int64(bitmaps) * bitmapMemory(v)
+	if c.Regime == ProbeRegime && len(c.Plans) > 1 {
+		total += bitmapMemory(v) // the union bitmap
+	}
+	return total
+}
+
+// GlobalMemory estimates the operator-state footprint of a global plan:
+// the sum of its class footprints. Classes of one batch run
+// sequentially today, so this is conservative (a max over classes would
+// be tighter), but it degrades safely — overestimates defer admission,
+// never break execution.
+func (e *Estimator) GlobalMemory(g *Global) int64 {
+	var total int64
+	for _, c := range g.Classes {
+		total += e.ClassMemory(c)
+	}
+	return total
+}

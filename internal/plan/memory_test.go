@@ -1,0 +1,196 @@
+package plan
+
+import (
+	"math"
+	"testing"
+)
+
+// Satellite coverage for ClassCost / CostOfAdd edge cases the memory
+// model extends: single-query classes, index-only classes, and
+// infeasible views.
+
+func TestClassCostSingleQueryMatchesBestMethod(t *testing.T) {
+	db, qs := testDB(t)
+	// Paper estimator: a one-member class has nothing to share, so its
+	// class cost must equal the member's best standalone cost exactly
+	// (the full model may additionally apply the filter conversion,
+	// which only ever lowers it).
+	paper := NewPaperEstimator(db)
+	full := NewEstimator(db)
+	v := db.ViewByLevels([]int{1, 1, 1, 0})
+	for _, name := range []string{"Q1", "Q6"} {
+		c := &Class{View: v, Plans: []*Local{{Query: qs[name], View: v}}}
+		cc := paper.ClassCost(c)
+		_, best, ok := paper.BestMethod(qs[name], v)
+		if !ok {
+			t.Fatalf("%s infeasible on %s", name, v.Name)
+		}
+		if math.Abs(cc-best) > 1e-6 {
+			t.Fatalf("%s: single-member class cost %v != best standalone %v", name, cc, best)
+		}
+		fc := &Class{View: v, Plans: []*Local{{Query: qs[name], View: v}}}
+		if fcc := full.ClassCost(fc); fcc > cc+1e-6 {
+			t.Fatalf("%s: full-model class cost %v above paper %v", name, fcc, cc)
+		}
+	}
+}
+
+func TestClassCostUnindexedViewFallsBackToScan(t *testing.T) {
+	db, qs := testDB(t)
+	e := NewEstimator(db)
+	// A view without bitmap join indexes cannot use the probe regime —
+	// even for very selective members the class must price as a scan
+	// with hash methods, finitely.
+	v := db.ViewByLevels([]int{1, 1, 2, 0})
+	for dim := range v.Indexes {
+		if v.Indexes[dim] != nil {
+			t.Skipf("view %s unexpectedly has an index", v.Name)
+		}
+	}
+	c := &Class{View: v, Plans: []*Local{
+		{Query: qs["Q1"], View: v},
+		{Query: qs["Q2"], View: v},
+	}}
+	cc := e.ClassCost(c)
+	if math.IsInf(cc, 1) {
+		t.Fatal("unindexed class priced infeasible")
+	}
+	if c.Regime != ScanRegime {
+		t.Fatalf("regime = %v, want scan", c.Regime)
+	}
+	for _, p := range c.Plans {
+		if p.Method != HashSJ {
+			t.Fatalf("%s assigned %v on an unindexed view", p.Query.Name, p.Method)
+		}
+	}
+}
+
+func TestClassCostInfeasibleViewIsInf(t *testing.T) {
+	db, qs := testDB(t)
+	e := NewEstimator(db)
+	// Q6 needs levels finer than the coarse view provides; a class
+	// containing it on that view is unpriceable.
+	coarse := db.ViewByLevels([]int{2, 2, 1, 0})
+	c := &Class{View: coarse, Plans: []*Local{
+		{Query: qs["Q1"], View: coarse},
+		{Query: qs["Q6"], View: coarse},
+	}}
+	if cc := e.ClassCost(c); !math.IsInf(cc, 1) {
+		t.Fatalf("infeasible class cost = %v, want +Inf", cc)
+	}
+	// CostOfAdd of an unanswerable query must also be +Inf, without
+	// disturbing the class.
+	ok := &Class{View: coarse, Plans: []*Local{{Query: qs["Q1"], View: coarse}}}
+	if add := e.CostOfAdd(ok, qs["Q6"]); !math.IsInf(add, 1) {
+		t.Fatalf("CostOfAdd(unanswerable) = %v, want +Inf", add)
+	}
+	if len(ok.Plans) != 1 {
+		t.Fatal("CostOfAdd mutated the class")
+	}
+}
+
+func TestCostOfAddToEmptyClassIsStandalone(t *testing.T) {
+	db, qs := testDB(t)
+	e := NewPaperEstimator(db)
+	v := db.ViewByLevels([]int{1, 1, 2, 0})
+	empty := &Class{View: v}
+	add := e.CostOfAdd(empty, qs["Q1"])
+	_, best, ok := e.BestMethod(qs["Q1"], v)
+	if !ok {
+		t.Fatal("Q1 infeasible")
+	}
+	if math.Abs(add-best) > 1e-6 {
+		t.Fatalf("add-to-empty %v != best standalone %v", add, best)
+	}
+}
+
+func TestClassMemoryPositiveAndSharingAware(t *testing.T) {
+	db, qs := testDB(t)
+	e := NewEstimator(db)
+	v := db.ViewByLevels([]int{1, 1, 2, 0})
+
+	single := &Class{View: v, Plans: []*Local{{Query: qs["Q1"], View: v}}}
+	e.ClassCost(single)
+	m1 := e.ClassMemory(single)
+	if m1 <= 0 {
+		t.Fatalf("single-member class memory = %d", m1)
+	}
+
+	// Two members with identical dimension lookups share them: the
+	// class footprint must be below twice the single footprint.
+	double := &Class{View: v, Plans: []*Local{
+		{Query: qs["Q1"], View: v},
+		{Query: qs["Q1"], View: v},
+	}}
+	e.ClassCost(double)
+	m2 := e.ClassMemory(double)
+	if m2 >= 2*m1 {
+		t.Fatalf("lookup sharing not reflected: two identical members %d >= 2×%d", m2, m1)
+	}
+	if m2 <= m1 {
+		t.Fatalf("second aggregation table not counted: %d <= %d", m2, m1)
+	}
+
+	if e.ClassMemory(&Class{View: v}) != 0 {
+		t.Fatal("empty class has nonzero memory")
+	}
+}
+
+func TestClassMemoryCountsBitmaps(t *testing.T) {
+	db, qs := testDB(t)
+	e := NewEstimator(db)
+	indexed := db.ViewByLevels([]int{1, 1, 1, 0})
+
+	probe := &Class{View: indexed, Plans: []*Local{
+		{Query: qs["Q6"], View: indexed},
+		{Query: qs["Q7"], View: indexed},
+	}}
+	e.ClassCost(probe)
+	if probe.Regime != ProbeRegime {
+		t.Skipf("expected probe regime for selective members, got %v", probe.Regime)
+	}
+	withBitmaps := e.ClassMemory(probe)
+
+	// Force the same members onto hash methods in the scan regime: the
+	// footprint must drop by at least the per-member bitmaps plus union.
+	scan := &Class{View: indexed, Regime: ScanRegime, Plans: []*Local{
+		{Query: qs["Q6"], View: indexed, Method: HashSJ},
+		{Query: qs["Q7"], View: indexed, Method: HashSJ},
+	}}
+	withoutBitmaps := e.ClassMemory(scan)
+	wantDrop := 3 * bitmapMemory(indexed) // two member bitmaps + union
+	if withBitmaps-withoutBitmaps != wantDrop {
+		t.Fatalf("bitmap accounting: with=%d without=%d drop=%d want %d",
+			withBitmaps, withoutBitmaps, withBitmaps-withoutBitmaps, wantDrop)
+	}
+}
+
+func TestGlobalMemorySumsClasses(t *testing.T) {
+	db, qs := testDB(t)
+	e := NewEstimator(db)
+	v1 := db.ViewByLevels([]int{1, 1, 2, 0})
+	v2 := db.ViewByLevels([]int{1, 1, 1, 0})
+	c1 := &Class{View: v1, Plans: []*Local{{Query: qs["Q1"], View: v1}}}
+	c2 := &Class{View: v2, Plans: []*Local{{Query: qs["Q6"], View: v2}}}
+	e.ClassCost(c1)
+	e.ClassCost(c2)
+	g := &Global{Classes: []*Class{c1, c2}}
+	if got, want := e.GlobalMemory(g), e.ClassMemory(c1)+e.ClassMemory(c2); got != want {
+		t.Fatalf("GlobalMemory = %d, want %d", got, want)
+	}
+}
+
+func TestGroupEstimateCappedBySelectedRows(t *testing.T) {
+	db, qs := testDB(t)
+	e := NewEstimator(db)
+	v := db.Base()
+	for _, q := range qs {
+		groups := e.groupEstimate(q, v)
+		if groups < 1 {
+			t.Fatalf("%s: group estimate %v below 1", q.Name, groups)
+		}
+		if rows := e.selRows(q, v); groups > rows && groups > 1 {
+			t.Fatalf("%s: groups %v exceed qualifying rows %v", q.Name, groups, rows)
+		}
+	}
+}

@@ -297,14 +297,25 @@ func (s *Scheduler) runBatch(batch []*Submission) {
 	}
 }
 
+// AdmitFunc gates an optimized batch's execution on resource
+// availability. It is called after planning — when the batch's
+// footprint can be estimated from the global plan — and may block
+// (deferring the batch) until resources free up; ctx bounds the wait.
+// The returned release function is called when the batch finishes. The
+// memory-governed facade implements it with plan.Estimator.GlobalMemory
+// and mem.Broker.Admit: saturation defers batches, it never errors
+// them.
+type AdmitFunc func(ctx context.Context, g *plan.Global) (release func(), err error)
+
 // Exec evaluates one admitted batch on env: it assigns submission
-// origins, plans the merged cross-request query set with planFn, runs
-// the shared passes once with per-submission contexts (a canceled
-// caller detaches without aborting a pass other callers share),
-// attributes stats, and delivers an Outcome to every submission. If
-// planning the merged set fails, each submission is re-planned and run
-// on its own so one infeasible request cannot sink its batch mates.
-func Exec(env *exec.Env, planFn PlanFunc, subs []*Submission) {
+// origins, plans the merged cross-request query set with planFn, admits
+// the planned batch via admit (nil = always admit), runs the shared
+// passes once with per-submission contexts (a canceled caller detaches
+// without aborting a pass other callers share), attributes stats, and
+// delivers an Outcome to every submission. If planning the merged set
+// fails, each submission is re-planned and run on its own so one
+// infeasible request cannot sink its batch mates.
+func Exec(env *exec.Env, planFn PlanFunc, admit AdmitFunc, subs []*Submission) {
 	subQ := make([][]*query.Query, len(subs))
 	keys := make([]string, len(subs))
 	for i, sub := range subs {
@@ -318,9 +329,24 @@ func Exec(env *exec.Env, planFn PlanFunc, subs []*Submission) {
 			return
 		}
 		for _, sub := range subs {
-			Exec(env, planFn, []*Submission{sub})
+			Exec(env, planFn, admit, []*Submission{sub})
 		}
 		return
+	}
+
+	if admit != nil {
+		ctx := env.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		release, err := admit(ctx, g)
+		if err != nil {
+			for _, sub := range subs {
+				sub.fail(err)
+			}
+			return
+		}
+		defer release()
 	}
 
 	ctxOf := make(map[*query.Query]context.Context)

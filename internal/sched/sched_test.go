@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"mdxopt/internal/exec"
+	"mdxopt/internal/mem"
 	"mdxopt/internal/plan"
 	"mdxopt/internal/query"
 )
@@ -179,7 +181,7 @@ func TestExecPlanFailureFallsBackPerSubmission(t *testing.T) {
 		{Key: "a", ctx: context.Background(), res: make(chan *Outcome, 1)},
 		{Key: "b", ctx: context.Background(), res: make(chan *Outcome, 1)},
 	}
-	Exec(nil, planFn, subs)
+	Exec(nil, planFn, nil, subs)
 	for _, sub := range subs {
 		select {
 		case out := <-sub.res:
@@ -193,5 +195,74 @@ func TestExecPlanFailureFallsBackPerSubmission(t *testing.T) {
 	// One merged attempt plus one single-submission retry each.
 	if len(calls) != 3 || len(calls[0]) != 2 || len(calls[1]) != 1 || len(calls[2]) != 1 {
 		t.Fatalf("planFn call shapes %v, want [a b], [a], [b]", calls)
+	}
+}
+
+// emptyPlanFn plans every batch as an empty global plan (no classes),
+// so Exec's execution step is a no-op and the tests below can focus on
+// the admission gate without a database.
+func emptyPlanFn(subQ [][]*query.Query, keys []string) ([][]*query.Query, *plan.Global, error) {
+	return subQ, &plan.Global{}, nil
+}
+
+func TestExecAdmissionDefersUntilRelease(t *testing.T) {
+	// A saturated memory broker must defer the batch — not error it —
+	// and let it run once memory is released.
+	broker := mem.New(1 << 10)
+	blocker := broker.Reserve("blocker")
+	blocker.MustGrow(1 << 10)
+
+	admit := func(ctx context.Context, g *plan.Global) (func(), error) {
+		return broker.Admit(ctx, 512)
+	}
+	sub := &Submission{Key: "a", ctx: context.Background(), res: make(chan *Outcome, 1)}
+	done := make(chan struct{})
+	go func() {
+		Exec(&exec.Env{}, emptyPlanFn, admit, []*Submission{sub})
+		close(done)
+	}()
+
+	select {
+	case <-done:
+		t.Fatal("batch ran while the broker was saturated")
+	case <-time.After(20 * time.Millisecond):
+	}
+	blocker.Release()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch did not run after memory was released")
+	}
+	out := <-sub.res
+	if out.Err != nil {
+		t.Fatalf("deferred batch errored: %v", out.Err)
+	}
+	s := broker.Stats()
+	if s.Deferred == 0 || s.Admitted == 0 {
+		t.Fatalf("broker did not record the deferral: %v", s)
+	}
+	if s.Claimed != 0 {
+		t.Fatalf("admission claim leaked: %d bytes", s.Claimed)
+	}
+}
+
+func TestExecAdmissionCanceledContextFailsBatch(t *testing.T) {
+	// A canceled context bounds the admission wait: the batch fails with
+	// the context's error instead of waiting forever.
+	broker := mem.New(100)
+	blocker := broker.Reserve("blocker")
+	defer blocker.Release()
+	blocker.MustGrow(100)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	admit := func(ctx context.Context, g *plan.Global) (func(), error) {
+		return broker.Admit(ctx, 50)
+	}
+	sub := &Submission{Key: "a", ctx: context.Background(), res: make(chan *Outcome, 1)}
+	Exec(&exec.Env{Ctx: ctx}, emptyPlanFn, admit, []*Submission{sub})
+	out := <-sub.res
+	if !errors.Is(out.Err, context.Canceled) {
+		t.Fatalf("canceled admission returned %v, want context.Canceled", out.Err)
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"mdxopt/internal/datagen"
 	"mdxopt/internal/exec"
 	"mdxopt/internal/mdx"
+	"mdxopt/internal/mem"
 	"mdxopt/internal/plan"
 	"mdxopt/internal/query"
 	"mdxopt/internal/sched"
@@ -91,6 +92,14 @@ type SchemaSpec struct {
 // point).
 type DB struct {
 	db *star.Database
+
+	// mem is the process-wide memory broker governing operator state
+	// (OpenOptions.MemoryBudget). Always non-nil; with no budget it
+	// tracks usage without enforcing one.
+	mem *mem.Broker
+	// spillDir is where budget-exceeded aggregation state spills
+	// (OpenOptions.SpillDir; empty = the system temp directory).
+	spillDir string
 
 	// stateMu serializes database mutations (writers) against queries
 	// (readers).
@@ -171,6 +180,13 @@ type Options struct {
 	// (EnableBatching; defaults apply otherwise), so the other fields of
 	// this struct are ignored when Batching is set.
 	Batching bool
+	// MemoryBudget caps this request's operator state below the
+	// database-wide budget (OpenOptions.MemoryBudget): the request runs
+	// under a child of the process broker limited to this many bytes,
+	// spilling aggregation state that exceeds it. 0 imposes no
+	// per-request cap. Ignored with Batching (batches are governed
+	// collectively by the admission scheduler).
+	MemoryBudget int64
 }
 
 // Create makes a new database directory with the given schema. Facts are
@@ -196,7 +212,7 @@ func Create(dir string, spec SchemaSpec) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{db: db}, nil
+	return &DB{db: db, mem: mem.New(0)}, nil
 }
 
 // CreateSample builds the paper's synthetic test database (4 dimensions
@@ -208,7 +224,7 @@ func CreateSample(dir string, scale float64) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{db: db}, nil
+	return &DB{db: db, mem: mem.New(0)}, nil
 }
 
 // Open opens an existing database directory.
@@ -239,6 +255,20 @@ type OpenOptions struct {
 	// prefetched pages are counted in the Prefetched/PrefetchHits
 	// stats when enabled.
 	Readahead int
+
+	// MemoryBudget bounds the bytes of operator state — dimension
+	// lookup tables, result bitmaps, aggregation hash tables — live
+	// across all concurrently executing queries. When a query's
+	// aggregation state would exceed the budget it degrades to a
+	// partitioned disk spill with identical results; the batching
+	// scheduler additionally defers whole batches while the broker is
+	// saturated. 0 (default) tracks usage without enforcing a budget.
+	MemoryBudget int64
+
+	// SpillDir is the directory for aggregation spill temp files
+	// (removed when their pass finishes). Empty means the system temp
+	// directory.
+	SpillDir string
 }
 
 // OpenWith opens an existing database directory with explicit options.
@@ -259,7 +289,7 @@ func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{db: db}, nil
+	return &DB{db: db, mem: mem.New(opts.MemoryBudget), spillDir: opts.SpillDir}, nil
 }
 
 // Close stops the admission scheduler (if batching was enabled),
@@ -507,6 +537,18 @@ type Stats struct {
 	TuplesFetched    int64
 	SimulatedSeconds float64 // on the paper's 1998 hardware model
 	WallNanos        int64
+
+	// PeakMemoryBytes is the tracked operator-state high-water mark of
+	// this request's passes: the sum of each reservation's peak
+	// (lookup tables, bitmaps, aggregation state), an upper bound on
+	// the true simultaneous peak. Accounted even without a budget.
+	PeakMemoryBytes int64
+	// SpillBytes is how many bytes of aggregation state were written
+	// to spill partitions because the memory budget denied growth; 0
+	// means the request ran entirely in memory.
+	SpillBytes int64
+	// SpillPartitions counts spill partition files written.
+	SpillPartitions int64
 }
 
 // ClassStats is the work one plan class's shared pass performed.
@@ -648,6 +690,11 @@ func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, op
 	env := exec.NewEnv(d.db)
 	env.Parallelism = opts.Parallelism
 	env.Ctx = ctx
+	env.Mem = d.mem
+	if opts.MemoryBudget > 0 {
+		env.Mem = d.mem.Child(opts.MemoryBudget)
+	}
+	env.SpillDir = d.spillDir
 	var st exec.Stats
 	results, classStats, err := core.ExecuteDetailed(env, g, queries, &st)
 	if err != nil {
@@ -660,14 +707,22 @@ func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, op
 	for i, q := range queries {
 		ans.Queries = append(ans.Queries, d.formatResult(q, results[i]))
 	}
-	ans.Stats = Stats{
+	ans.Stats = statsOut(st)
+	return ans, nil
+}
+
+// statsOut converts execution stats to the public shape.
+func statsOut(st exec.Stats) Stats {
+	return Stats{
 		PageReads:        st.IO.Reads(),
 		TuplesScanned:    st.TuplesScanned,
 		TuplesFetched:    st.TuplesFetched,
 		SimulatedSeconds: st.SimulatedSeconds(cost.Default()),
 		WallNanos:        int64(st.Wall),
+		PeakMemoryBytes:  st.PeakMemory,
+		SpillBytes:       st.SpillBytes,
+		SpillPartitions:  st.SpillPartitions,
 	}
-	return ans, nil
 }
 
 // classStatsOut converts one class's execution breakdown to the public
@@ -792,6 +847,34 @@ func (d *DB) BatchStats() BatchStats {
 	return BatchStats{Batches: m.Batches, Submissions: m.Submissions, Coalesced: m.Coalesced, Rejected: m.Rejected}
 }
 
+// MemoryStats snapshots the database-wide memory broker.
+type MemoryStats struct {
+	Limit       int64         // configured budget in bytes (0 = track only)
+	Used        int64         // bytes currently reserved by operator state
+	Peak        int64         // high-water mark of Used since Open
+	Overdraft   int64         // bytes granted past the budget for required state
+	Denied      int64         // refusable grants denied (each triggered a spill)
+	Admitted    int64         // batches admitted by the scheduler's memory gate
+	Deferred    int64         // batches that had to wait for memory
+	DeferredFor time.Duration // total time batches spent waiting for memory
+}
+
+// MemoryStats reports the memory broker's accounting since Open. Used
+// returns to zero whenever no query is executing.
+func (d *DB) MemoryStats() MemoryStats {
+	s := d.mem.Stats()
+	return MemoryStats{
+		Limit:       s.Limit,
+		Used:        s.Used,
+		Peak:        s.Peak,
+		Overdraft:   s.Overdraft,
+		Denied:      s.Denied,
+		Admitted:    s.Admitted,
+		Deferred:    s.Deferred,
+		DeferredFor: s.DeferredFor,
+	}
+}
+
 // ensureBatcher returns the scheduler, starting one with default
 // configuration on first use.
 func (d *DB) ensureBatcher() *sched.Scheduler {
@@ -833,19 +916,17 @@ func (d *DB) queryBatched(ctx context.Context, src string) (*Answer, error) {
 	for i, q := range out.Queries {
 		ans.Queries = append(ans.Queries, d.formatResult(q, out.Results[i]))
 	}
-	ans.Stats = Stats{
-		PageReads:        st.IO.Reads(),
-		TuplesScanned:    st.TuplesScanned,
-		TuplesFetched:    st.TuplesFetched,
-		SimulatedSeconds: st.SimulatedSeconds(cost.Default()),
-		WallNanos:        int64(st.Wall),
-	}
+	ans.Stats = statsOut(st)
 	return ans, nil
 }
 
 // runBatchSubs evaluates one admitted batch: it holds the read lock (so
 // mutations wait out the batch), prepares the execution environment,
-// and hands the cross-request pipeline to sched.Exec.
+// and hands the cross-request pipeline to sched.Exec. Admission is
+// memory-aware: the planned batch's footprint is estimated with the
+// optimizer's memory model and claimed from the broker before
+// execution, deferring the batch (not erroring it) while concurrent
+// work saturates the budget.
 func (d *DB) runBatchSubs(subs []*sched.Submission) {
 	d.schedMu.Lock()
 	cfg := d.batchCfg
@@ -862,10 +943,21 @@ func (d *DB) runBatchSubs(subs []*sched.Submission) {
 	}
 	env := exec.NewEnv(d.db)
 	env.Parallelism = cfg.Parallelism
+	env.Mem = d.mem
+	env.SpillDir = d.spillDir
 	planFn := func(subQ [][]*query.Query, keys []string) ([][]*query.Query, *plan.Global, error) {
 		return d.planBatch(cfg, subQ, keys)
 	}
-	sched.Exec(env, planFn, subs)
+	var est *plan.Estimator
+	if cfg.PaperPlanSpace {
+		est = plan.NewPaperEstimator(d.db)
+	} else {
+		est = plan.NewEstimator(d.db)
+	}
+	admit := func(ctx context.Context, g *plan.Global) (func(), error) {
+		return d.mem.Admit(ctx, est.GlobalMemory(g))
+	}
+	sched.Exec(env, planFn, admit, subs)
 }
 
 // planBatch optimizes a merged cross-request query set, consulting the
