@@ -260,6 +260,14 @@ func (t *aggTable) pairs() ([]aggPair, error) {
 // diverting keys the broker has no room for into an overflow partition
 // that a further sub-pass consumes. Each sub-pass admits at least one
 // key (a progress-floor overdraft), so the merge always terminates.
+//
+// Diversion is sticky within a sub-pass: after the first denial every
+// key not already resident in the merge table goes to the overflow
+// writer without consulting the broker again. A per-record TryGrow
+// could succeed when a concurrent pipeline releases memory mid-merge,
+// admitting a later record of an already-diverted key — the key would
+// then surface twice, once from the table and once from the overflow
+// sub-pass, with its aggregate split between the two.
 func (t *aggTable) mergePartition(pi int, out []aggPair) ([]aggPair, error) {
 	pages := t.sp.parts[pi].pages
 	for len(pages) > 0 {
@@ -279,7 +287,7 @@ func (t *aggTable) mergePartition(pi int, out []aggPair) ([]aggPair, error) {
 				// Progress floor: the first key of every sub-pass is
 				// covered by the spill grant's merge floor, so the
 				// merge always terminates without a fresh grant.
-			case !t.res.TryGrow(eb):
+			case overflow != nil || !t.res.TryGrow(eb):
 				if overflow == nil {
 					overflow = t.sp.newWriter()
 				}

@@ -225,6 +225,68 @@ func TestAggTableMergeOverflow(t *testing.T) {
 	checkDrained(t, broker)
 }
 
+// TestAggTableMergeStickyOverflow verifies that overflow diversion is
+// sticky within a merge sub-pass. With per-record TryGrow, a key whose
+// first record was diverted could be admitted to the merge table on a
+// later record when a concurrent pipeline releases memory mid-merge —
+// the key would then surface twice, with its sum split between the two
+// copies. Stickiness is observable deterministically through the
+// denial counter: each sub-pass consults the broker at most once after
+// its progress-floor key, so a merge of N keys incurs at most N
+// denials, while per-record retries incur one denial per diverted
+// record (hundreds per key here).
+func TestAggTableMergeStickyOverflow(t *testing.T) {
+	// The budget comfortably holds the spill's merge floor, so denial
+	// comes from the blocker, not from the floor's own overdraft.
+	const budget = 1 << 16
+	broker := mem.New(budget)
+	env := &Env{Mem: broker, SpillDir: t.TempDir(), SpillFanout: 2}
+
+	blocker := broker.Reserve("blocker")
+	blocker.MustGrow(budget) // saturate through both the adds and the merge
+
+	tab := newAggTable(env, query.Sum, 4, "t")
+	defer tab.close()
+
+	const keys = 200
+	const rounds = 4 // several records per key, spread through each partition
+	want := make(map[string]float64)
+	var kb [4]byte
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < keys; i++ {
+			kb[0], kb[1] = byte(i), byte(i>>8)
+			d := accum{a: float64(i + round*keys + 1), set: true}
+			if err := tab.add(kb[:], d); err != nil {
+				t.Fatal(err)
+			}
+			want[string(kb[:])] += d.a
+		}
+	}
+	if tab.sp == nil {
+		t.Fatal("saturated broker did not force a spill")
+	}
+
+	deniedBefore := broker.Stats().Denied
+	pairs, err := tab.pairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if denied := broker.Stats().Denied - deniedBefore; denied > keys {
+		t.Fatalf("merge denied %d grants for %d keys: diversion retries the broker per record instead of sticking to overflow", denied, keys)
+	}
+	if len(pairs) != keys {
+		t.Fatalf("got %d groups, want %d (duplicates mean a key was split between merge table and overflow)", len(pairs), keys)
+	}
+	for _, pr := range pairs {
+		if pr.ac.a != want[pr.key] {
+			t.Fatalf("key %x: got %v, want %v", pr.key, pr.ac.a, want[pr.key])
+		}
+	}
+	tab.close()
+	blocker.Release()
+	checkDrained(t, broker)
+}
+
 // TestAggTableMergeFromSpilled covers the parallel-merge path where the
 // source worker table has itself spilled.
 func TestAggTableMergeFromSpilled(t *testing.T) {

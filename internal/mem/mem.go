@@ -21,9 +21,16 @@
 //   - Admit is an *admission claim* used by the scheduler before a
 //     batch executes: when the estimated footprint does not fit, the
 //     batch is deferred — blocked, not refused — until running work
-//     releases memory. A claim on an idle broker always succeeds, so
-//     a batch larger than the whole budget still runs (relying on the
-//     operators' spill paths to stay within it).
+//     releases memory. Deferred claims are granted in strict FIFO
+//     order, so a large claim is never starved by a stream of small
+//     ones: once it is the oldest waiter every newcomer queues behind
+//     it, running work drains, and at the latest the idle broker grants
+//     it. A claim on an idle broker always succeeds, even past the
+//     limit, so a batch larger than the whole budget still runs
+//     (relying on the operators' spill paths to stay within it). A
+//     claim decays as the work's real reservations materialize through
+//     the claim's linked broker (see Claim.Broker), charging a running
+//     batch max(estimate, reserved) rather than their sum.
 //
 // Brokers nest: Child creates a broker whose reservations are also
 // charged to the parent, giving per-request caps under one global
@@ -43,7 +50,9 @@ import (
 // claims.
 type Broker struct {
 	parent *Broker
-	limit  int64 // 0 = track only, no enforcement
+	claim  *Claim // set on a claim-linked broker: grows draw the claim down
+
+	limit int64 // 0 = track only, no enforcement
 
 	mu        sync.Mutex
 	used      int64 // bytes held by reservations
@@ -54,7 +63,14 @@ type Broker struct {
 	admitted  int64 // Admit calls granted
 	deferred  int64 // Admit calls that had to wait
 	deferNS   int64 // total nanoseconds Admit calls spent waiting
-	waitCh    chan struct{}
+	waiters   []*admitWaiter // deferred admission claims, oldest first
+}
+
+// admitWaiter is one deferred Admit call queued for FIFO grant.
+type admitWaiter struct {
+	estimate int64
+	ch       chan struct{} // closed when the claim is granted
+	granted  bool          // guarded by the broker's mu
 }
 
 // New returns a broker enforcing limit bytes; limit <= 0 tracks usage
@@ -63,7 +79,7 @@ func New(limit int64) *Broker {
 	if limit < 0 {
 		limit = 0
 	}
-	return &Broker{limit: limit, waitCh: make(chan struct{})}
+	return &Broker{limit: limit}
 }
 
 // Child returns a broker whose reservations are charged against both
@@ -104,11 +120,12 @@ type Stats struct {
 	Admitted    int64         // admission claims granted
 	Deferred    int64         // admission claims that waited for memory
 	DeferredFor time.Duration // total time admission claims spent waiting
+	Waiting     int           // admission claims currently queued
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("limit=%d used=%d peak=%d claimed=%d overdraft=%d denied=%d admitted=%d deferred=%d",
-		s.Limit, s.Used, s.Peak, s.Claimed, s.Overdraft, s.Denied, s.Admitted, s.Deferred)
+	return fmt.Sprintf("limit=%d used=%d peak=%d claimed=%d overdraft=%d denied=%d admitted=%d deferred=%d waiting=%d",
+		s.Limit, s.Used, s.Peak, s.Claimed, s.Overdraft, s.Denied, s.Admitted, s.Deferred, s.Waiting)
 }
 
 // Stats returns a snapshot of the broker's counters.
@@ -125,6 +142,7 @@ func (b *Broker) Stats() Stats {
 		Admitted:    b.admitted,
 		Deferred:    b.deferred,
 		DeferredFor: time.Duration(b.deferNS),
+		Waiting:     len(b.waiters),
 	}
 }
 
@@ -159,6 +177,9 @@ func (b *Broker) grow(n int64, must bool) bool {
 		b.peak = b.used
 	}
 	b.mu.Unlock()
+	if b.claim != nil {
+		b.claim.consume(n)
+	}
 	return true
 }
 
@@ -172,17 +193,42 @@ func (b *Broker) shrink(n int64) {
 	if b.used < 0 { // release bug; clamp rather than corrupt accounting
 		b.used = 0
 	}
-	b.wakeLocked()
+	b.wakeAdmitsLocked()
 	b.mu.Unlock()
 	if b.parent != nil {
 		b.parent.shrink(n)
 	}
 }
 
-// wakeLocked signals every Admit waiter to re-check. Callers hold b.mu.
-func (b *Broker) wakeLocked() {
-	close(b.waitCh)
-	b.waitCh = make(chan struct{})
+// admitsLocked reports whether a claim of estimate bytes can be granted
+// now: it fits alongside current usage and claims, or the broker is
+// completely idle (the oversize-claim escape hatch). Callers hold b.mu.
+func (b *Broker) admitsLocked(estimate int64) bool {
+	if b.limit == 0 || b.used+b.claimed+estimate <= b.limit {
+		return true
+	}
+	return b.used == 0 && b.claimed == 0
+}
+
+// wakeAdmitsLocked grants queued admission claims in FIFO order until
+// the oldest no longer fits. Strict ordering — a later claim never
+// overtakes the head — is what makes large claims starvation-free:
+// once a claim is the oldest waiter every newcomer queues behind it,
+// running work drains, and at the latest the idle broker grants it.
+// Callers hold b.mu.
+func (b *Broker) wakeAdmitsLocked() {
+	for len(b.waiters) > 0 {
+		w := b.waiters[0]
+		if !b.admitsLocked(w.estimate) {
+			return
+		}
+		b.claimed += w.estimate
+		b.admitted++
+		w.granted = true
+		close(w.ch)
+		b.waiters[0] = nil
+		b.waiters = b.waiters[1:]
+	}
 }
 
 // Reserve registers a new, empty reservation. The tag is for debugging
@@ -275,61 +321,140 @@ func (r *Reservation) Peak() int64 {
 
 // Admit claims estimate bytes for a unit of work about to execute,
 // deferring (blocking) while the claim does not fit alongside current
-// usage and other claims. A claim on an otherwise idle broker is always
-// granted, even past the limit — execution then relies on the
-// operators' spill paths — so admission can only defer work, never
-// wedge it permanently. The returned release function must be called
-// when the work finishes (it is idempotent). Admit returns ctx's error
-// if the context is done first.
+// usage and other claims. Deferred claims are granted strictly oldest
+// first. A claim on an otherwise idle broker is always granted, even
+// past the limit — execution then relies on the operators' spill paths
+// — so admission can only defer work, never wedge it permanently. The
+// returned release function must be called when the work finishes (it
+// is idempotent). Admit returns ctx's error if the context is done
+// first.
 //
 // Claims gate admission only: they are not counted in Used, and the
 // operators' actual reservations enforce the budget during execution.
+// Admit is shorthand for AdmitClaim for callers that only need the
+// release; use AdmitClaim to also decay the claim as the work's real
+// reservations materialize.
 func (b *Broker) Admit(ctx context.Context, estimate int64) (release func(), err error) {
-	if b == nil || estimate < 0 {
+	c, err := b.AdmitClaim(ctx, estimate)
+	if err != nil {
+		return func() {}, err
+	}
+	return c.Release, nil
+}
+
+// AdmitClaim is Admit returning the claim itself: Release it when the
+// work finishes, and run the work under Broker() so the claim decays as
+// real reservations materialize instead of double-counting against the
+// budget. A nil broker returns a nil claim, whose methods are no-ops.
+func (b *Broker) AdmitClaim(ctx context.Context, estimate int64) (*Claim, error) {
+	if b == nil {
+		return nil, nil
+	}
+	if estimate < 0 {
 		estimate = 0
 	}
-	noop := func() {}
-	if b == nil {
-		return noop, nil
-	}
-	waited := false
-	start := time.Now()
-	for {
-		b.mu.Lock()
-		idle := b.used == 0 && b.claimed == 0
-		fits := b.limit == 0 || b.used+b.claimed+estimate <= b.limit
-		if idle || fits {
-			b.claimed += estimate
-			b.admitted++
-			if waited {
-				b.deferred++
-				b.deferNS += int64(time.Since(start))
-			}
-			b.mu.Unlock()
-			var once sync.Once
-			return func() {
-				once.Do(func() {
-					b.mu.Lock()
-					b.claimed -= estimate
-					if b.claimed < 0 {
-						b.claimed = 0
-					}
-					b.wakeLocked()
-					b.mu.Unlock()
-				})
-			}, nil
-		}
-		ch := b.waitCh
-		waited = true
+	b.mu.Lock()
+	if len(b.waiters) == 0 && b.admitsLocked(estimate) {
+		b.claimed += estimate
+		b.admitted++
 		b.mu.Unlock()
-		select {
-		case <-ch:
-		case <-ctx.Done():
-			b.mu.Lock()
-			b.deferred++
-			b.deferNS += int64(time.Since(start))
-			b.mu.Unlock()
-			return noop, ctx.Err()
-		}
+		return &Claim{b: b, remaining: estimate}, nil
 	}
+	w := &admitWaiter{estimate: estimate, ch: make(chan struct{})}
+	b.waiters = append(b.waiters, w)
+	b.mu.Unlock()
+	start := time.Now()
+	select {
+	case <-w.ch:
+		b.mu.Lock()
+		b.deferred++
+		b.deferNS += int64(time.Since(start))
+		b.mu.Unlock()
+		return &Claim{b: b, remaining: estimate}, nil
+	case <-ctx.Done():
+		b.mu.Lock()
+		b.deferred++
+		b.deferNS += int64(time.Since(start))
+		if w.granted {
+			// Granted between ctx firing and us taking the lock; the
+			// caller is abandoning the work, so return the claim.
+			b.claimed -= w.estimate
+			if b.claimed < 0 {
+				b.claimed = 0
+			}
+			b.wakeAdmitsLocked()
+		} else {
+			for i, q := range b.waiters {
+				if q == w {
+					b.waiters = append(b.waiters[:i], b.waiters[i+1:]...)
+					break
+				}
+			}
+		}
+		b.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Claim is a granted admission claim. Its bytes count against the
+// broker's budget alongside reservations until they are returned —
+// explicitly via Release when the work finishes, or gradually as the
+// work's real reservations materialize through the broker obtained
+// from Broker(). The drawdown charges a running batch
+// max(estimate, reserved) rather than their sum, so concurrent batches
+// are not deferred more aggressively than the budget requires.
+type Claim struct {
+	b         *Broker
+	remaining int64 // claimed bytes not yet drawn down; guarded by b.mu
+	released  bool  // guarded by b.mu
+}
+
+// Broker returns a child broker linked to the claim: every byte
+// reserved through it converts one still-claimed byte into a used byte
+// until the claim is exhausted. The drawdown is one-way — shrinking a
+// reservation does not re-inflate the claim; the freed bytes simply
+// become available to admission.
+func (c *Claim) Broker() *Broker {
+	if c == nil {
+		return nil
+	}
+	ch := c.b.Child(0)
+	ch.claim = c
+	return ch
+}
+
+// consume draws the claim down by up to n materialized bytes.
+func (c *Claim) consume(n int64) {
+	c.b.mu.Lock()
+	if !c.released && c.remaining > 0 {
+		if n > c.remaining {
+			n = c.remaining
+		}
+		c.remaining -= n
+		c.b.claimed -= n
+		if c.b.claimed < 0 {
+			c.b.claimed = 0
+		}
+		c.b.wakeAdmitsLocked()
+	}
+	c.b.mu.Unlock()
+}
+
+// Release returns whatever the claim still holds. It is idempotent and
+// nil-safe.
+func (c *Claim) Release() {
+	if c == nil {
+		return
+	}
+	c.b.mu.Lock()
+	if !c.released {
+		c.released = true
+		c.b.claimed -= c.remaining
+		if c.b.claimed < 0 {
+			c.b.claimed = 0
+		}
+		c.remaining = 0
+		c.b.wakeAdmitsLocked()
+	}
+	c.b.mu.Unlock()
 }

@@ -212,6 +212,140 @@ func TestAdmitContextCanceled(t *testing.T) {
 	r.Release()
 }
 
+// TestAdmitFIFONoStarvation: an oversize claim queued behind running
+// work must be granted before later small claims that would fit on
+// their own — under continuous small-batch traffic a fit-whoever-races
+// policy would defer the large claim forever.
+func TestAdmitFIFONoStarvation(t *testing.T) {
+	b := New(100)
+	r := b.Reserve("running")
+	r.MustGrow(80)
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	admit := func(name string, estimate int64) {
+		defer wg.Done()
+		release, err := b.Admit(context.Background(), estimate)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		order = append(order, name)
+		mu.Unlock()
+		release()
+	}
+
+	wg.Add(1)
+	go admit("big", 150)
+	waitFor(t, func() bool { return b.Stats().Waiting == 1 })
+	// Small claims that would fit right now (80+10 <= 100) must still
+	// queue behind the big one.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go admit("small", 10)
+	}
+	waitFor(t, func() bool { return b.Stats().Waiting == 5 })
+
+	r.Release() // idle broker: the big claim is granted first
+	wg.Wait()
+	if len(order) != 5 || order[0] != "big" {
+		t.Fatalf("grant order = %v, want big first", order)
+	}
+	st := b.Stats()
+	if st.Claimed != 0 || st.Waiting != 0 {
+		t.Fatalf("residue: %+v", st)
+	}
+	if st.Deferred != 5 {
+		t.Fatalf("deferred = %d, want 5", st.Deferred)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClaimDrawdown: reservations made through the claim's linked
+// broker convert claimed bytes into used bytes, so a running batch is
+// charged max(estimate, reserved) — not their sum — and a second batch
+// admits as soon as the combined charge fits.
+func TestClaimDrawdown(t *testing.T) {
+	b := New(100)
+	cl, err := b.AdmitClaim(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cl.Broker().Reserve("op")
+	r.MustGrow(40)
+	st := b.Stats()
+	if st.Used != 40 || st.Claimed != 20 {
+		t.Fatalf("after 40 materialized: %+v, want used=40 claimed=20", st)
+	}
+
+	// 40+20+40 <= 100: admits immediately. Summing claim and usage
+	// (40+60+40 = 140) would have deferred this forever.
+	admitted := make(chan func(), 1)
+	go func() {
+		release, err := b.Admit(context.Background(), 40)
+		if err != nil {
+			t.Error(err)
+		}
+		admitted <- release
+	}()
+	var release2 func()
+	select {
+	case release2 = <-admitted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("drawn-down claim still double-counted: second batch deferred")
+	}
+
+	// Growing past the claim's remainder exhausts it; the excess is
+	// plain usage.
+	r.MustGrow(30)
+	st = b.Stats()
+	if st.Used != 70 || st.Claimed != 40 {
+		t.Fatalf("after claim exhausted: %+v, want used=70 claimed=40", st)
+	}
+	// Shrinking does not re-inflate the claim.
+	r.Shrink(50)
+	if st := b.Stats(); st.Used != 20 || st.Claimed != 40 {
+		t.Fatalf("after shrink: %+v, want used=20 claimed=40", st)
+	}
+
+	cl.Release() // fully drawn down: nothing left to return
+	cl.Release() // idempotent
+	release2()
+	r.Release()
+	if st := b.Stats(); st.Used != 0 || st.Claimed != 0 {
+		t.Fatalf("residue: %+v", st)
+	}
+}
+
+// TestNilClaimIsNoop: a nil broker hands out a nil claim whose methods
+// are all safe no-ops.
+func TestNilClaimIsNoop(t *testing.T) {
+	var b *Broker
+	cl, err := b.AdmitClaim(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl != nil {
+		t.Fatal("nil broker should hand out a nil claim")
+	}
+	if cl.Broker() != nil {
+		t.Fatal("nil claim should hand out a nil broker")
+	}
+	cl.Release()
+}
+
 func TestConcurrentReservations(t *testing.T) {
 	b := New(1 << 20)
 	var wg sync.WaitGroup

@@ -857,6 +857,7 @@ type MemoryStats struct {
 	Admitted    int64         // batches admitted by the scheduler's memory gate
 	Deferred    int64         // batches that had to wait for memory
 	DeferredFor time.Duration // total time batches spent waiting for memory
+	Waiting     int           // batches currently queued for admission
 }
 
 // MemoryStats reports the memory broker's accounting since Open. Used
@@ -872,6 +873,7 @@ func (d *DB) MemoryStats() MemoryStats {
 		Admitted:    s.Admitted,
 		Deferred:    s.Deferred,
 		DeferredFor: s.DeferredFor,
+		Waiting:     s.Waiting,
 	}
 }
 
@@ -955,7 +957,16 @@ func (d *DB) runBatchSubs(subs []*sched.Submission) {
 		est = plan.NewEstimator(d.db)
 	}
 	admit := func(ctx context.Context, g *plan.Global) (func(), error) {
-		return d.mem.Admit(ctx, est.GlobalMemory(g))
+		cl, err := d.mem.AdmitClaim(ctx, est.GlobalMemory(g))
+		if err != nil {
+			return nil, err
+		}
+		// Execute under the claim-linked broker: the batch's real
+		// reservations draw the admission claim down as they
+		// materialize, so its footprint is charged max(estimate,
+		// reserved) rather than their sum.
+		env.Mem = cl.Broker()
+		return cl.Release, nil
 	}
 	sched.Exec(env, planFn, admit, subs)
 }
