@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race bench go-bench scan-bench serve-bench mem-bench clean
+.PHONY: check build vet fmt test race bench go-bench scan-bench serve-bench mem-bench cache-bench clean
 
-# The full gate: compile everything, vet, and run the test suite under
-# the race detector.
-check: build vet race
+# The full gate: compile everything, vet, check formatting, and run the
+# test suite under the race detector.
+check: build vet fmt race
 
 build:
 	$(GO) build ./...
@@ -12,16 +12,21 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Formatting gate: gofmt must have nothing to rewrite.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# All benchmarks: the Go micro/paper benchmarks plus the scan, serve
-# and mem experiments (all seeded deterministically; they write
-# BENCH_scan.json, BENCH_serve.json and BENCH_mem.json).
-bench: go-bench scan-bench serve-bench mem-bench
+# All benchmarks: the Go micro/paper benchmarks plus the scan, serve,
+# mem and cache experiments (all seeded deterministically; they write
+# BENCH_scan.json, BENCH_serve.json, BENCH_mem.json and
+# BENCH_cache.json).
+bench: go-bench scan-bench serve-bench mem-bench cache-bench
 
 # Paper experiment benchmarks (Tests 1-7 etc.).
 go-bench:
@@ -41,5 +46,10 @@ serve-bench:
 mem-bench:
 	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-memdb -scale 0.1 -exp mem -json BENCH_mem.json
 
+# Semantic result cache: cache budget x working-set sweep showing warm
+# replays served by rollup instead of page I/O; writes BENCH_cache.json.
+cache-bench:
+	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-cachedb -scale 0.1 -exp cache -json BENCH_cache.json
+
 clean:
-	rm -rf /tmp/mdxopt-servedb /tmp/mdxopt-scandb /tmp/mdxopt-memdb
+	rm -rf /tmp/mdxopt-servedb /tmp/mdxopt-scandb /tmp/mdxopt-memdb /tmp/mdxopt-cachedb

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"mdxopt"
+	"mdxopt/internal/workload"
+)
+
+// The cache experiment measures the semantic result cache: a working
+// set of the paper's queries replays repeatedly against a deliberately
+// small buffer pool, sweeping cache budget x working-set size. Each
+// cell reopens the database so the cache, broker and counters are
+// per-cell, runs one cold pass (empty cache) and several warm passes,
+// and compares their page reads. With the cache off every pass pays
+// the same I/O (the pool is too small to retain the views); with a
+// budget that fits the working set the warm passes are answered by
+// rollup from cached results and read no pages at all. An undersized
+// budget sits in between: eviction churns the working set and only
+// part of each pass is served. The point of the sweep: warm passes on
+// a fitting cache do >= 5x fewer reads than cold, and the cache's
+// memory stays inside the broker's budget in every cell.
+
+type cacheConfig struct {
+	Scale        float64 `json:"scale"`
+	PoolFrames   int     `json:"pool_frames"`
+	MemoryBudget int64   `json:"memory_budget_bytes"` // broker budget per cell
+	Budgets      []int64 `json:"cache_budgets_bytes"` // 0 = cache off
+	WorkingSets  []int   `json:"working_set_queries"`
+	WarmPasses   int     `json:"warm_passes"`
+}
+
+// cacheCell is one (cache budget, working set) measurement.
+type cacheCell struct {
+	CacheBudget int64 `json:"cache_budget_bytes"` // 0 = cache off
+	WorkingSet  int   `json:"working_set_queries"`
+
+	ColdReads int64   `json:"cold_page_reads"`          // first pass, empty cache
+	WarmReads float64 `json:"warm_page_reads_per_pass"` // mean over warm passes
+	ColdMS    float64 `json:"cold_ms"`
+	WarmMS    float64 `json:"warm_ms_per_pass"`
+
+	Hits       int64 `json:"cache_hits"`
+	Misses     int64 `json:"cache_misses"`
+	Evictions  int64 `json:"cache_evictions"`
+	Inserts    int64 `json:"cache_inserts"`
+	CacheBytes int64 `json:"cache_bytes"`
+	PeakBytes  int64 `json:"peak_bytes"` // broker high-water mark
+
+	// FitsAll is true when the budget held the whole working set
+	// (nothing evicted or rejected); those cells must show warm passes
+	// with >= 5x fewer page reads than cold. WithinBudget is the
+	// broker check, required in every cell.
+	FitsAll      bool `json:"fits_working_set"`
+	WithinBudget bool `json:"peak_within_budget"`
+}
+
+type cacheReport struct {
+	Config cacheConfig `json:"config"`
+	Cells  []cacheCell `json:"cells"`
+}
+
+// cachePool returns the paper's workload in a stable order so a
+// working set of n is a deterministic prefix.
+func cachePool() ([]string, map[string]string) {
+	srcs := workload.MDX()
+	names := make([]string, 0, len(srcs))
+	for name := range srcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, srcs
+}
+
+// cachePass runs one sequential pass over the working set and returns
+// its page reads and wall time.
+func cachePass(db *mdxopt.DB, names []string, srcs map[string]string) (int64, time.Duration, error) {
+	start := time.Now()
+	var reads int64
+	for _, name := range names {
+		a, err := db.Query(srcs[name])
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s: %w", name, err)
+		}
+		reads += a.Stats.PageReads
+	}
+	return reads, time.Since(start), nil
+}
+
+// runCache builds (or reuses) the benchmark database, sweeps cache
+// budget x working-set size, prints the grid, validates the cells and
+// optionally writes the JSON report.
+func runCache(w io.Writer, dir string, scale float64, jsonPath string) error {
+	cfg := cacheConfig{
+		Scale:        scale,
+		PoolFrames:   32,
+		MemoryBudget: 8 << 20,
+		// Off, an undersized budget that forces eviction, and one that
+		// holds the whole working set.
+		Budgets:     []int64{0, 4 << 10, 4 << 20},
+		WorkingSets: []int{3, 6, 9},
+		WarmPasses:  4,
+	}
+
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		start := time.Now()
+		db, err := mdxopt.CreateSample(dir, scale)
+		if err != nil {
+			return err
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "built database in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	allNames, srcs := cachePool()
+	rep := cacheReport{Config: cfg}
+	fmt.Fprintf(w, "cache: scale %g, %d-frame pool, %d warm passes\n",
+		cfg.Scale, cfg.PoolFrames, cfg.WarmPasses)
+	fmt.Fprintf(w, "  %10s %8s %10s %10s %8s %8s %8s %8s %6s\n",
+		"cache", "queries", "coldReads", "warmReads", "hits", "misses", "evict", "peakKiB", "ok")
+
+	for _, budget := range cfg.Budgets {
+		for _, n := range cfg.WorkingSets {
+			if n > len(allNames) {
+				return fmt.Errorf("cache: working set %d exceeds the %d-query pool", n, len(allNames))
+			}
+			names := allNames[:n]
+			db, err := mdxopt.OpenWith(dir, mdxopt.OpenOptions{
+				PoolFrames:        cfg.PoolFrames,
+				MemoryBudget:      cfg.MemoryBudget,
+				ResultCacheBudget: budget,
+			})
+			if err != nil {
+				return err
+			}
+			coldReads, coldWall, err := cachePass(db, names, srcs)
+			if err != nil {
+				db.Close()
+				return err
+			}
+			var warmReads int64
+			var warmWall time.Duration
+			for p := 0; p < cfg.WarmPasses; p++ {
+				r, wl, err := cachePass(db, names, srcs)
+				if err != nil {
+					db.Close()
+					return err
+				}
+				warmReads += r
+				warmWall += wl
+			}
+			cs := db.ResultCacheStats()
+			ms := db.MemoryStats()
+			if err := db.Close(); err != nil {
+				return err
+			}
+			cell := cacheCell{
+				CacheBudget:  budget,
+				WorkingSet:   n,
+				ColdReads:    coldReads,
+				WarmReads:    float64(warmReads) / float64(cfg.WarmPasses),
+				ColdMS:       float64(coldWall.Microseconds()) / 1e3,
+				WarmMS:       float64(warmWall.Microseconds()) / 1e3 / float64(cfg.WarmPasses),
+				Hits:         cs.Hits,
+				Misses:       cs.Misses,
+				Evictions:    cs.Evictions,
+				Inserts:      cs.Inserts,
+				CacheBytes:   cs.Bytes,
+				PeakBytes:    ms.Peak,
+				FitsAll:      budget > 0 && cs.Evictions == 0 && cs.Rejected == 0,
+				WithinBudget: ms.Peak <= cfg.MemoryBudget,
+			}
+			rep.Cells = append(rep.Cells, cell)
+			bs := "off"
+			if budget > 0 {
+				bs = fmt.Sprintf("%dKiB", budget>>10)
+			}
+			ok := "yes"
+			if !cell.WithinBudget {
+				ok = "NO"
+			}
+			fmt.Fprintf(w, "  %10s %8d %10d %10.1f %8d %8d %8d %8d %6s\n",
+				bs, n, cell.ColdReads, cell.WarmReads,
+				cell.Hits, cell.Misses, cell.Evictions, cell.PeakBytes>>10, ok)
+		}
+	}
+
+	for _, c := range rep.Cells {
+		if !c.WithinBudget {
+			return fmt.Errorf("cache: budget %d set %d: peak %d exceeds the broker budget %d",
+				c.CacheBudget, c.WorkingSet, c.PeakBytes, cfg.MemoryBudget)
+		}
+		if c.CacheBudget == 0 && c.Hits != 0 {
+			return fmt.Errorf("cache: set %d: %d hits with the cache off", c.WorkingSet, c.Hits)
+		}
+		if c.FitsAll && c.ColdReads > 0 && c.WarmReads*5 > float64(c.ColdReads) {
+			return fmt.Errorf("cache: budget %d set %d: warm passes read %.1f pages vs %d cold (want >= 5x fewer)",
+				c.CacheBudget, c.WorkingSet, c.WarmReads, c.ColdReads)
+		}
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

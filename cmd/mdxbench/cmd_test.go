@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunCacheSmoke runs the cache experiment end to end at a tiny
+// scale: it must build the database, pass its own validation (warm
+// passes >= 5x fewer reads than cold on a fitting cache, peak within
+// the broker budget) and write a parseable JSON report.
+func TestRunCacheSmoke(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cachedb")
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_cache.json")
+	var out bytes.Buffer
+	if err := runCache(&out, dir, 0.02, jsonPath); err != nil {
+		t.Fatalf("runCache: %v\noutput:\n%s", err, out.String())
+	}
+	buf, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep cacheReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if len(rep.Cells) != len(rep.Config.Budgets)*len(rep.Config.WorkingSets) {
+		t.Fatalf("report has %d cells, want %d",
+			len(rep.Cells), len(rep.Config.Budgets)*len(rep.Config.WorkingSets))
+	}
+	var hits int64
+	for _, c := range rep.Cells {
+		hits += c.Hits
+	}
+	if hits == 0 {
+		t.Fatal("no cell recorded a cache hit")
+	}
+}

@@ -28,12 +28,13 @@ func main() {
 	log.SetPrefix("mdxbench: ")
 	dir := flag.String("dir", "mdxbenchdb", "database directory (built if missing)")
 	scale := flag.Float64("scale", 0.1, "scale factor (1.0 = the paper's 2M rows)")
-	exp := flag.String("exp", "all", "experiment: all, table1, test1..test7, study, ablations, serve, scan, mem")
-	jsonOut := flag.String("json", "", "write the serve/scan/mem experiment's report to this JSON file")
+	exp := flag.String("exp", "all", "experiment: all, table1, test1..test7, study, ablations, serve, scan, mem, cache")
+	jsonOut := flag.String("json", "", "write the serve/scan/mem/cache experiment's report to this JSON file")
 	flag.Parse()
 
-	// The serve, scan and mem experiments open the database themselves
-	// (they need deliberately sized buffer pools and memory budgets).
+	// The serve, scan, mem and cache experiments open the database
+	// themselves (they need deliberately sized buffer pools, memory
+	// budgets and cache budgets).
 	if *exp == "serve" {
 		if err := runServe(os.Stdout, *dir, *scale, *jsonOut); err != nil {
 			log.Fatal(err)
@@ -48,6 +49,12 @@ func main() {
 	}
 	if *exp == "mem" {
 		if err := runMem(os.Stdout, *dir, *scale, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *exp == "cache" {
+		if err := runCache(os.Stdout, *dir, *scale, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -36,9 +36,11 @@ func ExecuteDetailed(env *exec.Env, g *plan.Global, queries []*query.Query, stat
 // class pass's work across its queries (exec.Attribute): perQuery[i] is
 // query i's non-shared work exactly plus an equal share of its class's
 // shared work (the scan, page I/O, lookup builds, wall time). The
-// returned classStats are parallel to g.Classes. Queries whose
-// per-submission context (Env.QueryCtx) was canceled mid-pass come
-// back with Result.Err set rather than failing the whole batch.
+// returned classStats cover g.Classes in order, followed by one entry
+// per cache-served query (View "cache:<entry>", Regime "cache").
+// Queries whose per-submission context (Env.QueryCtx) was canceled
+// mid-pass come back with Result.Err set rather than failing the whole
+// batch.
 func ExecuteAttributed(env *exec.Env, g *plan.Global, queries []*query.Query, stats *exec.Stats) ([]*exec.Result, []ClassStat, []exec.Stats, error) {
 	byQuery := map[*query.Query]*exec.Result{}
 	perQuery := map[*query.Query]exec.Stats{}
@@ -83,6 +85,22 @@ func ExecuteAttributed(env *exec.Env, g *plan.Global, queries []*query.Query, st
 			View:    c.View.Name,
 			Regime:  c.Regime.String(),
 			Queries: names,
+			Stats:   cs,
+		})
+	}
+	for _, cp := range g.Cached {
+		var cs exec.Stats
+		r, err := exec.RollupCached(env, cp.Entry, cp.Query, &cs)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: cache rollup for %s: %w", cp.Query, err)
+		}
+		byQuery[cp.Query] = r
+		perQuery[cp.Query] = cs
+		stats.Add(cs)
+		classStats = append(classStats, ClassStat{
+			View:    "cache:" + cp.Entry.Name,
+			Regime:  "cache",
+			Queries: []string{cp.Query.QualifiedName()},
 			Stats:   cs,
 		})
 	}

@@ -66,7 +66,10 @@ func numPlans(g *plan.Global) int {
 // cloneGlobal deep-copies a plan's class and local structure (views and
 // queries are shared references).
 func cloneGlobal(g *plan.Global) *plan.Global {
-	out := &plan.Global{Classes: make([]*plan.Class, len(g.Classes))}
+	out := &plan.Global{
+		Classes: make([]*plan.Class, len(g.Classes)),
+		Cached:  append([]*plan.CachePlan(nil), g.Cached...),
+	}
 	for i, c := range g.Classes {
 		nc := &plan.Class{View: c.View, Regime: c.Regime, Plans: make([]*plan.Local, len(c.Plans))}
 		for j, p := range c.Plans {

@@ -90,13 +90,20 @@ func sortForGreedy(queries []*query.Query, coarsestFirst bool) []*query.Query {
 }
 
 // optimizeTPLO: phase one picks each query's locally optimal
-// (view, method); phase two merges plans with a common base table into
-// classes so the shared operators apply.
+// (view, method) — or the result cache, when a cached rollup beats every
+// view; phase two merges plans with a common base table into classes so
+// the shared operators apply.
 func optimizeTPLO(est *plan.Estimator, queries []*query.Query) (*plan.Global, error) {
 	byView := map[*star.View]*plan.Class{}
 	var order []*star.View
+	g := &plan.Global{}
 	for _, q := range queries {
-		local, _, err := est.BestLocal(q, est.DB.Views)
+		ent, cacheCost, haveCache := est.CacheCandidate(q)
+		local, localCost, err := est.BestLocal(q, est.DB.Views)
+		if haveCache && (err != nil || cacheCost < localCost) {
+			g.Cached = append(g.Cached, &plan.CachePlan{Query: q, Entry: ent})
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +115,6 @@ func optimizeTPLO(est *plan.Estimator, queries []*query.Query) (*plan.Global, er
 		}
 		c.Plans = append(c.Plans, local)
 	}
-	g := &plan.Global{}
 	for _, v := range order {
 		g.Classes = append(g.Classes, byView[v])
 	}
@@ -131,6 +137,7 @@ func optimizeGreedy(est *plan.Estimator, queries []*query.Query, rebase bool, op
 	ordered := sortForGreedy(queries, opts.CoarsestFirst)
 	used := map[*star.View]bool{}
 	var classes []*plan.Class
+	var cached []*plan.CachePlan
 
 	for _, q := range ordered {
 		// Best unused materialized group-by (the paper's MSet).
@@ -152,6 +159,16 @@ func optimizeGreedy(est *plan.Estimator, queries []*query.Query, rebase bool, op
 					bestClass, bestAddCost, bestRebase = c, addCost, c.View
 				}
 			}
+		}
+
+		// The result cache is a third candidate source: a cached rollup
+		// serves q alone, so it competes with both opening a class and
+		// joining one — and loses whenever a shared pass amortizes
+		// better for the batch.
+		if ent, cacheCost, ok := est.CacheCandidate(q); ok &&
+			cacheCost < bestViewCost && cacheCost < bestAddCost {
+			cached = append(cached, &plan.CachePlan{Query: q, Entry: ent})
+			continue
 		}
 
 		switch {
@@ -176,7 +193,7 @@ func optimizeGreedy(est *plan.Estimator, queries []*query.Query, rebase bool, op
 		}
 	}
 
-	g := &plan.Global{Classes: classes}
+	g := &plan.Global{Classes: classes, Cached: cached}
 	est.GlobalCost(g)
 	return g, nil
 }
@@ -265,6 +282,28 @@ func mergeClasses(classes []*plan.Class, keep *plan.Class) []*plan.Class {
 // cheapest global plan. Exponential in the number of queries; the
 // experiment harness uses it as the paper's "optimal global plan".
 func optimizeExhaustive(est *plan.Estimator, queries []*query.Query) (*plan.Global, error) {
+	// Pre-pass: a query whose cached rollup beats its best standalone
+	// plan leaves the partition search — a cache plan serves one query
+	// in isolation, so it cannot improve any class it would have joined.
+	var cached []*plan.CachePlan
+	var rest []*query.Query
+	for _, q := range queries {
+		ent, cacheCost, ok := est.CacheCandidate(q)
+		if ok {
+			_, localCost, err := est.BestLocal(q, est.DB.Views)
+			if err != nil || cacheCost < localCost {
+				cached = append(cached, &plan.CachePlan{Query: q, Entry: ent})
+				continue
+			}
+		}
+		rest = append(rest, q)
+	}
+	if len(rest) == 0 {
+		g := &plan.Global{Cached: cached}
+		est.GlobalCost(g)
+		return g, nil
+	}
+	queries = rest
 	if len(queries) > 10 {
 		return nil, fmt.Errorf("core: Optimal limited to 10 queries, got %d", len(queries))
 	}
@@ -308,6 +347,7 @@ func optimizeExhaustive(est *plan.Estimator, queries []*query.Query) (*plan.Glob
 	if best == nil {
 		return nil, fmt.Errorf("core: no feasible global plan")
 	}
+	best.Cached = cached
 	est.GlobalCost(best)
 	return best, nil
 }

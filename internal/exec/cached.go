@@ -1,0 +1,124 @@
+package exec
+
+import (
+	"fmt"
+
+	"mdxopt/internal/query"
+	"mdxopt/internal/rescache"
+)
+
+// RollupCached answers q from a semantic result-cache entry: every
+// cached row's member codes are rolled up the dimension hierarchies
+// from the entry's levels to the query's, filtered by the query's
+// predicates, and the final values are re-aggregated. No page is read —
+// the operator's cost is CPU linear in the entry's rows (counted in
+// Stats.CacheRows) — which is what makes a cache hit worth compiling
+// into the plan.
+//
+// Correctness needs the entry to Answer q (the optimizer guarantees it,
+// and it is re-checked here) and the aggregate to be decomposable from
+// final values: SUM and COUNT merge by addition, MIN/MAX by min/max.
+// AVG is excluded by the cache itself. The aggregation state is an
+// ordinary aggTable, so it reserves broker memory and may spill like
+// any other pipeline's; the output ordering (raw key bytes) matches the
+// scan operators', keeping cache-served results byte-identical to
+// uncached execution.
+//
+// The stats accumulated into stats are entirely the query's own work —
+// there is no shared pass to attribute. Per-query cancellation
+// (Env.QueryCtx) detaches the rollup like any pipeline: the result
+// comes back with Err set instead of failing the caller.
+func RollupCached(env *Env, e *rescache.Entry, q *query.Query, stats *Stats) (*Result, error) {
+	if !e.Answers(q, e.Gen) {
+		return nil, fmt.Errorf("exec: cache entry %s cannot answer %s", e.Name, q)
+	}
+	nd := q.Schema.NumDims()
+	var qctx = func() <-chan struct{} {
+		if env.QueryCtx == nil {
+			return nil
+		}
+		ctx := env.QueryCtx(q)
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Done()
+	}()
+	var res *Result
+	var own Stats
+	err := env.measure(&own, func() error {
+		tab := newAggTable(env, q.Agg, 4*nd, "rollup:"+q.Name)
+		defer tab.close()
+		sets := make([][]bool, nd)
+		for d := range sets {
+			sets[d] = q.MemberSet(d)
+		}
+		key := make([]byte, 4*nd)
+		detached := false
+	rows:
+		for ri := range e.Rows {
+			if ri%checkEvery == 0 {
+				if err := env.canceled(); err != nil {
+					return err
+				}
+				if qctx != nil {
+					select {
+					case <-qctx:
+						detached = true
+						break rows
+					default:
+					}
+				}
+			}
+			row := &e.Rows[ri]
+			own.CacheRows++
+			qualifies := true
+			for d := 0; d < nd; d++ {
+				code := q.Schema.Dims[d].RollUp(row.Keys[d], e.Levels[d], q.Levels[d])
+				if sets[d] != nil && !sets[d][code] {
+					qualifies = false
+					break
+				}
+				key[d*4] = byte(code)
+				key[d*4+1] = byte(code >> 8)
+				key[d*4+2] = byte(code >> 16)
+				key[d*4+3] = byte(code >> 24)
+			}
+			if !qualifies {
+				continue
+			}
+			own.TuplesAgg++
+			if err := tab.add(key, accum{a: row.Value, set: true}); err != nil {
+				return err
+			}
+		}
+		if detached {
+			res = &Result{Query: q, Err: env.QueryCtx(q).Err(), Cached: true}
+		} else {
+			pairs, err := tab.pairs()
+			if err != nil {
+				return err
+			}
+			groups := make([]Group, len(pairs))
+			for i, pr := range pairs {
+				k := pr.key
+				g := Group{Keys: make([]int32, nd), Value: pr.ac.a}
+				for d := 0; d < nd; d++ {
+					g.Keys[d] = int32(uint32(k[d*4]) | uint32(k[d*4+1])<<8 | uint32(k[d*4+2])<<16 | uint32(k[d*4+3])<<24)
+				}
+				groups[i] = g
+			}
+			res = &Result{Query: q, Groups: groups, Cached: true}
+		}
+		peak, sb, sp := tab.memStats()
+		own.PeakMemory += peak
+		own.SpillBytes += sb
+		own.SpillPartitions += sp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Own = own
+	stats.Add(own)
+	return res, nil
+}

@@ -27,6 +27,10 @@ type Result struct {
 	// was canceled and its pipelines detached from the shared pass;
 	// Groups is then partial and must be discarded.
 	Err error
+	// Cached reports that the result was served from the semantic
+	// result cache by the zero-IO rollup operator (RollupCached) rather
+	// than computed from a stored view.
+	Cached bool
 }
 
 // result converts the pipeline's aggregation table into a sorted Result.

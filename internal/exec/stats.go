@@ -53,6 +53,7 @@ type Stats struct {
 	HashBuildRows int64 // dimension rows inserted into join lookup tables
 	BitmapWords   int64 // 64-bit words of bitmap AND/OR
 	BitTests      int64 // per-tuple bitmap membership tests
+	CacheRows     int64 // cached result rows re-aggregated by the zero-IO rollup operator
 
 	// PeakMemory is the sum of the high-water marks of every memory
 	// reservation the work held (aggregation tables, dimension lookups,
@@ -83,6 +84,7 @@ func (s *Stats) Add(other Stats) {
 	s.HashBuildRows += other.HashBuildRows
 	s.BitmapWords += other.BitmapWords
 	s.BitTests += other.BitTests
+	s.CacheRows += other.CacheRows
 	s.PeakMemory += other.PeakMemory
 	s.SpillBytes += other.SpillBytes
 	s.SpillPartitions += other.SpillPartitions
@@ -99,7 +101,8 @@ func (s Stats) SimulatedMicros(m *cost.Model) float64 {
 		float64(s.TuplesFetched)*m.FetchCPU +
 		float64(s.HashBuildRows)*m.BuildCPU +
 		float64(s.BitmapWords)*m.BitmapWord +
-		float64(s.BitTests)*m.BitTest
+		float64(s.BitTests)*m.BitTest +
+		float64(s.CacheRows)*m.TupleCPU
 }
 
 // SimulatedSeconds is SimulatedMicros scaled to seconds.
@@ -108,9 +111,9 @@ func (s Stats) SimulatedSeconds(m *cost.Model) float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("io{%s} scan=%d probe=%d agg=%d fetch=%d build=%d bmwords=%d bittest=%d peakmem=%d spill=%d/%dp wall=%s",
+	return fmt.Sprintf("io{%s} scan=%d probe=%d agg=%d fetch=%d build=%d bmwords=%d bittest=%d cacherows=%d peakmem=%d spill=%d/%dp wall=%s",
 		s.IO, s.TuplesScanned, s.TupleProbes, s.TuplesAgg, s.TuplesFetched,
-		s.HashBuildRows, s.BitmapWords, s.BitTests,
+		s.HashBuildRows, s.BitmapWords, s.BitTests, s.CacheRows,
 		s.PeakMemory, s.SpillBytes, s.SpillPartitions, s.Wall)
 }
 

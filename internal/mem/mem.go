@@ -55,14 +55,14 @@ type Broker struct {
 	limit int64 // 0 = track only, no enforcement
 
 	mu        sync.Mutex
-	used      int64 // bytes held by reservations
-	peak      int64 // high-water mark of used
-	claimed   int64 // bytes held by admission claims
-	overdraft int64 // bytes granted past the limit by MustGrow
-	denied    int64 // TryGrow calls refused
-	admitted  int64 // Admit calls granted
-	deferred  int64 // Admit calls that had to wait
-	deferNS   int64 // total nanoseconds Admit calls spent waiting
+	used      int64          // bytes held by reservations
+	peak      int64          // high-water mark of used
+	claimed   int64          // bytes held by admission claims
+	overdraft int64          // bytes granted past the limit by MustGrow
+	denied    int64          // TryGrow calls refused
+	admitted  int64          // Admit calls granted
+	deferred  int64          // Admit calls that had to wait
+	deferNS   int64          // total nanoseconds Admit calls spent waiting
 	waiters   []*admitWaiter // deferred admission claims, oldest first
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"mdxopt/internal/cost"
 	"mdxopt/internal/query"
+	"mdxopt/internal/rescache"
 	"mdxopt/internal/star"
 )
 
@@ -30,6 +31,14 @@ type Estimator struct {
 	// ClassCost calls) — the "number of global plans searched" currency
 	// of the paper's §8 time/space trade-off discussion.
 	CostEvals int64
+	// Cache, when non-nil, is the semantic result cache the optimizers
+	// consult before costing star-join plans: a query answerable from a
+	// cached entry gains a zero-IO rollup candidate (CacheCandidate)
+	// priced against the shared scans, so sharing still wins when it is
+	// cheaper for the batch as a whole. Gen is the database generation
+	// entries must match.
+	Cache *rescache.Cache
+	Gen   uint64
 }
 
 // NewEstimator returns the full-model estimator with the §3.3 filter
@@ -310,7 +319,33 @@ func (e *Estimator) GlobalCost(g *Global) float64 {
 	for _, c := range g.Classes {
 		total += e.ClassCost(c)
 	}
+	for _, cp := range g.Cached {
+		total += e.CacheCost(cp.Entry)
+	}
 	return total
+}
+
+// CacheCost prices answering a query by rollup from the cached entry:
+// no I/O, one rollup-and-filter step per cached row plus re-aggregation.
+// Every row is priced as qualifying — an upper bound that errs toward
+// the shared scans, and still orders of magnitude below any page read.
+func (e *Estimator) CacheCost(ent *rescache.Entry) float64 {
+	e.CostEvals++
+	return (e.Model.TupleCPU + e.Model.AggCPU) * float64(len(ent.Rows))
+}
+
+// CacheCandidate returns the cheapest cache entry that can answer q at
+// the estimator's generation, with its rollup cost; ok is false when
+// the cache is off or holds no answering entry.
+func (e *Estimator) CacheCandidate(q *query.Query) (ent *rescache.Entry, cost float64, ok bool) {
+	if e.Cache == nil {
+		return nil, math.Inf(1), false
+	}
+	ent = e.Cache.Probe(q, e.Gen)
+	if ent == nil {
+		return nil, math.Inf(1), false
+	}
+	return ent, e.CacheCost(ent), true
 }
 
 // CostOfAdd returns the marginal cost of adding q to class c, keeping

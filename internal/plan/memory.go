@@ -114,14 +114,23 @@ func (e *Estimator) ClassMemory(c *Class) int64 {
 }
 
 // GlobalMemory estimates the operator-state footprint of a global plan:
-// the sum of its class footprints. Classes of one batch run
-// sequentially today, so this is conservative (a max over classes would
-// be tighter), but it degrades safely — overestimates defer admission,
-// never break execution.
+// the sum of its class footprints plus the rollup re-aggregation tables
+// of cache-served queries. Queries the cache serves carry no lookup,
+// bitmap or scan-side aggregation state, so a warm cache directly
+// shrinks the estimate admission charges for a batch. Classes of one
+// batch run sequentially today, so the sum is conservative (a max over
+// classes would be tighter), but it degrades safely — overestimates
+// defer admission, never break execution.
 func (e *Estimator) GlobalMemory(g *Global) int64 {
 	var total int64
 	for _, c := range g.Classes {
 		total += e.ClassMemory(c)
+	}
+	for _, cp := range g.Cached {
+		// The rollup's aggregation table holds at most one group per
+		// cached row.
+		keyLen := 4 * len(cp.Query.Schema.Dims)
+		total += int64(len(cp.Entry.Rows)) * int64(keyLen+memAggEntryOverhead)
 	}
 	return total
 }

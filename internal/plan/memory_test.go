@@ -3,6 +3,8 @@ package plan
 import (
 	"math"
 	"testing"
+
+	"mdxopt/internal/rescache"
 )
 
 // Satellite coverage for ClassCost / CostOfAdd edge cases the memory
@@ -192,5 +194,38 @@ func TestGroupEstimateCappedBySelectedRows(t *testing.T) {
 		if rows := e.selRows(q, v); groups > rows && groups > 1 {
 			t.Fatalf("%s: groups %v exceed qualifying rows %v", q.Name, groups, rows)
 		}
+	}
+}
+
+func TestGlobalMemoryCachedPlansShrinkEstimate(t *testing.T) {
+	db, qs := testDB(t)
+	e := NewEstimator(db)
+	v := db.ViewByLevels([]int{1, 1, 2, 0})
+	q := qs["Q1"]
+	c := &Class{View: v, Plans: []*Local{{Query: q, View: v}}}
+	e.ClassCost(c)
+	asClass := e.GlobalMemory(&Global{Classes: []*Class{c}})
+
+	// The same query served from a small cached entry charges only the
+	// rollup re-aggregation table — strictly less than the class pass
+	// (which adds lookup tables and a scan-sized aggregation estimate).
+	ent := &rescache.Entry{
+		Name:   q.GroupByName(),
+		Levels: append([]int(nil), q.Levels...),
+		Rows:   make([]rescache.Row, 8),
+	}
+	asCache := e.GlobalMemory(&Global{Cached: []*CachePlan{{Query: q, Entry: ent}}})
+	keyLen := 4 * len(q.Schema.Dims)
+	if want := int64(8) * int64(keyLen+memAggEntryOverhead); asCache != want {
+		t.Fatalf("cached-plan memory = %d, want %d", asCache, want)
+	}
+	if asCache >= asClass {
+		t.Fatalf("cache-served estimate %d not below class estimate %d", asCache, asClass)
+	}
+
+	// Mixed plans sum both parts.
+	mixed := e.GlobalMemory(&Global{Classes: []*Class{c}, Cached: []*CachePlan{{Query: q, Entry: ent}}})
+	if mixed != asClass+asCache {
+		t.Fatalf("mixed estimate %d != %d + %d", mixed, asClass, asCache)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"mdxopt/internal/query"
+	"mdxopt/internal/rescache"
 	"mdxopt/internal/star"
 )
 
@@ -138,18 +139,43 @@ func (c *Class) String() string {
 	return fmt.Sprintf("Class[%s]{%s}", c.View.Name, strings.Join(parts, " "))
 }
 
-// Global is a complete plan for a query set.
+// CachePlan answers one query by rolling up a semantic result-cache
+// entry (exec.RollupCached) instead of joining a stored view — zero
+// page I/O, CPU linear in the entry's rows.
+type CachePlan struct {
+	Query *query.Query
+	Entry *rescache.Entry
+}
+
+func (p *CachePlan) String() string {
+	return fmt.Sprintf("(%s <= cache %s [%d rows])", p.Query.QualifiedName(), p.Entry.Name, len(p.Entry.Rows))
+}
+
+// Global is a complete plan for a query set: the classes evaluated by
+// shared passes over stored views, plus the queries served from the
+// result cache.
 type Global struct {
 	Classes []*Class
+	Cached  []*CachePlan
 }
 
 // NumQueries returns the total number of queries planned.
 func (g *Global) NumQueries() int {
-	n := 0
+	n := len(g.Cached)
 	for _, c := range g.Classes {
 		n += len(c.Plans)
 	}
 	return n
+}
+
+// CachePlanFor returns the cache plan serving the given query, or nil.
+func (g *Global) CachePlanFor(q *query.Query) *CachePlan {
+	for _, cp := range g.Cached {
+		if cp.Query == q {
+			return cp
+		}
+	}
+	return nil
 }
 
 // PlanFor returns the local plan of the given query, or nil.
@@ -176,6 +202,17 @@ func (g *Global) Describe() string {
 		})
 		for _, p := range plans {
 			fmt.Fprintf(&b, " (%s => %s [%s])", p.Query.QualifiedName(), p.View.Name, p.Method)
+		}
+		b.WriteString("\n")
+	}
+	if len(g.Cached) > 0 {
+		cached := append([]*CachePlan(nil), g.Cached...)
+		sort.Slice(cached, func(i, j int) bool {
+			return cached[i].Query.QualifiedName() < cached[j].Query.QualifiedName()
+		})
+		b.WriteString("cache [rollup]:")
+		for _, cp := range cached {
+			fmt.Fprintf(&b, " %s", cp)
 		}
 		b.WriteString("\n")
 	}

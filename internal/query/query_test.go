@@ -220,3 +220,66 @@ func TestAggHelpers(t *testing.T) {
 		t.Fatal("COUNT and SUM share a signature")
 	}
 }
+
+// AnswerableFrom considers only the group-by lattice: predicates never
+// change answerability (the view predicate is descended at execution
+// time, and the result cache's subsumption check handles the rest).
+func TestAnswerableFromEdgeCases(t *testing.T) {
+	s := testSchema(t)
+
+	// Predicate on a dimension where the view is *coarser* than the
+	// query: the view cannot reconstruct the finer groups, predicate or
+	// not.
+	fine, err := New("q", s, []int{0, 1, 0}, []Predicate{{Members: []int32{3}}, {}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.AnswerableFrom([]int{1, 1, 0}) {
+		t.Fatal("view coarser than the predicated dimension answered")
+	}
+	if !fine.AnswerableFrom([]int{0, 0, 0}) {
+		t.Fatal("base table refused a predicated query")
+	}
+
+	// Predicate on a rolled-up ancestor level: the query groups at the
+	// top of A and restricts there; any view at or below the query's
+	// levels answers, and the predicate descends to the view level.
+	coarse, err := New("q", s, []int{2, 0, 0}, []Predicate{{Members: []int32{1}}, {}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vl := range [][]int{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}} {
+		if !coarse.AnswerableFrom(vl) {
+			t.Fatalf("view %v should answer ancestor-predicated query", vl)
+		}
+	}
+	if coarse.AnswerableFrom([]int{3, 0, 0}) {
+		t.Fatal("ALL-level view answered a query grouping at the top level")
+	}
+
+	// The all-coarsest view (every dimension aggregated out) answers
+	// only the all-coarsest query.
+	all := []int{s.Dims[0].AllLevel(), s.Dims[1].AllLevel(), s.Dims[2].AllLevel()}
+	grand, err := New("q", s, all, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grand.AnswerableFrom(all) {
+		t.Fatal("all-coarsest view cannot answer the grand total")
+	}
+	if !grand.AnswerableFrom([]int{2, 1, 0}) {
+		t.Fatal("finer view cannot answer the grand total")
+	}
+	anyGroup, err := New("q", s, []int{2, 2, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anyGroup.AnswerableFrom(all) {
+		t.Fatal("all-coarsest view answered a grouping query")
+	}
+
+	// Mismatched dimensionality never answers.
+	if grand.AnswerableFrom([]int{0, 0}) {
+		t.Fatal("short level vector answered")
+	}
+}

@@ -1,0 +1,327 @@
+package rescache
+
+import (
+	"testing"
+
+	"mdxopt/internal/mem"
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+)
+
+func testSchema(t *testing.T) *star.Schema {
+	t.Helper()
+	a, err := star.UniformDimension("A", []int{24, 6, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := star.UniformDimension("B", []int{12, 6, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := star.UniformDimension("C", []int{8, 4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := star.NewSchema([]*star.Dimension{a, b, c}, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustQuery(t *testing.T, s *star.Schema, levels []int, preds []query.Predicate) *query.Query {
+	t.Helper()
+	q, err := query.New("q", s, levels, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// fill returns rows distinguishable by a seed, sized to the query's
+// group space (content is irrelevant to the cache; only len matters).
+func fill(n int, seed float64) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{Keys: []int32{int32(i), 0, 0}, Value: seed + float64(i)}
+	}
+	return rows
+}
+
+func TestAnswersSubsumption(t *testing.T) {
+	s := testSchema(t)
+	base := mustQuery(t, s, []int{1, 1, 0}, []query.Predicate{{Members: []int32{0, 1, 2}}, {}, {}})
+	c := New(1<<20, nil)
+	c.Put(base, 7, fill(10, 1), 100)
+	ent := c.Probe(base, 7)
+	if ent == nil {
+		t.Fatal("identity probe missed")
+	}
+
+	// Wrong generation: never answers.
+	if c.Probe(base, 8) != nil {
+		t.Fatal("stale-generation entry answered")
+	}
+
+	// Coarser group-by with a predicate that is a subset after
+	// descending: answerable.
+	sub := mustQuery(t, s, []int{2, 1, 0}, []query.Predicate{{Members: []int32{0}}, {}, {}})
+	// A'' member 0 descends to A' members {0,1} ⊆ {0,1,2}? A' has 6
+	// members under 3 tops: top 0 covers A' {0,1}.
+	if c.Probe(sub, 7) == nil {
+		t.Fatal("subsumed rollup probe missed")
+	}
+
+	// Predicate outside the entry's member set: top 2 covers A' {4,5}.
+	out := mustQuery(t, s, []int{2, 1, 0}, []query.Predicate{{Members: []int32{2}}, {}, {}})
+	if c.Probe(out, 7) != nil {
+		t.Fatal("non-subsumed predicate answered")
+	}
+
+	// Query unrestricted where the entry is restricted: the entry is
+	// missing rows.
+	free := mustQuery(t, s, []int{2, 1, 0}, nil)
+	if c.Probe(free, 7) != nil {
+		t.Fatal("unrestricted query answered from a restricted entry")
+	}
+
+	// Finer group-by than the entry: not derivable.
+	finer := mustQuery(t, s, []int{0, 1, 0}, []query.Predicate{{Members: []int32{0}}, {}, {}})
+	if c.Probe(finer, 7) != nil {
+		t.Fatal("finer query answered from a coarser entry")
+	}
+
+	// Aggregate mismatch.
+	cnt := mustQuery(t, s, []int{1, 1, 0}, []query.Predicate{{Members: []int32{0, 1, 2}}, {}, {}})
+	cnt.Agg = query.Count
+	if c.Probe(cnt, 7) != nil {
+		t.Fatal("COUNT answered from a SUM entry")
+	}
+
+	// Entry unrestricted, query restricted: always subsumed.
+	c2 := New(1<<20, nil)
+	c2.Put(free, 7, fill(10, 2), 100)
+	if c2.Probe(sub, 7) == nil {
+		t.Fatal("restricted query not answered by unrestricted entry")
+	}
+}
+
+func TestAvgNeverCached(t *testing.T) {
+	s := testSchema(t)
+	q := mustQuery(t, s, []int{1, 1, 0}, nil)
+	q.Agg = query.Avg
+	c := New(1<<20, nil)
+	if ev := c.Put(q, 1, fill(4, 0), 10); ev != 0 {
+		t.Fatalf("Put(AVG) evicted %d", ev)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatal("AVG result was cached")
+	}
+}
+
+func TestProbePicksFewestRows(t *testing.T) {
+	s := testSchema(t)
+	fine := mustQuery(t, s, []int{0, 0, 0}, nil)
+	mid := mustQuery(t, s, []int{1, 1, 0}, nil)
+	c := New(1<<20, nil)
+	c.Put(fine, 1, fill(100, 0), 1000)
+	c.Put(mid, 1, fill(12, 0), 100)
+	coarse := mustQuery(t, s, []int{2, 2, 0}, nil)
+	ent := c.Probe(coarse, 1)
+	if ent == nil || len(ent.Rows) != 12 {
+		t.Fatalf("probe picked entry with %v rows, want the 12-row one", ent)
+	}
+}
+
+// predQuery builds a query at fixed levels restricted to one member, so
+// entries cannot answer each other's probes (disjoint predicates are
+// never subsumed) and eviction is observable per entry.
+func predQuery(t *testing.T, s *star.Schema, member int32) *query.Query {
+	t.Helper()
+	return mustQuery(t, s, []int{1, 1, 0},
+		[]query.Predicate{{Members: []int32{member}}, {}, {}})
+}
+
+func TestEvictionCostWeightedLRU(t *testing.T) {
+	s := testSchema(t)
+	nd := len(s.Dims)
+	// Budget fits exactly two 10-row entries.
+	budget := 2 * EntryBytes(10, nd)
+	c := New(budget, nil)
+
+	cheap := predQuery(t, s, 0)
+	costly := predQuery(t, s, 1)
+	third := predQuery(t, s, 2)
+
+	c.Put(cheap, 1, fill(10, 0), 10)      // low recompute cost
+	c.Put(costly, 1, fill(10, 1), 100000) // high recompute cost
+	if ev := c.Put(third, 1, fill(10, 2), 50); ev != 1 {
+		t.Fatalf("evicted %d entries, want 1", ev)
+	}
+	// The cheap entry must be the victim: same size, lowest cost/bytes.
+	if c.Probe(cheap, 1) != nil {
+		t.Fatal("high-value entry evicted before low-value one")
+	}
+	if c.Probe(costly, 1) == nil {
+		t.Fatal("costly entry gone")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Inserts != 3 || st.Bytes > budget {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTouchProtectsRecentEntries(t *testing.T) {
+	s := testSchema(t)
+	nd := len(s.Dims)
+	budget := 2 * EntryBytes(10, nd)
+	c := New(budget, nil)
+	a := predQuery(t, s, 0)
+	b := predQuery(t, s, 1)
+	c.Put(a, 1, fill(10, 0), 12)
+	c.Put(b, 1, fill(10, 1), 10)
+	// Inserting a third entry evicts b (lowest cost) and raises the
+	// GreedyDual floor to b's priority, so the newcomer outranks a.
+	third := predQuery(t, s, 2)
+	c.Put(third, 1, fill(10, 2), 10)
+	if c.Probe(b, 1) != nil {
+		t.Fatal("expected the lowest-cost entry evicted first")
+	}
+	// Without a touch, a (the oldest surviving priority) would be the
+	// next victim; refreshing it makes the younger entry go instead.
+	c.Touch(c.Probe(a, 1))
+	fourth := predQuery(t, s, 3)
+	c.Put(fourth, 1, fill(10, 3), 10)
+	if c.Probe(a, 1) == nil {
+		t.Fatal("touched entry was evicted before the untouched one")
+	}
+	if c.Probe(third, 1) != nil {
+		t.Fatal("untouched entry survived over the touched one")
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	s := testSchema(t)
+	q := mustQuery(t, s, []int{1, 1, 0}, nil)
+	c := New(EntryBytes(5, len(s.Dims)), nil)
+	c.Put(q, 1, fill(50, 0), 10)
+	st := c.Stats()
+	if st.Entries != 0 || st.Rejected != 1 {
+		t.Fatalf("oversize result not rejected: %+v", st)
+	}
+}
+
+func TestBrokerDeniedGrowthEvicts(t *testing.T) {
+	s := testSchema(t)
+	nd := len(s.Dims)
+	entry := EntryBytes(10, nd)
+	broker := mem.New(2*entry + 64)
+	// Cache's own budget is generous; the broker is the binding bound.
+	c := New(1<<20, broker)
+	a := mustQuery(t, s, []int{1, 1, 0}, nil)
+	b := mustQuery(t, s, []int{1, 0, 0}, nil)
+	d := mustQuery(t, s, []int{0, 1, 0}, nil)
+	c.Put(a, 1, fill(10, 0), 10)
+	c.Put(b, 1, fill(10, 1), 10)
+	if ev := c.Put(d, 1, fill(10, 2), 10); ev == 0 {
+		t.Fatal("broker-denied growth did not evict")
+	}
+	st := c.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+	if used := broker.Stats().Used; used != st.Bytes {
+		t.Fatalf("broker used %d, cache accounts %d", used, st.Bytes)
+	}
+}
+
+func TestInvalidateReleasesMemory(t *testing.T) {
+	s := testSchema(t)
+	broker := mem.New(0)
+	c := New(1<<20, broker)
+	q := mustQuery(t, s, []int{1, 1, 0}, nil)
+	c.Put(q, 1, fill(10, 0), 10)
+	if broker.Stats().Used == 0 {
+		t.Fatal("cache memory not reserved from broker")
+	}
+	e0 := c.Epoch()
+	c.Invalidate()
+	if got := broker.Stats().Used; got != 0 {
+		t.Fatalf("broker still holds %d after Invalidate", got)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("cache not empty after Invalidate: %+v", st)
+	}
+	if c.Epoch() == e0 {
+		t.Fatal("Invalidate did not advance the epoch")
+	}
+	// Idempotent: a second Invalidate of an empty cache keeps the epoch.
+	e1 := c.Epoch()
+	c.Invalidate()
+	if c.Epoch() != e1 {
+		t.Fatal("empty Invalidate advanced the epoch")
+	}
+}
+
+func TestEpochAdvancesOnContentChange(t *testing.T) {
+	s := testSchema(t)
+	c := New(1<<20, nil)
+	q := mustQuery(t, s, []int{1, 1, 0}, nil)
+	e0 := c.Epoch()
+	c.Put(q, 1, fill(10, 0), 10)
+	e1 := c.Epoch()
+	if e1 == e0 {
+		t.Fatal("insert did not advance the epoch")
+	}
+	// Duplicate Put at the same generation is a refresh, not a change.
+	c.Put(q, 1, fill(10, 0), 10)
+	if c.Epoch() != e1 {
+		t.Fatal("duplicate Put advanced the epoch")
+	}
+}
+
+func TestStaleGenerationReplacement(t *testing.T) {
+	s := testSchema(t)
+	broker := mem.New(0)
+	c := New(1<<20, broker)
+	q := mustQuery(t, s, []int{1, 1, 0}, nil)
+	c.Put(q, 1, fill(10, 0), 10)
+	// A newer-generation result for the same semantics replaces the
+	// resident entry without leaking its accounted bytes.
+	c.Put(q, 2, fill(20, 0), 10)
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+	if want := EntryBytes(20, len(s.Dims)); st.Bytes != want || broker.Stats().Used != want {
+		t.Fatalf("bytes = %d (broker %d), want %d", st.Bytes, broker.Stats().Used, want)
+	}
+	if c.Probe(q, 1) != nil {
+		t.Fatal("old generation still answerable")
+	}
+	if c.Probe(q, 2) == nil {
+		t.Fatal("new generation not answerable")
+	}
+	// The reverse direction — an older-generation Put over a newer
+	// resident — must keep the newer entry.
+	c.Put(q, 1, fill(5, 0), 10)
+	if ent := c.Probe(q, 2); ent == nil || len(ent.Rows) != 20 {
+		t.Fatal("stale Put displaced a fresher entry")
+	}
+}
+
+func TestNilCacheSafe(t *testing.T) {
+	var c *Cache
+	s := testSchema(t)
+	q := mustQuery(t, s, []int{1, 1, 0}, nil)
+	if c.Probe(q, 1) != nil || c.Epoch() != 0 || c.Put(q, 1, fill(1, 0), 1) != 0 {
+		t.Fatal("nil cache not inert")
+	}
+	c.Touch(nil)
+	c.RecordHits(1)
+	c.RecordMisses(1)
+	c.Invalidate()
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+}

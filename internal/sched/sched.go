@@ -371,9 +371,14 @@ func Exec(env *exec.Env, planFn PlanFunc, admit AdmitFunc, subs []*Submission) {
 	}
 
 	planText := g.Describe()
-	classOrigins := make([][]int, len(g.Classes))
+	// classStats covers g.Classes followed by one entry per cache-served
+	// query; origin-index both so cache rollups demultiplex like classes.
+	classOrigins := make([][]int, len(classStats))
 	for ci, c := range g.Classes {
 		classOrigins[ci] = c.Origins()
+	}
+	for i, cp := range g.Cached {
+		classOrigins[len(g.Classes)+i] = []int{cp.Query.Origin}
 	}
 	offset := 0
 	for si, sub := range subs {
@@ -399,7 +404,7 @@ func Exec(env *exec.Env, planFn PlanFunc, admit AdmitFunc, subs []*Submission) {
 		}
 		origin := si + 1
 		others := map[int]bool{}
-		for ci := range g.Classes {
+		for ci := range classStats {
 			mine := false
 			for _, og := range classOrigins[ci] {
 				if og == origin {

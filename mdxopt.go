@@ -40,6 +40,7 @@ import (
 	"mdxopt/internal/mem"
 	"mdxopt/internal/plan"
 	"mdxopt/internal/query"
+	"mdxopt/internal/rescache"
 	"mdxopt/internal/sched"
 	"mdxopt/internal/star"
 	"mdxopt/internal/storage"
@@ -101,19 +102,29 @@ type DB struct {
 	// (OpenOptions.SpillDir; empty = the system temp directory).
 	spillDir string
 
+	// rescache is the semantic result cache
+	// (OpenOptions.ResultCacheBudget); nil when disabled — every
+	// rescache method is nil-safe.
+	rescache *rescache.Cache
+
 	// stateMu serializes database mutations (writers) against queries
 	// (readers).
 	stateMu sync.RWMutex
 
 	// Plan cache: optimized global plans keyed by (MDX text, options),
 	// invalidated whenever the database mutates (loads, refreshes,
-	// materializations, index changes). Guarded by mu. batchCache is the
-	// cross-request analogue, keyed by batch composition.
+	// materializations, index changes) and whenever the result cache's
+	// contents change (plans may embed cache entries, and a plan built
+	// against an emptier cache must be redone once results are cached).
+	// Guarded by mu. batchCache is the cross-request analogue, keyed by
+	// batch composition.
 	mu         sync.Mutex
 	gen        uint64
-	planCache  map[string]cachedPlan
-	batchCache map[string]cachedBatch
-	cacheHits  int64
+	planCache  map[string]*cachedPlan
+	batchCache map[string]*cachedBatch
+	planHits   int64
+	batchHits  int64
+	cacheTick  uint64
 
 	// Admission scheduler for batched serving (Options.Batching /
 	// EnableBatching). Guarded by schedMu.
@@ -124,37 +135,79 @@ type DB struct {
 
 type cachedPlan struct {
 	gen     uint64
+	epoch   uint64 // result-cache epoch the plan was built against
+	lastUse uint64 // cacheTick of the last hit, for LRU eviction
 	queries []*query.Query
 	global  *plan.Global
 }
 
 type cachedBatch struct {
-	gen uint64
+	gen     uint64
+	epoch   uint64
+	lastUse uint64
 	// perPos holds the query set of each submission in the key's sorted
 	// order; the global plan references exactly these objects.
 	perPos [][]*query.Query
 	global *plan.Global
 }
 
-// maxCachedPlans bounds the plan cache; eviction is wholesale (the cache
-// is tiny and regenerating a plan costs microseconds).
+func (c *cachedPlan) lastUsed() uint64  { return c.lastUse }
+func (c *cachedBatch) lastUsed() uint64 { return c.lastUse }
+
+// maxCachedPlans bounds the plan and batch caches; at capacity the
+// least-recently-used entry is evicted to admit the new one, so a hot
+// working set of expressions survives an occasional one-off query.
 const maxCachedPlans = 256
 
-// invalidate discards cached plans after a database mutation.
+// evictOldest removes the least-recently-used entry of a plan cache.
+func evictOldest[V interface{ lastUsed() uint64 }](m map[string]V) {
+	var victim string
+	var min uint64
+	first := true
+	for k, v := range m {
+		if first || v.lastUsed() < min {
+			victim, min, first = k, v.lastUsed(), false
+		}
+	}
+	if !first {
+		delete(m, victim)
+	}
+}
+
+// invalidate discards cached plans and cached results after a database
+// mutation.
 func (d *DB) invalidate() {
 	d.mu.Lock()
 	d.gen++
 	d.planCache = nil
 	d.batchCache = nil
 	d.mu.Unlock()
+	d.rescache.Invalidate()
 }
 
-// PlanCacheHits reports how many queries were answered with a cached
-// plan (the parse/optimize phase skipped).
+// curGen reads the current database generation.
+func (d *DB) curGen() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gen
+}
+
+// PlanCacheHits reports how many requests were answered with a cached
+// plan (the parse/optimize phase skipped) — unbatched plan-cache hits
+// plus batch-composition cache hits.
 func (d *DB) PlanCacheHits() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.cacheHits
+	return d.planHits + d.batchHits
+}
+
+// BatchPlanCacheHits reports the batch-composition cache's share of
+// PlanCacheHits: batches whose exact member mix had been optimized
+// before and reused the stored global plan.
+func (d *DB) BatchPlanCacheHits() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.batchHits
 }
 
 // Options configures query planning and execution.
@@ -269,6 +322,15 @@ type OpenOptions struct {
 	// (removed when their pass finishes). Empty means the system temp
 	// directory.
 	SpillDir string
+
+	// ResultCacheBudget bounds the semantic result cache in bytes:
+	// finished aggregation results are kept and later queries answerable
+	// from a cached result (same or finer group-by, subsuming
+	// predicates) compile to a zero-IO rollup instead of a star join.
+	// The cache's memory is reserved from MemoryBudget's broker and
+	// entries are evicted by cost-weighted LRU under pressure; any
+	// mutation invalidates all entries. 0 (default) disables the cache.
+	ResultCacheBudget int64
 }
 
 // OpenWith opens an existing database directory with explicit options.
@@ -289,7 +351,11 @@ func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{db: db, mem: mem.New(opts.MemoryBudget), spillDir: opts.SpillDir}, nil
+	d := &DB{db: db, mem: mem.New(opts.MemoryBudget), spillDir: opts.SpillDir}
+	if opts.ResultCacheBudget > 0 {
+		d.rescache = rescache.New(opts.ResultCacheBudget, d.mem)
+	}
+	return d, nil
 }
 
 // Close stops the admission scheduler (if batching was enabled),
@@ -549,6 +615,15 @@ type Stats struct {
 	SpillBytes int64
 	// SpillPartitions counts spill partition files written.
 	SpillPartitions int64
+
+	// ResultCacheHits counts this request's queries served from the
+	// semantic result cache by a zero-IO rollup; ResultCacheMisses the
+	// ones that ran against stored views while the cache was enabled
+	// (both zero with the cache off). ResultCacheEvictions counts cache
+	// entries evicted to admit this request's results.
+	ResultCacheHits      int64
+	ResultCacheMisses    int64
+	ResultCacheEvictions int64
 }
 
 // ClassStats is the work one plan class's shared pass performed.
@@ -606,45 +681,58 @@ func (d *DB) QueryContext(ctx context.Context, src string, opts Options) (*Answe
 	}
 	d.stateMu.RLock()
 	defer d.stateMu.RUnlock()
-	queries, g, err := d.plan(src, opts)
+	queries, g, gen, err := d.plan(src, opts)
 	if err != nil {
 		return nil, err
 	}
-	return d.run(ctx, queries, g, opts)
+	return d.run(ctx, queries, g, opts, gen)
 }
 
-// plan parses and optimizes src, consulting the plan cache.
-func (d *DB) plan(src string, opts Options) ([]*query.Query, *plan.Global, error) {
+// plan parses and optimizes src, consulting the plan cache. It returns
+// the database generation the plan is valid for (stable while the
+// caller holds stateMu).
+func (d *DB) plan(src string, opts Options) ([]*query.Query, *plan.Global, uint64, error) {
 	key := fmt.Sprintf("%s|%s|%t", src, opts.Algorithm, opts.PaperPlanSpace)
+	epoch := d.rescache.Epoch()
 	d.mu.Lock()
-	if c, ok := d.planCache[key]; ok && c.gen == d.gen {
-		d.cacheHits++
-		d.mu.Unlock()
-		return c.queries, c.global, nil
+	if c, ok := d.planCache[key]; ok {
+		if c.gen == d.gen && c.epoch == epoch {
+			d.planHits++
+			d.cacheTick++
+			c.lastUse = d.cacheTick
+			gen := d.gen
+			d.mu.Unlock()
+			return c.queries, c.global, gen, nil
+		}
+		delete(d.planCache, key)
 	}
 	gen := d.gen
 	d.mu.Unlock()
 
 	queries, err := mdx.ParseAndTranslate(d.db.Schema, src)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	if len(queries) == 0 {
-		return nil, nil, errors.New("mdxopt: expression denotes no queries")
+		return nil, nil, 0, errors.New("mdxopt: expression denotes no queries")
 	}
-	g, _, err := d.optimize(queries, opts)
+	g, _, err := d.optimize(queries, opts, gen)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	d.mu.Lock()
 	if d.gen == gen {
-		if d.planCache == nil || len(d.planCache) >= maxCachedPlans {
-			d.planCache = make(map[string]cachedPlan)
+		if d.planCache == nil {
+			d.planCache = make(map[string]*cachedPlan)
 		}
-		d.planCache[key] = cachedPlan{gen: gen, queries: queries, global: g}
+		if len(d.planCache) >= maxCachedPlans {
+			evictOldest(d.planCache)
+		}
+		d.cacheTick++
+		d.planCache[key] = &cachedPlan{gen: gen, epoch: epoch, lastUse: d.cacheTick, queries: queries, global: g}
 	}
 	d.mu.Unlock()
-	return queries, g, nil
+	return queries, g, gen, nil
 }
 
 // Explain parses and optimizes an MDX expression, returning the global
@@ -656,20 +744,22 @@ func (d *DB) Explain(src string, opts Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	g, _, err := d.optimize(queries, opts)
+	g, _, err := d.optimize(queries, opts, d.curGen())
 	if err != nil {
 		return "", err
 	}
 	return g.Describe(), nil
 }
 
-func (d *DB) optimize(queries []*query.Query, opts Options) (*plan.Global, *plan.Estimator, error) {
+func (d *DB) optimize(queries []*query.Query, opts Options, gen uint64) (*plan.Global, *plan.Estimator, error) {
 	var est *plan.Estimator
 	if opts.PaperPlanSpace {
 		est = plan.NewPaperEstimator(d.db)
 	} else {
 		est = plan.NewEstimator(d.db)
 	}
+	est.Cache = d.rescache
+	est.Gen = gen
 	alg := core.Algorithm(opts.Algorithm)
 	if opts.Algorithm == "" {
 		alg = core.GG
@@ -681,7 +771,7 @@ func (d *DB) optimize(queries []*query.Query, opts Options) (*plan.Global, *plan
 	return g, est, nil
 }
 
-func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, opts Options) (*Answer, error) {
+func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, opts Options, gen uint64) (*Answer, error) {
 	if opts.ColdCache {
 		if err := d.db.ColdReset(); err != nil {
 			return nil, err
@@ -696,10 +786,12 @@ func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, op
 	}
 	env.SpillDir = d.spillDir
 	var st exec.Stats
-	results, classStats, err := core.ExecuteDetailed(env, g, queries, &st)
+	results, classStats, perQ, err := core.ExecuteAttributed(env, g, queries, &st)
 	if err != nil {
 		return nil, err
 	}
+	d.noteCacheUse(g, len(queries))
+	evicted := d.putResults(queries, results, perQ, gen)
 	ans := &Answer{Plan: g.Describe()}
 	for _, cs := range classStats {
 		ans.Classes = append(ans.Classes, classStatsOut(cs))
@@ -708,7 +800,61 @@ func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, op
 		ans.Queries = append(ans.Queries, d.formatResult(q, results[i]))
 	}
 	ans.Stats = statsOut(st)
+	d.cacheCounters(&ans.Stats, results, evicted)
 	return ans, nil
+}
+
+// noteCacheUse records one executed plan's cache outcome: each served
+// entry's recency is refreshed and the hit/miss counters advance.
+func (d *DB) noteCacheUse(g *plan.Global, totalQueries int) {
+	if d.rescache == nil {
+		return
+	}
+	for _, cp := range g.Cached {
+		d.rescache.Touch(cp.Entry)
+	}
+	d.rescache.RecordHits(int64(len(g.Cached)))
+	d.rescache.RecordMisses(int64(totalQueries - len(g.Cached)))
+}
+
+// putResults admits finished results into the result cache (including
+// rollup-served ones — rolling a cached entry up seeds the coarser
+// group-by as its own entry) and returns how many entries were evicted
+// to make room. gen must be the database generation the results were
+// computed at, or older: a stale-marked entry never answers a probe, so
+// capturing gen before execution is always safe.
+func (d *DB) putResults(queries []*query.Query, results []*exec.Result, perQ []exec.Stats, gen uint64) int64 {
+	if d.rescache == nil {
+		return 0
+	}
+	model := cost.Default()
+	var evicted int64
+	for i, r := range results {
+		if r == nil || r.Err != nil {
+			continue
+		}
+		rows := make([]rescache.Row, len(r.Groups))
+		for j, grp := range r.Groups {
+			rows[j] = rescache.Row{Keys: grp.Keys, Value: grp.Value}
+		}
+		evicted += d.rescache.Put(queries[i], gen, rows, perQ[i].SimulatedMicros(model))
+	}
+	return evicted
+}
+
+// cacheCounters fills an Answer's result-cache fields from its results.
+func (d *DB) cacheCounters(st *Stats, results []*exec.Result, evicted int64) {
+	st.ResultCacheEvictions = evicted
+	if d.rescache == nil {
+		return
+	}
+	for _, r := range results {
+		if r.Cached {
+			st.ResultCacheHits++
+		} else {
+			st.ResultCacheMisses++
+		}
+	}
 }
 
 // statsOut converts execution stats to the public shape.
@@ -877,6 +1023,34 @@ func (d *DB) MemoryStats() MemoryStats {
 	}
 }
 
+// ResultCacheStats snapshots the semantic result cache. All zeros when
+// the cache is disabled (OpenOptions.ResultCacheBudget unset).
+type ResultCacheStats struct {
+	Budget    int64 // configured byte budget (0 = disabled)
+	Bytes     int64 // bytes currently cached
+	Entries   int   // results currently cached
+	Hits      int64 // queries served by zero-IO rollup from a cached result
+	Misses    int64 // queries that ran against stored views with the cache on
+	Evictions int64 // entries evicted by cost-weighted LRU for space
+	Inserts   int64 // results admitted
+	Rejected  int64 // results refused (oversize, or eviction could not make room)
+}
+
+// ResultCacheStats reports the result cache's accounting since Open.
+func (d *DB) ResultCacheStats() ResultCacheStats {
+	s := d.rescache.Stats()
+	return ResultCacheStats{
+		Budget:    s.Budget,
+		Bytes:     s.Bytes,
+		Entries:   s.Entries,
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Evictions: s.Evictions,
+		Inserts:   s.Inserts,
+		Rejected:  s.Rejected,
+	}
+}
+
 // ensureBatcher returns the scheduler, starting one with default
 // configuration on first use.
 func (d *DB) ensureBatcher() *sched.Scheduler {
@@ -898,10 +1072,15 @@ func (d *DB) queryBatched(ctx context.Context, src string) (*Answer, error) {
 	if len(queries) == 0 {
 		return nil, errors.New("mdxopt: expression denotes no queries")
 	}
+	// Capture the generation before submitting: results are computed at
+	// this generation or newer, and marking a cache entry with an older
+	// generation is safe (it just never answers a probe).
+	gen := d.curGen()
 	out, err := d.ensureBatcher().Submit(ctx, src, queries)
 	if err != nil {
 		return nil, err
 	}
+	evicted := d.putResults(out.Queries, out.Results, out.PerQuery, gen)
 	ans := &Answer{
 		Plan:       out.Plan,
 		Batched:    true,
@@ -919,6 +1098,7 @@ func (d *DB) queryBatched(ctx context.Context, src string) (*Answer, error) {
 		ans.Queries = append(ans.Queries, d.formatResult(q, out.Results[i]))
 	}
 	ans.Stats = statsOut(st)
+	d.cacheCounters(&ans.Stats, out.Results, evicted)
 	return ans, nil
 }
 
@@ -989,24 +1169,38 @@ func (d *DB) planBatch(cfg BatchConfig, subQueries [][]*query.Query, keys []stri
 	}
 	ckey := fmt.Sprintf("batch|%s|%t|%s", cfg.Algorithm, cfg.PaperPlanSpace, strings.Join(sortedKeys, "\x1f"))
 
+	total := 0
+	for _, qs := range subQueries {
+		total += len(qs)
+	}
+
+	epoch := d.rescache.Epoch()
 	d.mu.Lock()
-	if c, ok := d.batchCache[ckey]; ok && c.gen == d.gen && len(c.perPos) == len(order) {
-		valid := true
-		for p, i := range order {
-			if len(c.perPos[p]) != len(subQueries[i]) {
-				valid = false
-				break
+	if c, ok := d.batchCache[ckey]; ok {
+		valid := c.gen == d.gen && c.epoch == epoch && len(c.perPos) == len(order)
+		if valid {
+			for p, i := range order {
+				if len(c.perPos[p]) != len(subQueries[i]) {
+					valid = false
+					break
+				}
 			}
 		}
 		if valid {
-			d.cacheHits++
+			d.batchHits++
+			d.cacheTick++
+			c.lastUse = d.cacheTick
 			out := make([][]*query.Query, len(subQueries))
 			for p, i := range order {
 				out[i] = c.perPos[p]
 			}
 			g := c.global
 			d.mu.Unlock()
+			d.noteCacheUse(g, total)
 			return out, g, nil
+		}
+		if c.gen != d.gen || c.epoch != epoch {
+			delete(d.batchCache, ckey)
 		}
 	}
 	gen := d.gen
@@ -1020,17 +1214,22 @@ func (d *DB) planBatch(cfg BatchConfig, subQueries [][]*query.Query, keys []stri
 		perPos[p] = subQueries[i]
 		merged = append(merged, subQueries[i]...)
 	}
-	g, _, err := d.optimize(merged, Options{Algorithm: cfg.Algorithm, PaperPlanSpace: cfg.PaperPlanSpace})
+	g, _, err := d.optimize(merged, Options{Algorithm: cfg.Algorithm, PaperPlanSpace: cfg.PaperPlanSpace}, gen)
 	if err != nil {
 		return nil, nil, err
 	}
 	d.mu.Lock()
 	if d.gen == gen {
-		if d.batchCache == nil || len(d.batchCache) >= maxCachedPlans {
-			d.batchCache = make(map[string]cachedBatch)
+		if d.batchCache == nil {
+			d.batchCache = make(map[string]*cachedBatch)
 		}
-		d.batchCache[ckey] = cachedBatch{gen: gen, perPos: perPos, global: g}
+		if len(d.batchCache) >= maxCachedPlans {
+			evictOldest(d.batchCache)
+		}
+		d.cacheTick++
+		d.batchCache[ckey] = &cachedBatch{gen: gen, epoch: epoch, lastUse: d.cacheTick, perPos: perPos, global: g}
 	}
 	d.mu.Unlock()
+	d.noteCacheUse(g, total)
 	return subQueries, g, nil
 }
