@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench go-bench scan-bench serve-bench mem-bench cache-bench clean
+.PHONY: check build vet fmt test race race-dag bench go-bench scan-bench serve-bench mem-bench cache-bench dag-bench clean
 
-# The full gate: compile everything, vet, check formatting, and run the
-# test suite under the race detector.
-check: build vet fmt race
+# The full gate: compile everything, vet, check formatting, race-test
+# the concurrent executor packages (fast feedback), then run the whole
+# suite under the race detector.
+check: build vet fmt race-dag race
 
 build:
 	$(GO) build ./...
@@ -22,11 +23,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race gate for the task-graph executor's concurrent layers.
+race-dag:
+	$(GO) test -race ./internal/dag/... ./internal/exec/... ./internal/sched/...
+
 # All benchmarks: the Go micro/paper benchmarks plus the scan, serve,
 # mem and cache experiments (all seeded deterministically; they write
 # BENCH_scan.json, BENCH_serve.json, BENCH_mem.json and
 # BENCH_cache.json).
-bench: go-bench scan-bench serve-bench mem-bench cache-bench
+bench: go-bench scan-bench serve-bench mem-bench cache-bench dag-bench
 
 # Paper experiment benchmarks (Tests 1-7 etc.).
 go-bench:
@@ -51,5 +56,11 @@ mem-bench:
 cache-bench:
 	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-cachedb -scale 0.1 -exp cache -json BENCH_cache.json
 
+# Task-graph executor: ExecWorkers x class-count sweep showing
+# inter-class parallel speedup under a memory budget; writes
+# BENCH_dag.json.
+dag-bench:
+	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-dagdb -scale 0.1 -exp dag -json BENCH_dag.json
+
 clean:
-	rm -rf /tmp/mdxopt-servedb /tmp/mdxopt-scandb /tmp/mdxopt-memdb /tmp/mdxopt-cachedb
+	rm -rf /tmp/mdxopt-servedb /tmp/mdxopt-scandb /tmp/mdxopt-memdb /tmp/mdxopt-cachedb /tmp/mdxopt-dagdb

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mdxopt/internal/core"
+	"mdxopt/internal/datagen"
+	"mdxopt/internal/exec"
+	"mdxopt/internal/mdx"
+	"mdxopt/internal/mem"
+	"mdxopt/internal/plan"
+	"mdxopt/internal/star"
+	"mdxopt/internal/storage"
+)
+
+// The dag experiment measures the task-graph executor: one expression
+// whose component queries plan into a controlled number of classes runs
+// at increasing ExecWorkers, cold each rep, under a memory budget with
+// per-node admission gating. Class counts are controlled by pinning each
+// component query to a distinct materialized view: the variant
+// cross-product {A',A''} x {B',B''} x {C',C''} lands exactly on the
+// sample database's eight group-bys, and TPLO (local optima, merge
+// coincidences only) keeps each query on its own view instead of
+// re-basing them onto one shared scan. As in the scan experiment, every
+// physical view-heap read carries a fixed simulated latency — the
+// interesting quantity is how well independent class passes overlap
+// each other's I/O and CPU, not how fast the host's page cache is. The
+// latency is sized at a random-I/O ballpark (2ms) rather than the scan
+// experiment's sequential-page figure so it dwarfs the host's sleep
+// granularity; with sub-millisecond sleeps, timer coalescing across
+// concurrent classes distorts the ratios. The
+// pool is sharded (a single-shard pool holds its one mutex across the
+// physical read, serializing all I/O) and readahead is off, so
+// inter-class concurrency is the only latency-hiding mechanism under
+// test — intra-scan readahead is the scan experiment's subject. The
+// point of the sweep: wall-clock time drops with workers while results
+// stay byte-identical and the broker's peak stays within the budget.
+
+type dagConfig struct {
+	Scale       float64 `json:"scale"`
+	Workers     []int   `json:"exec_workers"`
+	PoolFrames  int     `json:"pool_frames"`
+	PoolShards  int     `json:"pool_shards"`
+	BudgetBytes int64   `json:"memory_budget_bytes"`
+	LatencyUS   int     `json:"simulated_read_latency_us"`
+	Reps        int     `json:"reps"`
+	Algorithm   string  `json:"algorithm"`
+}
+
+// dagCell is one (workload, workers) measurement.
+type dagCell struct {
+	Workload     string  `json:"workload"`
+	Classes      int     `json:"classes"`
+	DAGNodes     int     `json:"dag_nodes"`
+	Workers      int     `json:"exec_workers"`
+	ParallelPeak int     `json:"dag_parallel_peak"`
+	WallMS       float64 `json:"wall_ms"`    // mean per rep
+	Speedup      float64 `json:"speedup"`    // vs the workload's workers=1 cell
+	PagesRead    int64   `json:"pages_read"` // physical reads in the final rep (cold-start sanity)
+	PeakBytes    int64   `json:"peak_bytes"`
+	WithinBudget bool    `json:"peak_within_budget"`
+	Drained      bool    `json:"drained_to_zero"`
+}
+
+type dagReport struct {
+	Config dagConfig `json:"config"`
+	Cells  []dagCell `json:"cells"`
+}
+
+type dagWorkload struct {
+	Name string
+	Src  string
+}
+
+// dagWorkloads builds expressions denoting 1, 2, 4 and 8 component
+// queries whose group-bys exactly match distinct materialized views.
+func dagWorkloads() []dagWorkload {
+	return []dagWorkload{
+		{"classes1", `{A'.MEMBERS} on COLUMNS {B'.MEMBERS} on ROWS {C'.MEMBERS} on PAGES CONTEXT ABCD`},
+		{"classes2", `{A'.MEMBERS} on COLUMNS {B'.MEMBERS, B''.MEMBERS} on ROWS {C'.MEMBERS} on PAGES CONTEXT ABCD`},
+		{"classes4", `{A'.MEMBERS} on COLUMNS {B'.MEMBERS, B''.MEMBERS} on ROWS {C'.MEMBERS, C''.MEMBERS} on PAGES CONTEXT ABCD`},
+		{"classes8", `{A'.MEMBERS, A''.MEMBERS} on COLUMNS {B'.MEMBERS, B''.MEMBERS} on ROWS {C'.MEMBERS, C''.MEMBERS} on PAGES CONTEXT ABCD`},
+	}
+}
+
+// runDagCell opens the database, installs the view-heap read latency,
+// and runs the workload's plan reps times cold at the given worker
+// count, verifying results against want (or filling it at workers=1).
+func runDagCell(dir string, cfg dagConfig, wl dagWorkload, workers int, want *[]*exec.Result) (dagCell, error) {
+	cell := dagCell{Workload: wl.Name, Workers: workers}
+	db, err := star.OpenWith(dir, storage.PoolOpts{Frames: cfg.PoolFrames, Shards: cfg.PoolShards})
+	if err != nil {
+		return cell, err
+	}
+	defer db.Close()
+
+	queries, err := mdx.ParseAndTranslate(db.Schema, wl.Src)
+	if err != nil {
+		return cell, err
+	}
+	est := plan.NewEstimator(db)
+	g, err := core.Optimize(est, queries, core.Algorithm(cfg.Algorithm))
+	if err != nil {
+		return cell, err
+	}
+	cell.Classes = len(g.Classes)
+
+	// Charge every physical view-heap read the simulated latency;
+	// dimension tables (a handful of pages, hoisted into shared build
+	// nodes) stay fast so the measurement isolates the class passes.
+	latency := time.Duration(cfg.LatencyUS) * time.Microsecond
+	for _, v := range db.Views {
+		v.Heap.File().Disk().SetFault(func(op string, page uint32) error {
+			if op == "read" {
+				time.Sleep(latency)
+			}
+			return nil
+		})
+		defer v.Heap.File().Disk().SetFault(nil)
+	}
+
+	broker := mem.New(cfg.BudgetBytes)
+	env := exec.NewEnv(db)
+	env.Mem = broker
+	opts := core.ExecOptions{
+		Workers: workers,
+		Est:     est,
+		Gate: func(ctx context.Context, cost int64) (func(), error) {
+			return broker.Admit(ctx, cost)
+		},
+	}
+
+	var wall time.Duration
+	for rep := -1; rep < cfg.Reps; rep++ { // rep -1 is the warm-up
+		if err := db.ColdReset(); err != nil {
+			return cell, err
+		}
+		var st exec.Stats
+		start := time.Now()
+		ex, err := core.Run(env, g, queries, &st, opts)
+		if err != nil {
+			return cell, err
+		}
+		elapsed := time.Since(start)
+		if *want == nil {
+			*want = ex.Results
+		} else {
+			for i := range ex.Results {
+				if !ex.Results[i].Equal((*want)[i]) {
+					return cell, fmt.Errorf("%s workers=%d: query %s result differs from serial baseline",
+						wl.Name, workers, queries[i].Name)
+				}
+			}
+		}
+		cell.DAGNodes = ex.DAGNodes
+		if ex.DAGParallelPeak > cell.ParallelPeak {
+			cell.ParallelPeak = ex.DAGParallelPeak
+		}
+		cell.PagesRead = st.IO.SeqReads + st.IO.RandReads
+		if rep < 0 {
+			continue
+		}
+		wall += elapsed
+	}
+	bs := broker.Stats()
+	mean := wall / time.Duration(cfg.Reps)
+	cell.WallMS = float64(mean.Microseconds()) / 1e3
+	cell.PeakBytes = bs.Peak
+	cell.WithinBudget = bs.Peak <= cfg.BudgetBytes
+	cell.Drained = bs.Used == 0
+	return cell, nil
+}
+
+// runDag builds (or reuses) the benchmark database, sweeps workload x
+// ExecWorkers, prints the grid, and optionally writes the JSON report.
+func runDag(w io.Writer, dir string, scale float64, jsonPath string) error {
+	cfg := dagConfig{
+		Scale:       scale,
+		Workers:     []int{1, 2, 4, 8},
+		PoolFrames:  4096,
+		PoolShards:  64,
+		BudgetBytes: 256 << 20,
+		LatencyUS:   2000,
+		Reps:        3,
+		Algorithm:   "TPLO",
+	}
+
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		start := time.Now()
+		db, err := datagen.Build(dir, datagen.PaperSpec(scale))
+		if err != nil {
+			return err
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "built database in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	rep := dagReport{Config: cfg}
+	fmt.Fprintf(w, "dag: scale %g, %d-frame pool, %d MiB budget, %dus/page, %s plans\n",
+		cfg.Scale, cfg.PoolFrames, cfg.BudgetBytes>>20, cfg.LatencyUS, cfg.Algorithm)
+	fmt.Fprintf(w, "  %10s %8s %6s %8s %6s %10s %8s %8s %10s %6s\n",
+		"workload", "classes", "nodes", "workers", "peak", "ms/run", "speedup", "pages", "memKiB", "ok")
+
+	for _, wl := range dagWorkloads() {
+		var want []*exec.Result
+		var serialMS float64
+		for _, workers := range cfg.Workers {
+			cell, err := runDagCell(dir, cfg, wl, workers, &want)
+			if err != nil {
+				return err
+			}
+			if workers == 1 {
+				serialMS = cell.WallMS
+			}
+			cell.Speedup = serialMS / cell.WallMS
+			rep.Cells = append(rep.Cells, cell)
+			ok := "yes"
+			if !cell.WithinBudget || !cell.Drained {
+				ok = "NO"
+			}
+			fmt.Fprintf(w, "  %10s %8d %6d %8d %6d %10.2f %7.2fx %8d %10d %6s\n",
+				cell.Workload, cell.Classes, cell.DAGNodes, cell.Workers,
+				cell.ParallelPeak, cell.WallMS, cell.Speedup, cell.PagesRead,
+				cell.PeakBytes>>10, ok)
+		}
+	}
+
+	best := 0.0
+	for _, c := range rep.Cells {
+		if !c.WithinBudget {
+			return fmt.Errorf("dag: %s workers=%d: peak %d exceeds budget", c.Workload, c.Workers, c.PeakBytes)
+		}
+		if !c.Drained {
+			return fmt.Errorf("dag: %s workers=%d: broker not drained", c.Workload, c.Workers)
+		}
+		if c.Classes >= 4 && c.Workers >= 4 && c.Speedup > best {
+			best = c.Speedup
+		}
+	}
+	if best < 1.5 {
+		return fmt.Errorf("dag: best speedup on a >=4-class batch at >=4 workers is %.2fx, want >= 1.5x", best)
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -28,8 +28,8 @@ func main() {
 	log.SetPrefix("mdxbench: ")
 	dir := flag.String("dir", "mdxbenchdb", "database directory (built if missing)")
 	scale := flag.Float64("scale", 0.1, "scale factor (1.0 = the paper's 2M rows)")
-	exp := flag.String("exp", "all", "experiment: all, table1, test1..test7, study, ablations, serve, scan, mem, cache")
-	jsonOut := flag.String("json", "", "write the serve/scan/mem/cache experiment's report to this JSON file")
+	exp := flag.String("exp", "all", "experiment: all, table1, test1..test7, study, ablations, serve, scan, mem, cache, dag")
+	jsonOut := flag.String("json", "", "write the serve/scan/mem/cache/dag experiment's report to this JSON file")
 	flag.Parse()
 
 	// The serve, scan, mem and cache experiments open the database
@@ -55,6 +55,12 @@ func main() {
 	}
 	if *exp == "cache" {
 		if err := runCache(os.Stdout, *dir, *scale, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *exp == "dag" {
+		if err := runDag(os.Stdout, *dir, *scale, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 		return

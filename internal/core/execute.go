@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"mdxopt/internal/dag"
 	"mdxopt/internal/exec"
 	"mdxopt/internal/plan"
 	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+	"mdxopt/internal/storage"
 )
 
 // ClassStat records the work one class's shared pass performed — the
@@ -17,104 +21,307 @@ type ClassStat struct {
 	Stats   exec.Stats
 }
 
+// ExecOptions configures Run.
+type ExecOptions struct {
+	// Workers bounds how many task-graph nodes — class passes, cache
+	// rollups, shared lookup builds — execute concurrently. Values <= 1
+	// run the graph serially in the legacy order (builds, classes in plan
+	// order, cache rollups), producing byte-identical results and
+	// identical deterministic work counters to any higher worker count.
+	Workers int
+	// Est prices each node's memory footprint for Gate and for the
+	// graph's node costs. nil prices every node at zero (gating then
+	// admits trivially).
+	Est *plan.Estimator
+	// Gate, when non-nil, admits each node's estimated footprint before
+	// the node starts — typically mem.Broker.Admit — and its release runs
+	// when the node finishes. Admission defers node starts while memory
+	// is saturated, so at tight budgets inter-class parallelism degrades
+	// toward the serial order instead of violating the budget.
+	Gate func(ctx context.Context, cost int64) (release func(), err error)
+}
+
+// Execution is Run's full output.
+type Execution struct {
+	// Results are ordered to match the queries passed to Run.
+	Results []*exec.Result
+	// PerQuery is each query's attributed work: its non-shared work
+	// exactly plus an equal share of its class's shared work (and of the
+	// hoisted lookup builds its class consumed).
+	PerQuery []exec.Stats
+	// Classes covers the plan's classes in order, followed by one entry
+	// per cache-served query (View "cache:<entry>", Regime "cache").
+	Classes []ClassStat
+	// DAGNodes is how many task-graph nodes the plan compiled to;
+	// DAGParallelPeak is the maximum number observed running at once.
+	DAGNodes        int
+	DAGParallelPeak int
+}
+
 // Execute runs a global plan with the §3 shared operators — one shared
 // pass per class — and returns results ordered to match queries. Work is
 // accumulated into stats.
 func Execute(env *exec.Env, g *plan.Global, queries []*query.Query, stats *exec.Stats) ([]*exec.Result, error) {
-	results, _, err := ExecuteDetailed(env, g, queries, stats)
-	return results, err
+	ex, err := Run(env, g, queries, stats, ExecOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return ex.Results, nil
 }
 
 // ExecuteDetailed is Execute returning the per-class work breakdown
 // alongside the results.
 func ExecuteDetailed(env *exec.Env, g *plan.Global, queries []*query.Query, stats *exec.Stats) ([]*exec.Result, []ClassStat, error) {
-	results, classStats, _, err := ExecuteAttributed(env, g, queries, stats)
-	return results, classStats, err
+	ex, err := Run(env, g, queries, stats, ExecOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ex.Results, ex.Classes, nil
 }
 
-// ExecuteAttributed is ExecuteDetailed additionally splitting each
-// class pass's work across its queries (exec.Attribute): perQuery[i] is
-// query i's non-shared work exactly plus an equal share of its class's
-// shared work (the scan, page I/O, lookup builds, wall time). The
-// returned classStats cover g.Classes in order, followed by one entry
-// per cache-served query (View "cache:<entry>", Regime "cache").
-// Queries whose per-submission context (Env.QueryCtx) was canceled
-// mid-pass come back with Result.Err set rather than failing the whole
-// batch.
+// ExecuteAttributed is ExecuteDetailed additionally splitting each class
+// pass's work across its queries (exec.Attribute). Queries whose
+// per-submission context (Env.QueryCtx) was canceled mid-pass come back
+// with Result.Err set rather than failing the whole batch.
 func ExecuteAttributed(env *exec.Env, g *plan.Global, queries []*query.Query, stats *exec.Stats) ([]*exec.Result, []ClassStat, []exec.Stats, error) {
-	byQuery := map[*query.Query]*exec.Result{}
-	perQuery := map[*query.Query]exec.Stats{}
-	classStats := make([]ClassStat, 0, len(g.Classes))
+	ex, err := Run(env, g, queries, stats, ExecOptions{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return ex.Results, ex.Classes, ex.PerQuery, nil
+}
+
+// Run compiles a global plan into an operator task graph and executes it
+// on a bounded worker pool (internal/dag):
+//
+//   - one node per shared dimension-lookup build, grouped per dimension
+//     and hoisted out of the class passes — classes touching the same
+//     dimension share one build instead of each rebuilding it;
+//   - one node per class pass (shared scan/index/mixed), depending on
+//     every build node;
+//   - one independent node per cache rollup.
+//
+// Every node runs on a private Env clone and accumulates into a private
+// Stats; totals, attribution and the caller's stats are merged on join,
+// after the graph has fully drained, so no Stats.Add ever races
+// (merge-on-join). With Workers > 1 each node additionally restricts its
+// I/O accounting to the files it owns (exec.Env.IOFiles) — concurrent
+// nodes touch disjoint files, so pool-global deltas would double-count.
+//
+// The first node error cancels the rest of the graph; in-flight nodes
+// drain — releasing their reservations, pins and spill files through the
+// operators' own cleanup paths — before Run returns the error.
+func Run(env *exec.Env, g *plan.Global, queries []*query.Query, stats *exec.Stats, opts ExecOptions) (*Execution, error) {
 	for _, c := range g.Classes {
+		if c.Regime == plan.ProbeRegime && len(c.HashPlans()) > 0 {
+			return nil, fmt.Errorf("core: class %s: probe regime with hash members", c.View.Name)
+		}
+	}
+	ctx := env.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	parallel := opts.Workers > 1
+
+	// Shared lookup builds, hoisted out of the class passes. The set is
+	// closed only after the graph has drained, so an error path never
+	// frees lookups a still-running pass is reading.
+	var builds []plan.BuildTask
+	var lookups *exec.LookupSet
+	if env.ShareLookups {
+		builds = plan.BuildTasks(g)
+	}
+	if len(builds) > 0 {
+		lookups = exec.NewLookupSet(env.Mem)
+		defer lookups.Close()
+	}
+
+	var graph dag.Graph
+	buildStats := make([]exec.Stats, len(builds))
+	buildNodes := make([]*dag.Node, len(builds))
+	for bi, t := range builds {
+		bi, t := bi, t
+		nodeEnv := *env
+		nodeEnv.Lookups = lookups
+		if parallel {
+			nodeEnv.IOFiles = []*storage.File{env.DB.DimTables[t.Dim].File()}
+		}
+		specs := make([]exec.LookupBuild, len(t.Specs))
+		for i, s := range t.Specs {
+			specs[i] = exec.LookupBuild{Query: s.Query, Dim: s.Dim, ViewLevel: s.ViewLevel}
+		}
+		buildNodes[bi] = graph.Add(&dag.Node{
+			Label: "build " + env.DB.Schema.Dims[t.Dim].Name,
+			Cost:  nodeCost(opts.Est, func(e *plan.Estimator) int64 { return e.BuildMemory(t) }),
+			Run: func(nctx context.Context) error {
+				e := nodeEnv
+				e.Ctx = nctx
+				return e.BuildLookups(lookups, specs, &buildStats[bi])
+			},
+		})
+	}
+
+	type classOut struct {
+		qs []*query.Query
+		rs []*exec.Result
+		cs exec.Stats
+	}
+	classOuts := make([]classOut, len(g.Classes))
+	for ci, c := range g.Classes {
+		ci, c := ci, c
 		hashQs := plansQueries(c.HashPlans())
 		indexQs := plansQueries(c.IndexPlans())
-		var cs exec.Stats
-		var classQs []*query.Query
-		var classRs []*exec.Result
-		if c.Regime == plan.ProbeRegime {
-			if len(hashQs) > 0 {
-				return nil, nil, nil, fmt.Errorf("core: class %s: probe regime with hash members", c.View.Name)
-			}
-			rs, err := exec.SharedIndex(env, c.View, indexQs, &cs)
-			if err != nil {
-				return nil, nil, nil, fmt.Errorf("core: class %s: %w", c.View.Name, err)
-			}
-			classQs, classRs = indexQs, rs
-		} else {
-			hr, ir, err := exec.SharedMixed(env, c.View, hashQs, indexQs, &cs)
-			if err != nil {
-				return nil, nil, nil, fmt.Errorf("core: class %s: %w", c.View.Name, err)
-			}
-			classQs = append(append([]*query.Query{}, hashQs...), indexQs...)
-			classRs = append(append([]*exec.Result{}, hr...), ir...)
+		nodeEnv := *env
+		nodeEnv.Lookups = lookups
+		if parallel {
+			nodeEnv.IOFiles = classFiles(env.DB, c)
 		}
-		owns := make([]exec.Stats, len(classRs))
-		for i, r := range classRs {
-			byQuery[classQs[i]] = r
+		graph.Add(&dag.Node{
+			Label: "class " + c.View.Name,
+			Cost:  nodeCost(opts.Est, func(e *plan.Estimator) int64 { return e.ClassPassMemory(c, lookups != nil) }),
+			Run: func(nctx context.Context) error {
+				e := nodeEnv
+				e.Ctx = nctx
+				out := &classOuts[ci]
+				if c.Regime == plan.ProbeRegime {
+					rs, err := exec.SharedIndex(&e, c.View, indexQs, &out.cs)
+					if err != nil {
+						return err
+					}
+					out.qs, out.rs = indexQs, rs
+					return nil
+				}
+				hr, ir, err := exec.SharedMixed(&e, c.View, hashQs, indexQs, &out.cs)
+				if err != nil {
+					return err
+				}
+				out.qs = append(append([]*query.Query{}, hashQs...), indexQs...)
+				out.rs = append(append([]*exec.Result{}, hr...), ir...)
+				return nil
+			},
+		}, buildNodes...)
+	}
+
+	type cacheOut struct {
+		r  *exec.Result
+		cs exec.Stats
+	}
+	cacheOuts := make([]cacheOut, len(g.Cached))
+	for i, cp := range g.Cached {
+		i, cp := i, cp
+		nodeEnv := *env
+		if parallel {
+			nodeEnv.IOFiles = []*storage.File{} // the rollup reads no pages
+		}
+		graph.Add(&dag.Node{
+			Label: "cache rollup for " + cp.Query.QualifiedName(),
+			Cost:  nodeCost(opts.Est, func(e *plan.Estimator) int64 { return e.CacheMemory(cp) }),
+			Run: func(nctx context.Context) error {
+				e := nodeEnv
+				e.Ctx = nctx
+				r, err := exec.RollupCached(&e, cp.Entry, cp.Query, &cacheOuts[i].cs)
+				if err != nil {
+					return err
+				}
+				cacheOuts[i].r = r
+				return nil
+			},
+		})
+	}
+
+	dagStats, err := graph.Run(ctx, dag.Options{Workers: opts.Workers, Gate: opts.Gate})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	// Join: the graph has drained, so every node's private output is
+	// stable. The hoisted builds are shared by every class; split their
+	// work equally across the classes, then split each class — builds
+	// included — across its queries. Totals are conserved: the class
+	// stats sum to exactly the pass + build work performed.
+	for bi := range buildStats {
+		for ci, share := range exec.Attribute(buildStats[bi], make([]exec.Stats, len(g.Classes))) {
+			classOuts[ci].cs.Add(share)
+		}
+	}
+
+	ex := &Execution{
+		DAGNodes:        dagStats.Nodes,
+		DAGParallelPeak: dagStats.ParallelPeak,
+	}
+	byQuery := map[*query.Query]*exec.Result{}
+	perQuery := map[*query.Query]exec.Stats{}
+	for ci, c := range g.Classes {
+		out := &classOuts[ci]
+		owns := make([]exec.Stats, len(out.rs))
+		for i, r := range out.rs {
+			byQuery[out.qs[i]] = r
 			owns[i] = r.Own
 		}
-		for i, s := range exec.Attribute(cs, owns) {
-			perQuery[classQs[i]] = s
+		for i, s := range exec.Attribute(out.cs, owns) {
+			perQuery[out.qs[i]] = s
 		}
-		stats.Add(cs)
+		stats.Add(out.cs)
 		names := make([]string, 0, len(c.Plans))
 		for _, p := range c.Plans {
 			names = append(names, p.Query.QualifiedName())
 		}
-		classStats = append(classStats, ClassStat{
+		ex.Classes = append(ex.Classes, ClassStat{
 			View:    c.View.Name,
 			Regime:  c.Regime.String(),
 			Queries: names,
-			Stats:   cs,
+			Stats:   out.cs,
 		})
 	}
-	for _, cp := range g.Cached {
-		var cs exec.Stats
-		r, err := exec.RollupCached(env, cp.Entry, cp.Query, &cs)
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("core: cache rollup for %s: %w", cp.Query, err)
-		}
-		byQuery[cp.Query] = r
-		perQuery[cp.Query] = cs
-		stats.Add(cs)
-		classStats = append(classStats, ClassStat{
+	for i, cp := range g.Cached {
+		out := &cacheOuts[i]
+		byQuery[cp.Query] = out.r
+		perQuery[cp.Query] = out.cs
+		stats.Add(out.cs)
+		ex.Classes = append(ex.Classes, ClassStat{
 			View:    "cache:" + cp.Entry.Name,
 			Regime:  "cache",
 			Queries: []string{cp.Query.QualifiedName()},
-			Stats:   cs,
+			Stats:   out.cs,
 		})
 	}
-	out := make([]*exec.Result, len(queries))
-	perQ := make([]exec.Stats, len(queries))
+	ex.Results = make([]*exec.Result, len(queries))
+	ex.PerQuery = make([]exec.Stats, len(queries))
 	for i, q := range queries {
 		r, ok := byQuery[q]
 		if !ok {
-			return nil, nil, nil, fmt.Errorf("core: plan has no result for %s", q)
+			return nil, fmt.Errorf("core: plan has no result for %s", q)
 		}
-		out[i] = r
-		perQ[i] = perQuery[q]
+		ex.Results[i] = r
+		ex.PerQuery[i] = perQuery[q]
 	}
-	return out, classStats, perQ, nil
+	return ex, nil
+}
+
+// nodeCost prices one node with est, or zero without an estimator.
+func nodeCost(est *plan.Estimator, f func(*plan.Estimator) int64) int64 {
+	if est == nil {
+		return 0
+	}
+	return f(est)
+}
+
+// classFiles enumerates the files a class pass may touch: the view's
+// heap, its bitmap join indexes, and the dimension tables (read only by
+// the fallback path when a lookup was not hoisted — with lookup sharing
+// off, concurrent classes re-reading one dimension table may attribute
+// the same read to more than one class; totals remain upper bounds).
+func classFiles(db *star.Database, c *plan.Class) []*storage.File {
+	files := []*storage.File{c.View.Heap.File()}
+	for _, ix := range c.View.Indexes {
+		if ix != nil {
+			files = append(files, ix.File())
+		}
+	}
+	for _, t := range db.DimTables {
+		files = append(files, t.File())
+	}
+	return files
 }
 
 // ExecuteSeparately runs every query standalone with its locally chosen

@@ -56,10 +56,18 @@ func newLookupCache(env *Env, stats *Stats) *lookupCache {
 }
 
 // get returns the lookup for dimension dim of q against a view column at
-// viewLevel, building (and, if sharing is enabled, caching) it.
+// viewLevel, building (and, if sharing is enabled, caching) it. Lookups
+// prebuilt into a shared set (Env.Lookups) are preferred — the pass then
+// holds no memory for them and charges no build work; a set miss falls
+// back to the pass-local build below.
 func (c *lookupCache) get(q *query.Query, dim, viewLevel int) (*dimLookup, error) {
 	key := lookupKey{dim: dim, viewLevel: viewLevel, sig: dimSignature(q, dim)}
 	if c.env.ShareLookups {
+		if c.env.Lookups != nil {
+			if lk := c.env.Lookups.get(key); lk != nil {
+				return lk, nil
+			}
+		}
 		if lk, ok := c.entries[key]; ok {
 			return lk, nil
 		}

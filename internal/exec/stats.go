@@ -157,6 +157,19 @@ type Env struct {
 	// Merge memory per partition is roughly the final group footprint
 	// divided by the fanout.
 	SpillFanout int
+	// Lookups, when non-nil, is a set of prebuilt dimension lookups
+	// shared across passes: the task-graph executor hoists lookup builds
+	// out of the class passes and runs each pass with the finished set.
+	// Passes fall back to building privately when a lookup is missing.
+	// Consulted only when ShareLookups is set.
+	Lookups *LookupSet
+	// IOFiles, when non-nil, restricts measure's I/O accounting to the
+	// listed files' own counters instead of the pool-global delta. The
+	// task-graph executor sets it per node: concurrent nodes touch
+	// disjoint file sets, so pool-global deltas would double-count each
+	// other's reads. A non-nil empty slice measures no I/O at all (cache
+	// rollup nodes).
+	IOFiles []*storage.File
 }
 
 // NewEnv returns an Env with default options.
@@ -197,12 +210,26 @@ func (e *Env) canceled() error {
 	}
 }
 
-// measure runs f, recording wall time and the pool I/O delta into stats.
+// measure runs f, recording wall time and the I/O delta into stats —
+// pool-global by default, or the sum of Env.IOFiles' per-file counters
+// when that is set (see the field's doc).
 func (e *Env) measure(stats *Stats, f func() error) error {
-	before := e.DB.Pool.Stats()
+	before := e.ioSnapshot()
 	start := time.Now()
 	err := f()
 	stats.Wall += time.Since(start)
-	stats.IO.Add(e.DB.Pool.Stats().Sub(before))
+	stats.IO.Add(e.ioSnapshot().Sub(before))
 	return err
+}
+
+// ioSnapshot reads the I/O counters measure brackets work with.
+func (e *Env) ioSnapshot() storage.Stats {
+	if e.IOFiles == nil {
+		return e.DB.Pool.Stats()
+	}
+	var total storage.Stats
+	for _, f := range e.IOFiles {
+		total.Add(f.IOStats())
+	}
+	return total
 }

@@ -88,20 +88,10 @@ func (e *Estimator) ClassMemory(c *Class) int64 {
 		return 0
 	}
 	v := c.View
-	var total int64
-	lookups := make(map[memLookupKey]struct{})
+	total := e.classLookupMemory(c)
 	bitmaps := 0
 	for _, p := range c.Plans {
-		q := p.Query
-		for dim, d := range q.Schema.Dims {
-			key := memLookupKey{dim: dim, viewLevel: v.Levels[dim], sig: memLookupSig(q, dim)}
-			if _, ok := lookups[key]; ok {
-				continue
-			}
-			lookups[key] = struct{}{}
-			total += int64(d.Card(v.Levels[dim])) * memLookupBytesPerRow
-		}
-		total += e.aggMemory(q, v)
+		total += e.aggMemory(p.Query, v)
 		if p.Method == IndexSJ {
 			bitmaps++
 		}
@@ -113,24 +103,44 @@ func (e *Estimator) ClassMemory(c *Class) int64 {
 	return total
 }
 
+// classLookupMemory estimates the class's deduplicated dimension-lookup
+// footprint (assuming lookup sharing), the component the task-graph
+// executor hoists into shared build tasks.
+func (e *Estimator) classLookupMemory(c *Class) int64 {
+	v := c.View
+	var total int64
+	lookups := make(map[memLookupKey]struct{})
+	for _, p := range c.Plans {
+		q := p.Query
+		for dim, d := range q.Schema.Dims {
+			key := memLookupKey{dim: dim, viewLevel: v.Levels[dim], sig: memLookupSig(q, dim)}
+			if _, ok := lookups[key]; ok {
+				continue
+			}
+			lookups[key] = struct{}{}
+			total += int64(d.Card(v.Levels[dim])) * memLookupBytesPerRow
+		}
+	}
+	return total
+}
+
 // GlobalMemory estimates the operator-state footprint of a global plan:
 // the sum of its class footprints plus the rollup re-aggregation tables
 // of cache-served queries. Queries the cache serves carry no lookup,
 // bitmap or scan-side aggregation state, so a warm cache directly
-// shrinks the estimate admission charges for a batch. Classes of one
-// batch run sequentially today, so the sum is conservative (a max over
-// classes would be tighter), but it degrades safely — overestimates
-// defer admission, never break execution.
+// shrinks the estimate admission charges for a batch. The task-graph
+// executor may run a batch's classes concurrently, so the sum is the
+// right peak bound (each class's state is live at once in the worst
+// case); the sum slightly overstates lookup memory under hoisting —
+// cross-class duplicate lookups are built once — which degrades safely:
+// overestimates defer admission, never break execution.
 func (e *Estimator) GlobalMemory(g *Global) int64 {
 	var total int64
 	for _, c := range g.Classes {
 		total += e.ClassMemory(c)
 	}
 	for _, cp := range g.Cached {
-		// The rollup's aggregation table holds at most one group per
-		// cached row.
-		keyLen := 4 * len(cp.Query.Schema.Dims)
-		total += int64(len(cp.Entry.Rows)) * int64(keyLen+memAggEntryOverhead)
+		total += e.CacheMemory(cp)
 	}
 	return total
 }

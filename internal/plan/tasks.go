@@ -1,0 +1,109 @@
+package plan
+
+import (
+	"mdxopt/internal/query"
+)
+
+// Task-graph decomposition.
+//
+// A global plan is naturally a DAG of tasks: the dimension lookups its
+// class passes need can be built once up front and shared across every
+// class (extending §3.1's within-pass sharing across passes), the class
+// passes themselves are mutually independent, and cache rollups depend
+// on nothing. BuildTasks enumerates the hoisted lookup builds; the core
+// executor turns them plus the classes and cache plans into dag nodes.
+//
+// Builds are grouped one task per dimension, not one per lookup: a
+// build task then scans only its own dimension's stored table, so
+// concurrent build tasks touch disjoint files — which both avoids
+// re-reading one table from two tasks and keeps per-task I/O accounting
+// exact (see exec.Env.IOFiles).
+
+// LookupSpec identifies one shareable dimension lookup a class pass
+// needs: the dimension, the view column's level, and the query-side
+// signature (target level + predicate). Query is a representative query
+// to build it from; any query with the same signature builds the
+// identical lookup.
+type LookupSpec struct {
+	Dim       int
+	ViewLevel int
+	Sig       string
+	Query     *query.Query
+}
+
+// BuildTask is one task-graph build node: the distinct lookups of one
+// dimension across the whole plan, deduplicated exactly the way the
+// execution layer's lookup cache would share them.
+type BuildTask struct {
+	Dim   int
+	Specs []LookupSpec
+}
+
+// BuildTasks enumerates the shared dimension-lookup builds of g,
+// deduplicated across classes and grouped per dimension, in dimension
+// order. Every class pass consumes lookups of every dimension, so each
+// class depends on every returned task. Plans without classes need no
+// builds.
+func BuildTasks(g *Global) []BuildTask {
+	if len(g.Classes) == 0 {
+		return nil
+	}
+	nd := len(g.Classes[0].View.Levels)
+	seen := map[memLookupKey]bool{}
+	byDim := make([][]LookupSpec, nd)
+	for _, c := range g.Classes {
+		for _, p := range c.Plans {
+			q := p.Query
+			for dim := 0; dim < nd; dim++ {
+				key := memLookupKey{dim: dim, viewLevel: c.View.Levels[dim], sig: memLookupSig(q, dim)}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				byDim[dim] = append(byDim[dim], LookupSpec{
+					Dim:       dim,
+					ViewLevel: key.viewLevel,
+					Sig:       key.sig,
+					Query:     q,
+				})
+			}
+		}
+	}
+	out := make([]BuildTask, 0, nd)
+	for dim, specs := range byDim {
+		if len(specs) > 0 {
+			out = append(out, BuildTask{Dim: dim, Specs: specs})
+		}
+	}
+	return out
+}
+
+// BuildMemory estimates a build task's footprint: the bytes of every
+// lookup it registers, which stay live until the whole plan finishes.
+func (e *Estimator) BuildMemory(t BuildTask) int64 {
+	var total int64
+	for _, s := range t.Specs {
+		d := s.Query.Schema.Dims[s.Dim]
+		total += int64(d.Card(s.ViewLevel)) * memLookupBytesPerRow
+	}
+	return total
+}
+
+// ClassPassMemory estimates the operator-state footprint of one class's
+// shared pass as a task-graph node. With hoisted lookups the pass holds
+// no lookup memory of its own (the shared set does, priced by
+// BuildMemory); otherwise this is ClassMemory.
+func (e *Estimator) ClassPassMemory(c *Class, hoistedLookups bool) int64 {
+	total := e.ClassMemory(c)
+	if hoistedLookups {
+		total -= e.classLookupMemory(c)
+	}
+	return total
+}
+
+// CacheMemory estimates a cache rollup's footprint: its re-aggregation
+// table, at most one group per cached row.
+func (e *Estimator) CacheMemory(cp *CachePlan) int64 {
+	keyLen := 4 * len(cp.Query.Schema.Dims)
+	return int64(len(cp.Entry.Rows)) * int64(keyLen+memAggEntryOverhead)
+}

@@ -92,6 +92,11 @@ type Outcome struct {
 	Plan string
 	// BatchSize is how many submissions the merged batch held.
 	BatchSize int
+	// DAGNodes is how many task-graph nodes the batch's plan compiled
+	// to; DAGParallelPeak is the most that ran concurrently (1 under the
+	// serial executor). Whole-batch properties, repeated per submission.
+	DAGNodes        int
+	DAGParallelPeak int
 	// SharedWith counts the other submissions whose queries shared at
 	// least one pass (class) with this one's; 0 means every pass was
 	// private even if the query was batched.
@@ -314,8 +319,9 @@ type AdmitFunc func(ctx context.Context, g *plan.Global) (release func(), err er
 // without aborting a pass other callers share), attributes stats, and
 // delivers an Outcome to every submission. If planning the merged set
 // fails, each submission is re-planned and run on its own so one
-// infeasible request cannot sink its batch mates.
-func Exec(env *exec.Env, planFn PlanFunc, admit AdmitFunc, subs []*Submission) {
+// infeasible request cannot sink its batch mates. opts configures the
+// task-graph executor (core.Run); the zero value runs serially.
+func Exec(env *exec.Env, planFn PlanFunc, admit AdmitFunc, subs []*Submission, opts core.ExecOptions) {
 	subQ := make([][]*query.Query, len(subs))
 	keys := make([]string, len(subs))
 	for i, sub := range subs {
@@ -329,7 +335,7 @@ func Exec(env *exec.Env, planFn PlanFunc, admit AdmitFunc, subs []*Submission) {
 			return
 		}
 		for _, sub := range subs {
-			Exec(env, planFn, admit, []*Submission{sub})
+			Exec(env, planFn, admit, []*Submission{sub}, opts)
 		}
 		return
 	}
@@ -362,13 +368,14 @@ func Exec(env *exec.Env, planFn PlanFunc, admit AdmitFunc, subs []*Submission) {
 	defer func() { env.QueryCtx = nil }()
 
 	var pass exec.Stats
-	results, classStats, perQuery, err := core.ExecuteAttributed(env, g, merged, &pass)
+	ex, err := core.Run(env, g, merged, &pass, opts)
 	if err != nil {
 		for _, sub := range subs {
 			sub.fail(err)
 		}
 		return
 	}
+	results, classStats, perQuery := ex.Results, ex.Classes, ex.PerQuery
 
 	planText := g.Describe()
 	// classStats covers g.Classes followed by one entry per cache-served
@@ -384,11 +391,13 @@ func Exec(env *exec.Env, planFn PlanFunc, admit AdmitFunc, subs []*Submission) {
 	for si, sub := range subs {
 		qs := perSub[si]
 		o := &Outcome{
-			Queries:   qs,
-			Results:   results[offset : offset+len(qs)],
-			PerQuery:  perQuery[offset : offset+len(qs)],
-			Plan:      planText,
-			BatchSize: len(subs),
+			Queries:         qs,
+			Results:         results[offset : offset+len(qs)],
+			PerQuery:        perQuery[offset : offset+len(qs)],
+			Plan:            planText,
+			BatchSize:       len(subs),
+			DAGNodes:        ex.DAGNodes,
+			DAGParallelPeak: ex.DAGParallelPeak,
 		}
 		offset += len(qs)
 		var ferr error

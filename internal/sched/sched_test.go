@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"mdxopt/internal/core"
 	"mdxopt/internal/exec"
 	"mdxopt/internal/mem"
 	"mdxopt/internal/plan"
@@ -181,7 +182,7 @@ func TestExecPlanFailureFallsBackPerSubmission(t *testing.T) {
 		{Key: "a", ctx: context.Background(), res: make(chan *Outcome, 1)},
 		{Key: "b", ctx: context.Background(), res: make(chan *Outcome, 1)},
 	}
-	Exec(nil, planFn, nil, subs)
+	Exec(nil, planFn, nil, subs, core.ExecOptions{})
 	for _, sub := range subs {
 		select {
 		case out := <-sub.res:
@@ -218,7 +219,7 @@ func TestExecAdmissionDefersUntilRelease(t *testing.T) {
 	sub := &Submission{Key: "a", ctx: context.Background(), res: make(chan *Outcome, 1)}
 	done := make(chan struct{})
 	go func() {
-		Exec(&exec.Env{}, emptyPlanFn, admit, []*Submission{sub})
+		Exec(&exec.Env{}, emptyPlanFn, admit, []*Submission{sub}, core.ExecOptions{})
 		close(done)
 	}()
 
@@ -260,7 +261,7 @@ func TestExecAdmissionCanceledContextFailsBatch(t *testing.T) {
 		return broker.Admit(ctx, 50)
 	}
 	sub := &Submission{Key: "a", ctx: context.Background(), res: make(chan *Outcome, 1)}
-	Exec(&exec.Env{Ctx: ctx}, emptyPlanFn, admit, []*Submission{sub})
+	Exec(&exec.Env{Ctx: ctx}, emptyPlanFn, admit, []*Submission{sub}, core.ExecOptions{})
 	out := <-sub.res
 	if !errors.Is(out.Err, context.Canceled) {
 		t.Fatalf("canceled admission returned %v, want context.Canceled", out.Err)

@@ -29,6 +29,30 @@ type File struct {
 	prefetchBusy atomic.Bool  // one readahead window in flight per file
 	closing      atomic.Bool  // CloseFile in progress: prefetchers stand down
 	prefetchWG   sync.WaitGroup
+
+	// Per-file I/O counters, mirroring the read-side fields of Stats.
+	// Concurrent executor tasks that touch disjoint file sets use these to
+	// attribute I/O without double-counting the way pool-global deltas
+	// would. Write-side counters (Writes/Allocs/Evictions) stay pool-only:
+	// they are frame-lifecycle events, not demand I/O of a file's reader.
+	ioSeqReads     atomic.Int64
+	ioRandReads    atomic.Int64
+	ioHits         atomic.Int64
+	ioPrefetched   atomic.Int64
+	ioPrefetchHits atomic.Int64
+}
+
+// IOStats returns a snapshot of the read-side I/O counters attributed to
+// this file. Safe for concurrent use; callers measure a window of
+// activity by subtracting two snapshots.
+func (f *File) IOStats() Stats {
+	return Stats{
+		SeqReads:     f.ioSeqReads.Load(),
+		RandReads:    f.ioRandReads.Load(),
+		Hits:         f.ioHits.Load(),
+		Prefetched:   f.ioPrefetched.Load(),
+		PrefetchHits: f.ioPrefetchHits.Load(),
+	}
 }
 
 // ID returns the pool-local identifier of the file.
@@ -414,7 +438,9 @@ func (p *Pool) Fetch(f *File, page uint32) (*Page, error) {
 			s.stats.PrefetchHits++
 		}
 		s.mu.Unlock()
+		f.ioHits.Add(1)
 		if wasPrefetched {
+			f.ioPrefetchHits.Add(1)
 			f.notePrefetchHit(page)
 		}
 		return &Page{key: key, frame: fr, pool: p}, nil
@@ -435,7 +461,9 @@ func (p *Pool) Fetch(f *File, page uint32) (*Page, error) {
 				s.stats.PrefetchHits++
 			}
 			s.mu.Unlock()
+			f.ioHits.Add(1)
 			if wasPrefetched {
+				f.ioPrefetchHits.Add(1)
 				f.notePrefetchHit(page)
 			}
 			return &Page{key: key, frame: exist, pool: p}, nil
@@ -450,8 +478,10 @@ func (p *Pool) Fetch(f *File, page uint32) (*Page, error) {
 	seq, run := f.noteRead(page)
 	if seq {
 		s.stats.SeqReads++
+		f.ioSeqReads.Add(1)
 	} else {
 		s.stats.RandReads++
+		f.ioRandReads.Add(1)
 	}
 	fr.key = key
 	fr.disk = f.disk

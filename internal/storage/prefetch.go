@@ -156,6 +156,8 @@ func (p *Pool) prefetchPage(f *File, page uint32) bool {
 	f.advanceLastRead(int64(page))
 	s.stats.SeqReads++ // readahead continues a detected sequential run
 	s.stats.Prefetched++
+	f.ioSeqReads.Add(1)
+	f.ioPrefetched.Add(1)
 	fr.key = key
 	fr.disk = f.disk
 	fr.valid = true

@@ -101,6 +101,9 @@ type DB struct {
 	// spillDir is where budget-exceeded aggregation state spills
 	// (OpenOptions.SpillDir; empty = the system temp directory).
 	spillDir string
+	// execWorkers is the default task-graph concurrency for plans this
+	// database executes (OpenOptions.ExecWorkers; 1 = serial).
+	execWorkers int
 
 	// rescache is the semantic result cache
 	// (OpenOptions.ResultCacheBudget); nil when disabled — every
@@ -240,6 +243,16 @@ type Options struct {
 	// per-request cap. Ignored with Batching (batches are governed
 	// collectively by the admission scheduler).
 	MemoryBudget int64
+	// ExecWorkers bounds how many of the plan's task-graph nodes —
+	// class passes, cache rollups, shared lookup builds — run
+	// concurrently. 0 uses the database default
+	// (OpenOptions.ExecWorkers); 1 runs the graph serially. Results and
+	// deterministic work counters are identical at every setting. Each
+	// node's start is additionally gated on the memory broker with the
+	// optimizer's footprint estimate, so at tight budgets execution
+	// degrades toward serial instead of overcommitting. Ignored with
+	// Batching (use BatchConfig.ExecWorkers).
+	ExecWorkers int
 }
 
 // Create makes a new database directory with the given schema. Facts are
@@ -323,6 +336,13 @@ type OpenOptions struct {
 	// directory.
 	SpillDir string
 
+	// ExecWorkers is the default task-graph concurrency for executed
+	// plans: how many nodes (class passes, cache rollups, shared lookup
+	// builds) may run at once. Default 1 (serial, the legacy order);
+	// Options.ExecWorkers overrides per request. Independent of
+	// Options.Parallelism, which partitions one scan internally.
+	ExecWorkers int
+
 	// ResultCacheBudget bounds the semantic result cache in bytes:
 	// finished aggregation results are kept and later queries answerable
 	// from a cached result (same or finer group-by, subsuming
@@ -351,7 +371,7 @@ func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &DB{db: db, mem: mem.New(opts.MemoryBudget), spillDir: opts.SpillDir}
+	d := &DB{db: db, mem: mem.New(opts.MemoryBudget), spillDir: opts.SpillDir, execWorkers: opts.ExecWorkers}
 	if opts.ResultCacheBudget > 0 {
 		d.rescache = rescache.New(opts.ResultCacheBudget, d.mem)
 	}
@@ -616,6 +636,12 @@ type Stats struct {
 	// SpillPartitions counts spill partition files written.
 	SpillPartitions int64
 
+	// DAGNodes is how many task-graph nodes the plan compiled to (class
+	// passes + cache rollups + shared lookup builds); DAGParallelPeak is
+	// the most that ran concurrently (1 under the serial executor).
+	DAGNodes        int
+	DAGParallelPeak int
+
 	// ResultCacheHits counts this request's queries served from the
 	// semantic result cache by a zero-IO rollup; ResultCacheMisses the
 	// ones that ran against stored views while the cache was enabled
@@ -786,22 +812,46 @@ func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, op
 	}
 	env.SpillDir = d.spillDir
 	var st exec.Stats
-	results, classStats, perQ, err := core.ExecuteAttributed(env, g, queries, &st)
+	ex, err := core.Run(env, g, queries, &st, d.execOptions(opts.ExecWorkers, env.Mem))
 	if err != nil {
 		return nil, err
 	}
+	results := ex.Results
 	d.noteCacheUse(g, len(queries))
-	evicted := d.putResults(queries, results, perQ, gen)
+	evicted := d.putResults(queries, results, ex.PerQuery, gen)
 	ans := &Answer{Plan: g.Describe()}
-	for _, cs := range classStats {
+	for _, cs := range ex.Classes {
 		ans.Classes = append(ans.Classes, classStatsOut(cs))
 	}
 	for i, q := range queries {
 		ans.Queries = append(ans.Queries, d.formatResult(q, results[i]))
 	}
 	ans.Stats = statsOut(st)
+	ans.Stats.DAGNodes = ex.DAGNodes
+	ans.Stats.DAGParallelPeak = ex.DAGParallelPeak
 	d.cacheCounters(&ans.Stats, results, evicted)
 	return ans, nil
+}
+
+// execOptions shapes the task-graph executor's configuration for one
+// request: the effective worker count (request override, else the
+// database default), and — when actually parallel — per-node memory
+// admission against broker with the optimizer's footprint estimates.
+func (d *DB) execOptions(workers int, broker *mem.Broker) core.ExecOptions {
+	if workers == 0 {
+		workers = d.execWorkers
+	}
+	if workers <= 1 {
+		return core.ExecOptions{}
+	}
+	est := plan.NewEstimator(d.db)
+	return core.ExecOptions{
+		Workers: workers,
+		Est:     est,
+		Gate: func(ctx context.Context, cost int64) (func(), error) {
+			return broker.Admit(ctx, cost)
+		},
+	}
 }
 
 // noteCacheUse records one executed plan's cache outcome: each served
@@ -942,6 +992,11 @@ type BatchConfig struct {
 	// ColdCache flushes the buffer pool before every batch, as in the
 	// paper's measurements.
 	ColdCache bool
+	// ExecWorkers bounds how many of a batch plan's task-graph nodes
+	// run concurrently (default 1 = serial). The batch's memory is
+	// governed collectively by the admission claim, so nodes are not
+	// individually gated.
+	ExecWorkers int
 }
 
 // EnableBatching (re)starts the admission scheduler with the given
@@ -1098,6 +1153,8 @@ func (d *DB) queryBatched(ctx context.Context, src string) (*Answer, error) {
 		ans.Queries = append(ans.Queries, d.formatResult(q, out.Results[i]))
 	}
 	ans.Stats = statsOut(st)
+	ans.Stats.DAGNodes = out.DAGNodes
+	ans.Stats.DAGParallelPeak = out.DAGParallelPeak
 	d.cacheCounters(&ans.Stats, out.Results, evicted)
 	return ans, nil
 }
@@ -1148,7 +1205,10 @@ func (d *DB) runBatchSubs(subs []*sched.Submission) {
 		env.Mem = cl.Broker()
 		return cl.Release, nil
 	}
-	sched.Exec(env, planFn, admit, subs)
+	// The whole batch already holds an admission claim sized by
+	// GlobalMemory — the sum over its nodes — so individual nodes run
+	// ungated.
+	sched.Exec(env, planFn, admit, subs, core.ExecOptions{Workers: cfg.ExecWorkers})
 }
 
 // planBatch optimizes a merged cross-request query set, consulting the

@@ -67,7 +67,10 @@ func TestCreateSampleShape(t *testing.T) {
 
 func TestQueryEndToEnd(t *testing.T) {
 	db := sample(t)
-	ans, err := db.Query(`{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS {C''.C1} on PAGES CONTEXT ABCD FILTER (D'.DD1)`)
+	// ColdCache so the PageReads assertion below holds regardless of
+	// which tests warmed the shared sample database's pool first.
+	ans, err := db.QueryWith(`{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS {C''.C1} on PAGES CONTEXT ABCD FILTER (D'.DD1)`,
+		Options{ColdCache: true})
 	if err != nil {
 		t.Fatalf("Query: %v", err)
 	}
