@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race race-dag bench go-bench scan-bench serve-bench mem-bench cache-bench dag-bench clean
+.PHONY: check build vet fmt test race race-dag fuzz-smoke bench go-bench scan-bench serve-bench mem-bench cache-bench dag-bench agg-bench clean
 
 # The full gate: compile everything, vet, check formatting, race-test
-# the concurrent executor packages (fast feedback), then run the whole
-# suite under the race detector.
-check: build vet fmt race-dag race
+# the concurrent executor packages (fast feedback), run the whole suite
+# under the race detector, then smoke the fuzz targets.
+check: build vet fmt race-dag race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -27,11 +27,17 @@ race:
 race-dag:
 	$(GO) test -race ./internal/dag/... ./internal/exec/... ./internal/sched/...
 
+# Short deterministic runs of the native fuzz targets (packed-key
+# codec, spill record codec) — regression smoke, not a fuzzing session.
+fuzz-smoke:
+	$(GO) test ./internal/exec -run '^$$' -fuzz FuzzPackedKeyRoundTrip -fuzztime 5s
+	$(GO) test ./internal/exec -run '^$$' -fuzz FuzzSpillRecCodec -fuzztime 5s
+
 # All benchmarks: the Go micro/paper benchmarks plus the scan, serve,
 # mem and cache experiments (all seeded deterministically; they write
 # BENCH_scan.json, BENCH_serve.json, BENCH_mem.json and
 # BENCH_cache.json).
-bench: go-bench scan-bench serve-bench mem-bench cache-bench dag-bench
+bench: go-bench scan-bench serve-bench mem-bench cache-bench dag-bench agg-bench
 
 # Paper experiment benchmarks (Tests 1-7 etc.).
 go-bench:
@@ -62,5 +68,12 @@ cache-bench:
 dag-bench:
 	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-dagdb -scale 0.1 -exp dag -json BENCH_dag.json
 
+# Aggregation fold kernel: packed vs byte-key microbenchmark plus the
+# workers x budget equivalence sweep; also runs the in-tree kernel
+# micros, then writes BENCH_agg.json.
+agg-bench:
+	$(GO) test ./internal/exec -run '^$$' -bench 'BenchmarkSharedScanCPU|BenchmarkAggTable' -benchmem
+	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-aggdb -scale 0.1 -exp agg -json BENCH_agg.json
+
 clean:
-	rm -rf /tmp/mdxopt-servedb /tmp/mdxopt-scandb /tmp/mdxopt-memdb /tmp/mdxopt-cachedb /tmp/mdxopt-dagdb
+	rm -rf /tmp/mdxopt-servedb /tmp/mdxopt-scandb /tmp/mdxopt-memdb /tmp/mdxopt-cachedb /tmp/mdxopt-dagdb /tmp/mdxopt-aggdb

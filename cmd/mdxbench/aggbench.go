@@ -1,0 +1,303 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mdxopt/internal/datagen"
+	"mdxopt/internal/exec"
+	"mdxopt/internal/mem"
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+	"mdxopt/internal/storage"
+)
+
+// The agg experiment measures the packed-key fold kernel against the
+// byte-key fallback it replaced, in two parts.
+//
+// The kernel microbenchmark isolates the fold loop from I/O: the base
+// table is decoded once into captured batches and re-fed through the
+// query pipelines for a fixed number of passes (exec.FoldKernelBench),
+// once per representation. The quantities of interest are the probed
+// tuples per second — the packed kernel must clear 2x the byte path —
+// and the packed kernel's steady-state allocation rate, which must be
+// zero.
+//
+// The equivalence sweep then runs the full shared-scan operator under
+// both representations across worker counts and memory budgets
+// (including a budget tight enough to force grace-hash spilling) and
+// requires every cell's results to be identical to the serial
+// ungoverned byte-key baseline, with the broker's peak within budget.
+
+type aggConfig struct {
+	Scale         float64  `json:"scale"`
+	Queries       []string `json:"queries"`
+	KernelPasses  int      `json:"kernel_passes"`
+	Workers       []int    `json:"workers"`
+	TightDivisor  int64    `json:"tight_budget_divisor"` // tight budget = ungoverned peak / divisor + floor
+	FloorBytes    int64    `json:"required_floor_bytes"` // required-state floor added to the tight budget
+	MinSpeedup    float64  `json:"min_speedup"`
+	MaxAllocsPass float64  `json:"max_allocs_per_pass"`
+}
+
+// aggKernel is one FoldKernelBench measurement.
+type aggKernel struct {
+	Repr          string  `json:"repr"` // "packed" or "bytes"
+	Passes        int     `json:"passes"`
+	Tuples        int64   `json:"tuples"`
+	Folds         int64   `json:"folds"`
+	TuplesPerSec  float64 `json:"tuples_per_sec"`
+	AllocsPerPass float64 `json:"allocs_per_pass"`
+	WallMS        float64 `json:"wall_ms"`
+}
+
+// aggCell is one (representation, workers, budget) shared-scan run.
+type aggCell struct {
+	Repr         string  `json:"repr"`
+	Workers      int     `json:"workers"`
+	BudgetBytes  int64   `json:"budget_bytes"` // 0 = ungoverned (tracked, not enforced)
+	WallMS       float64 `json:"wall_ms"`
+	TuplesAgg    int64   `json:"tuples_agg"`
+	PackedFolds  int64   `json:"packed_folds"`
+	SpillBytes   int64   `json:"spill_bytes"`
+	PeakBytes    int64   `json:"peak_bytes"`
+	WithinBudget bool    `json:"peak_within_budget"`
+	Identical    bool    `json:"identical_to_baseline"`
+}
+
+type aggReport struct {
+	Config  aggConfig   `json:"config"`
+	Kernels []aggKernel `json:"kernels"`
+	Speedup float64     `json:"kernel_speedup"`
+	Cells   []aggCell   `json:"cells"`
+}
+
+// aggWorkload builds the experiment's query set: unrestricted
+// group-bys at fine levels with mixed aggregates. Unlike the paper's
+// predicate-heavy Q1–Q9 (where most tuples exit at the predicate test
+// and the aggregation table is barely touched), every scanned tuple
+// here reaches the fold — the component this experiment measures — and
+// the group counts are large enough that aggregation state, not
+// required lookup/buffer state, dominates the memory peak.
+func aggWorkload(schema *star.Schema) ([]*query.Query, error) {
+	specs := []struct {
+		name   string
+		levels []int
+		agg    query.Agg
+	}{
+		{"G1", []int{0, 1, 1, 1}, query.Sum},
+		{"G2", []int{1, 0, 1, 1}, query.Avg},
+		{"G3", []int{1, 1, 0, 1}, query.Count},
+		{"G4", []int{0, 0, 2, 1}, query.Sum},
+		{"G5", []int{1, 1, 1, 0}, query.Max},
+	}
+	queries := make([]*query.Query, len(specs))
+	for i, s := range specs {
+		q, err := query.New(s.name, schema, s.levels, nil)
+		if err != nil {
+			return nil, err
+		}
+		q.Agg = s.agg
+		queries[i] = q
+	}
+	return queries, nil
+}
+
+// runAggCell runs one shared-scan cell and compares it to want (or
+// fills want on the baseline cell).
+func runAggCell(db *star.Database, queries []*query.Query, repr string, workers int, budget int64, want *[]*exec.Result) (aggCell, error) {
+	cell := aggCell{Repr: repr, Workers: workers, BudgetBytes: budget}
+	broker := mem.New(budget)
+	env := exec.NewEnv(db)
+	env.Mem = broker
+	env.Parallelism = workers
+	env.NoPackedKeys = repr == "bytes"
+
+	var st exec.Stats
+	start := time.Now()
+	results, err := exec.SharedScanHash(env, db.Base(), queries, &st)
+	if err != nil {
+		return cell, err
+	}
+	cell.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+	cell.TuplesAgg = st.TuplesAgg
+	cell.PackedFolds = st.PackedFolds
+	cell.SpillBytes = st.SpillBytes
+	bs := broker.Stats()
+	cell.PeakBytes = bs.Peak
+	cell.WithinBudget = budget == 0 || bs.Peak <= budget
+	if bs.Used != 0 {
+		return cell, fmt.Errorf("agg: %s workers=%d budget=%d: broker not drained (%d bytes held)", repr, workers, budget, bs.Used)
+	}
+
+	if *want == nil {
+		*want = results
+		cell.Identical = true
+		return cell, nil
+	}
+	cell.Identical = true
+	for i := range results {
+		if !results[i].Equal((*want)[i]) {
+			cell.Identical = false
+		}
+	}
+	return cell, nil
+}
+
+// runAgg builds (or reuses) the benchmark database, runs the kernel
+// microbenchmark and the equivalence sweep, enforces the gates, and
+// optionally writes the JSON report.
+func runAgg(w io.Writer, dir string, scale float64, jsonPath string) error {
+	cfg := aggConfig{
+		Scale:         scale,
+		KernelPasses:  20,
+		Workers:       []int{1, 2, 4},
+		TightDivisor:  8,
+		MinSpeedup:    2.0,
+		MaxAllocsPass: 1,
+	}
+
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		start := time.Now()
+		db, err := datagen.Build(dir, datagen.PaperSpec(scale))
+		if err != nil {
+			return err
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "built database in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+	db, err := star.OpenWith(dir, storage.PoolOpts{Frames: 4096})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	queries, err := aggWorkload(db.Schema)
+	if err != nil {
+		return err
+	}
+	for _, q := range queries {
+		cfg.Queries = append(cfg.Queries, fmt.Sprintf("%s=%s %s", q.Name, q.GroupByName(), q.Agg))
+	}
+
+	rep := aggReport{Config: cfg}
+
+	// Part 1: the isolated fold-kernel microbenchmark.
+	fmt.Fprintf(w, "agg: scale %g, %d queries, %d kernel passes\n", scale, len(queries), cfg.KernelPasses)
+	var tps [2]float64
+	for i, repr := range []string{"packed", "bytes"} {
+		env := exec.NewEnv(db)
+		env.NoPackedKeys = repr == "bytes"
+		r, err := exec.FoldKernelBench(env, db.Base(), queries, cfg.KernelPasses)
+		if err != nil {
+			return err
+		}
+		if (repr == "packed") != r.Packed {
+			return fmt.Errorf("agg: %s kernel ran packed=%v", repr, r.Packed)
+		}
+		k := aggKernel{
+			Repr:          repr,
+			Passes:        r.Passes,
+			Tuples:        r.Tuples,
+			Folds:         r.Folds,
+			TuplesPerSec:  r.TuplesPerSec,
+			AllocsPerPass: r.AllocsPerPass,
+			WallMS:        float64(r.Nanos) / 1e6,
+		}
+		rep.Kernels = append(rep.Kernels, k)
+		tps[i] = r.TuplesPerSec
+		fmt.Fprintf(w, "  kernel %-6s %12.0f tuples/s  %8.2f ms  %6.2f allocs/pass\n",
+			repr, k.TuplesPerSec, k.WallMS, k.AllocsPerPass)
+	}
+	rep.Speedup = tps[0] / tps[1]
+	fmt.Fprintf(w, "  kernel speedup %.2fx (packed vs bytes)\n", rep.Speedup)
+
+	// Part 2: the equivalence sweep. Probe the ungoverned peak first to
+	// size the tight budget, then sweep representation x workers x
+	// budget against the serial byte-key baseline.
+	var want []*exec.Result
+	probe, err := runAggCell(db, queries, "bytes", 1, 0, &want)
+	if err != nil {
+		return err
+	}
+	rep.Cells = append(rep.Cells, probe)
+	// The tight budget sits an order of magnitude under the working set
+	// but above the spill machinery's required-state floor: each table
+	// pre-reserves one partition page plus the two-page merge floor at
+	// construction (spillFloorBytes in spill.go) so a spill under
+	// saturation never overdrafts — but those reservations must fit the
+	// budget for peak <= budget to be satisfiable. Four pages per
+	// (worker, query) table bounds the summed floors.
+	maxWorkers := cfg.Workers[len(cfg.Workers)-1]
+	cfg.FloorBytes = int64(maxWorkers*len(queries)) * 4 * storage.PageSize
+	rep.Config = cfg
+	tight := probe.PeakBytes/cfg.TightDivisor + cfg.FloorBytes
+	budgets := []int64{0, tight}
+	fmt.Fprintf(w, "  sweep: ungoverned peak %d KiB, tight budget %d KiB\n", probe.PeakBytes>>10, tight>>10)
+	fmt.Fprintf(w, "  %-6s %7s %10s %10s %12s %10s %8s %5s\n",
+		"repr", "workers", "budgetKiB", "ms", "packedfolds", "spillKiB", "peakKiB", "ok")
+	for _, repr := range []string{"packed", "bytes"} {
+		for _, workers := range cfg.Workers {
+			for _, budget := range budgets {
+				cell, err := runAggCell(db, queries, repr, workers, budget, &want)
+				if err != nil {
+					return err
+				}
+				rep.Cells = append(rep.Cells, cell)
+				ok := "yes"
+				if !cell.Identical || !cell.WithinBudget {
+					ok = "NO"
+				}
+				fmt.Fprintf(w, "  %-6s %7d %10d %10.2f %12d %10d %8d %5s\n",
+					cell.Repr, cell.Workers, cell.BudgetBytes>>10, cell.WallMS,
+					cell.PackedFolds, cell.SpillBytes>>10, cell.PeakBytes>>10, ok)
+			}
+		}
+	}
+
+	// Gates.
+	if rep.Speedup < cfg.MinSpeedup {
+		return fmt.Errorf("agg: kernel speedup %.2fx below %.1fx", rep.Speedup, cfg.MinSpeedup)
+	}
+	if a := rep.Kernels[0].AllocsPerPass; a >= cfg.MaxAllocsPass {
+		return fmt.Errorf("agg: packed kernel allocates %.2f objects per pass, want < %.0f", a, cfg.MaxAllocsPass)
+	}
+	spilled := false
+	for _, c := range rep.Cells {
+		if !c.Identical {
+			return fmt.Errorf("agg: %s workers=%d budget=%d: results differ from baseline", c.Repr, c.Workers, c.BudgetBytes)
+		}
+		if !c.WithinBudget {
+			return fmt.Errorf("agg: %s workers=%d: peak %d exceeds budget %d", c.Repr, c.Workers, c.PeakBytes, c.BudgetBytes)
+		}
+		if c.Repr == "packed" && c.BudgetBytes > 0 && c.SpillBytes > 0 {
+			spilled = true
+		}
+		if c.Repr == "packed" && c.PackedFolds != c.TuplesAgg {
+			return fmt.Errorf("agg: packed workers=%d budget=%d: %d of %d folds took the packed path",
+				c.Workers, c.BudgetBytes, c.PackedFolds, c.TuplesAgg)
+		}
+		if c.Repr == "bytes" && c.PackedFolds != 0 {
+			return fmt.Errorf("agg: bytes cell counted %d packed folds", c.PackedFolds)
+		}
+	}
+	if !spilled {
+		return fmt.Errorf("agg: no tight-budget packed cell spilled; the sweep did not exercise the spill path")
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mdxopt/internal/experiments"
@@ -28,9 +30,36 @@ func main() {
 	log.SetPrefix("mdxbench: ")
 	dir := flag.String("dir", "mdxbenchdb", "database directory (built if missing)")
 	scale := flag.Float64("scale", 0.1, "scale factor (1.0 = the paper's 2M rows)")
-	exp := flag.String("exp", "all", "experiment: all, table1, test1..test7, study, ablations, serve, scan, mem, cache, dag")
-	jsonOut := flag.String("json", "", "write the serve/scan/mem/cache/dag experiment's report to this JSON file")
+	exp := flag.String("exp", "all", "experiment: all, table1, test1..test7, study, ablations, serve, scan, mem, cache, dag, agg")
+	jsonOut := flag.String("json", "", "write the serve/scan/mem/cache/dag/agg experiment's report to this JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the experiment) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	// The serve, scan, mem and cache experiments open the database
 	// themselves (they need deliberately sized buffer pools, memory
@@ -61,6 +90,12 @@ func main() {
 	}
 	if *exp == "dag" {
 		if err := runDag(os.Stdout, *dir, *scale, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *exp == "agg" {
+		if err := runAgg(os.Stdout, *dir, *scale, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -46,8 +46,22 @@ func RollupCached(env *Env, e *rescache.Entry, q *query.Query, stats *Stats) (*R
 	var res *Result
 	var own Stats
 	err := env.measure(&own, func() error {
-		tab := newAggTable(env, q.Agg, 4*nd, "rollup:"+q.Name)
-		defer tab.close()
+		// The rollup folds through the same kernel selection as the
+		// scan pipelines: the packed open-addressing table when the
+		// query's key fits a word, the byte-key map otherwise.
+		var tab *aggTable
+		var ftab *foldTable
+		kp, packed := newKeyPacker(q.Schema, q.Levels)
+		if env.NoPackedKeys {
+			packed = false
+		}
+		if packed {
+			ftab = newFoldTable(env, q.Agg, kp, "rollup:"+q.Name)
+			defer ftab.close()
+		} else {
+			tab = newAggTable(env, q.Agg, 4*nd, "rollup:"+q.Name)
+			defer tab.close()
+		}
 		sets := make([][]bool, nd)
 		for d := range sets {
 			sets[d] = q.MemberSet(d)
@@ -72,29 +86,45 @@ func RollupCached(env *Env, e *rescache.Entry, q *query.Query, stats *Stats) (*R
 			row := &e.Rows[ri]
 			own.CacheRows++
 			qualifies := true
+			var pk uint64
 			for d := 0; d < nd; d++ {
 				code := q.Schema.Dims[d].RollUp(row.Keys[d], e.Levels[d], q.Levels[d])
 				if sets[d] != nil && !sets[d][code] {
 					qualifies = false
 					break
 				}
-				key[d*4] = byte(code)
-				key[d*4+1] = byte(code >> 8)
-				key[d*4+2] = byte(code >> 16)
-				key[d*4+3] = byte(code >> 24)
+				if packed {
+					pk |= uint64(uint32(code)) << kp.shifts[d]
+				} else {
+					key[d*4] = byte(code)
+					key[d*4+1] = byte(code >> 8)
+					key[d*4+2] = byte(code >> 16)
+					key[d*4+3] = byte(code >> 24)
+				}
 			}
 			if !qualifies {
 				continue
 			}
 			own.TuplesAgg++
-			if err := tab.add(key, accum{a: row.Value, set: true}); err != nil {
+			if packed {
+				own.PackedFolds++
+				if err := ftab.fold(pk, accum{a: row.Value, set: true}); err != nil {
+					return err
+				}
+			} else if err := tab.add(key, accum{a: row.Value, set: true}); err != nil {
 				return err
 			}
 		}
 		if detached {
 			res = &Result{Query: q, Err: env.QueryCtx(q).Err(), Cached: true}
 		} else {
-			pairs, err := tab.pairs()
+			var pairs []aggPair
+			var err error
+			if packed {
+				pairs, err = ftab.pairs()
+			} else {
+				pairs, err = tab.pairs()
+			}
 			if err != nil {
 				return err
 			}
@@ -109,7 +139,12 @@ func RollupCached(env *Env, e *rescache.Entry, q *query.Query, stats *Stats) (*R
 			}
 			res = &Result{Query: q, Groups: groups, Cached: true}
 		}
-		peak, sb, sp := tab.memStats()
+		var peak, sb, sp int64
+		if packed {
+			peak, sb, sp = ftab.memStats()
+		} else {
+			peak, sb, sp = tab.memStats()
+		}
 		own.PeakMemory += peak
 		own.SpillBytes += sb
 		own.SpillPartitions += sp

@@ -25,7 +25,7 @@ func TestMain(m *testing.M) {
 	os.Exit(code)
 }
 
-func testDB(t *testing.T) (*star.Database, map[string]*query.Query) {
+func testDB(t testing.TB) (*star.Database, map[string]*query.Query) {
 	t.Helper()
 	if sharedDB != nil {
 		return sharedDB, sharedQueries

@@ -1,0 +1,402 @@
+package exec
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"mdxopt/internal/mem"
+	"mdxopt/internal/query"
+)
+
+// Open-addressing fold table.
+//
+// foldTable is the packed-key counterpart of aggTable: the aggregation
+// state of one pipeline whose group-by key fits a uint64 (see pack.go).
+// Instead of a Go map keyed by the key's byte string it is a flat
+// power-of-two slot array probed linearly from hash64(key) — one
+// find-or-insert probe per tuple, no per-tuple key encode, no string
+// conversion, and no allocation in the steady state (inserts allocate
+// only at the amortized rehash points, and rehashing stops once the
+// group domain is populated).
+//
+// The memory and spill disciplines match aggTable exactly:
+//
+//   - the slot slab is charged to the pipeline's broker reservation;
+//     a rehash charges the new slab (TryGrow) before releasing the old
+//     one, so the broker's peak covers the transient double residency;
+//   - a denied grant triggers the same grace-hash partitioned spill
+//     (spillFiles, with 8-byte keys), the probe hash routing each
+//     record to its partition so a key's records stay in one partition
+//     in arrival order;
+//   - finalization decodes packed keys back to the canonical byte-key
+//     form (keyPacker.legacyKey) and sorts on it, so results are
+//     byte-identical to the byte-key path whichever one ran.
+const (
+	// foldInitialSlots is the initial slot-array capacity. Its slab
+	// (foldInitialSlots*foldSlotBytes) is also the per-entry portion of
+	// a packed spill's merge floor: every merge sub-pass gets one
+	// starting slab without a fresh grant, so merges always progress.
+	foldInitialSlots = 64
+	// foldSlotBytes is the charged size of one slot (unsafe.Sizeof is
+	// avoided so the plan estimator can mirror the constant verbatim).
+	foldSlotBytes = 32
+)
+
+// foldSlot is one group's inline state: the packed key and the
+// accumulator components, flattened to keep the slot at 32 bytes.
+type foldSlot struct {
+	key  uint64
+	a, b float64
+	set  bool
+	used bool
+}
+
+// foldSlotMerge folds delta d into slot s under agg, mirroring
+// mergeAccum on the inline accumulator fields.
+func foldSlotMerge(agg query.Agg, s *foldSlot, d accum) {
+	if !d.set {
+		return
+	}
+	if !s.set {
+		s.a, s.b, s.set = d.a, d.b, true
+		return
+	}
+	switch agg {
+	case query.Sum, query.Count:
+		s.a += d.a
+	case query.Min:
+		if d.a < s.a {
+			s.a = d.a
+		}
+	case query.Max:
+		if d.a > s.a {
+			s.a = d.a
+		}
+	case query.Avg:
+		s.a += d.a
+		s.b += d.b
+	}
+}
+
+// foldTable is a pipeline's packed-key aggregation state: an
+// open-addressing table under a broker reservation until the budget
+// runs out, partitioned spill files afterwards.
+type foldTable struct {
+	agg    query.Agg
+	kp     *keyPacker
+	res    *mem.Reservation // nil: untracked (no broker)
+	dir    string
+	fanout int
+
+	slots  []foldSlot
+	mask   uint64
+	n      int   // occupied slots
+	growAt int   // rehash threshold (3/4 load)
+	held   int64 // slab bytes charged on res
+	// floorBytes is slab capacity covered by a spill grant's merge
+	// floor instead of fresh grants; non-zero only for the transient
+	// tables of merge sub-passes.
+	floorBytes int64
+	// floorHeld is the single-partition spill floor pre-reserved at
+	// construction (0 when the broker denied it); see aggTable.
+	floorHeld int64
+
+	sp *spillFiles // nil until the first denied grant
+	kb [8]byte     // spill record key scratch
+
+	spillBytes int64
+	spillParts int64
+}
+
+func newFoldTable(env *Env, agg query.Agg, kp *keyPacker, tag string) *foldTable {
+	t := &foldTable{
+		agg:    agg,
+		kp:     kp,
+		res:    env.Mem.Reserve(tag),
+		dir:    env.spillDir(),
+		fanout: env.spillFanout(),
+	}
+	if fl := spillFloorBytes(foldInitialSlots * foldSlotBytes); t.res.TryGrow(fl) {
+		t.floorHeld = fl
+	}
+	return t
+}
+
+// find returns the slot holding key, or nil.
+func (t *foldTable) find(key uint64) *foldSlot {
+	if t.slots == nil {
+		return nil
+	}
+	i := hash64(key) & t.mask
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			return nil
+		}
+		if s.key == key {
+			return s
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insert adds a key known to be absent, reporting false — with the
+// table unchanged — when the broker denies the growth it needs.
+func (t *foldTable) insert(key uint64, d accum) bool {
+	if t.slots == nil || t.n == t.growAt {
+		newCap := foldInitialSlots
+		if t.slots != nil {
+			newCap = len(t.slots) * 2
+		}
+		if !t.grow(newCap) {
+			return false
+		}
+	}
+	i := hash64(key) & t.mask
+	for t.slots[i].used {
+		i = (i + 1) & t.mask
+	}
+	s := &t.slots[i]
+	s.key, s.a, s.b, s.set, s.used = key, d.a, d.b, d.set, true
+	t.n++
+	return true
+}
+
+// grow rehashes into a slab of newCap slots. The new slab is charged
+// before the old one is released: both are resident during the rehash,
+// and the broker's peak must cover what the process actually holds.
+func (t *foldTable) grow(newCap int) bool {
+	charge := int64(newCap)*foldSlotBytes - t.floorBytes
+	if charge < 0 {
+		charge = 0
+	}
+	if !t.res.TryGrow(charge) {
+		return false
+	}
+	old := t.slots
+	t.slots = make([]foldSlot, newCap)
+	t.mask = uint64(newCap - 1)
+	t.growAt = newCap * 3 / 4
+	for i := range old {
+		s := &old[i]
+		if !s.used {
+			continue
+		}
+		j := hash64(s.key) & t.mask
+		for t.slots[j].used {
+			j = (j + 1) & t.mask
+		}
+		t.slots[j] = *s
+	}
+	t.res.Shrink(t.held)
+	t.held = charge
+	return true
+}
+
+// fold is the kernel's per-group entry point: find-or-insert the key
+// and merge the delta, spilling when the broker refuses table growth.
+func (t *foldTable) fold(key uint64, d accum) error {
+	if t.sp != nil {
+		return t.writeRec(key, d)
+	}
+	if s := t.find(key); s != nil {
+		foldSlotMerge(t.agg, s, d)
+		return nil
+	}
+	if t.insert(key, d) {
+		return nil
+	}
+	if err := t.startSpill(); err != nil {
+		return err
+	}
+	return t.writeRec(key, d)
+}
+
+// startSpill switches the table to write-through mode: resident slots
+// are flushed as partial-accumulator records and the slab's memory is
+// returned to the broker (the same trade ordering as aggTable — the
+// slab's bytes vacate the space the spill buffers then draw on).
+func (t *foldTable) startSpill() error {
+	t.res.Shrink(t.held)
+	t.held = 0
+	sp, err := newSpillFiles(t.dir, 8, t.fanout, foldInitialSlots*foldSlotBytes, t.res, t.floorHeld)
+	if err != nil {
+		return err
+	}
+	t.floorHeld = 0 // ownership moves to sp.bufHeld
+	t.sp = sp
+	t.spillParts += int64(len(sp.parts))
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.used {
+			continue
+		}
+		if err := t.writeRec(s.key, accum{a: s.a, b: s.b, set: s.set}); err != nil {
+			return err
+		}
+	}
+	t.slots = nil
+	t.n = 0
+	return nil
+}
+
+// writeRec appends one delta record, routed to its partition by the
+// same hash that drives the table's probe sequence — a key's records
+// land in one partition in arrival order, which is what makes the
+// merged fold identical to the in-memory one.
+func (t *foldTable) writeRec(key uint64, ac accum) error {
+	binary.LittleEndian.PutUint64(t.kb[:], key)
+	pi := int(hash64(key) % uint64(len(t.sp.parts)))
+	if err := t.sp.write(pi, t.kb[:], ac); err != nil {
+		return err
+	}
+	t.spillBytes += int64(t.sp.recSize)
+	return nil
+}
+
+// mergeFrom folds another fold table's state into t (parallel scan
+// workers merging into the main pipeline). Spilled source records are
+// replayed in write order; t itself may spill while absorbing them.
+func (t *foldTable) mergeFrom(o *foldTable) error {
+	if o.sp == nil {
+		for i := range o.slots {
+			s := &o.slots[i]
+			if !s.used {
+				continue
+			}
+			if err := t.fold(s.key, accum{a: s.a, b: s.b, set: s.set}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := o.sp.flushBufs(); err != nil {
+		return err
+	}
+	for pi := range o.sp.parts {
+		err := o.sp.readPart(pi, o.sp.parts[pi].pages, func(key []byte, ac accum) error {
+			return t.fold(binary.LittleEndian.Uint64(key), ac)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pairs returns every group fully merged as canonical byte-key pairs,
+// sorted exactly as the byte-key path sorts them. Spilled partitions
+// are merged one at a time (overflow sub-passes handle partitions that
+// alone exceed the budget).
+func (t *foldTable) pairs() ([]aggPair, error) {
+	var out []aggPair
+	if t.sp == nil {
+		out = make([]aggPair, 0, t.n)
+		out = t.appendPairs(out)
+	} else {
+		if err := t.sp.flushBufs(); err != nil {
+			return nil, err
+		}
+		t.sp.releaseBufs()
+		for pi := range t.sp.parts {
+			var err error
+			out, err = t.mergePartition(pi, out)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out, nil
+}
+
+// appendPairs decodes every resident slot to its canonical byte key
+// and appends the pairs to out.
+func (t *foldTable) appendPairs(out []aggPair) []aggPair {
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.used {
+			continue
+		}
+		out = append(out, aggPair{
+			key: string(t.kp.legacyKey(nil, s.key)),
+			ac:  accum{a: s.a, b: s.b, set: s.set},
+		})
+	}
+	return out
+}
+
+// mergePartition replays one partition's records into a transient fold
+// table, diverting keys the broker has no room for into an overflow
+// partition consumed by a further sub-pass. The transient table's
+// initial slab is covered by the spill grant's merge floor, so every
+// sub-pass absorbs at least growAt keys without a fresh grant and the
+// merge always terminates.
+//
+// Diversion is sticky within a sub-pass, exactly as in
+// aggTable.mergePartition: after the first denial every key not
+// already resident goes to the overflow writer without consulting the
+// broker again, so a key can never surface twice with a split
+// aggregate when a concurrent pipeline releases memory mid-merge.
+func (t *foldTable) mergePartition(pi int, out []aggPair) ([]aggPair, error) {
+	pages := t.sp.parts[pi].pages
+	for len(pages) > 0 {
+		mt := &foldTable{
+			agg:        t.agg,
+			kp:         t.kp,
+			res:        t.res,
+			floorBytes: foldInitialSlots * foldSlotBytes,
+		}
+		var overflow *spillWriter
+		err := t.sp.readPart(pi, pages, func(key []byte, ac accum) error {
+			k := binary.LittleEndian.Uint64(key)
+			if s := mt.find(k); s != nil {
+				foldSlotMerge(t.agg, s, ac)
+				return nil
+			}
+			if overflow == nil && mt.insert(k, ac) {
+				return nil
+			}
+			if overflow == nil {
+				overflow = t.sp.newWriter()
+			}
+			t.spillBytes += int64(t.sp.recSize)
+			return overflow.write(key, ac)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = mt.appendPairs(out)
+		t.res.Shrink(mt.held)
+		pages = nil
+		if overflow != nil {
+			var ferr error
+			pages, ferr = overflow.finish()
+			if ferr != nil {
+				return nil, ferr
+			}
+		}
+	}
+	return out, nil
+}
+
+// memStats reports the table's contribution to the pipeline's memory
+// counters: reservation high-water mark, spill bytes, partitions.
+func (t *foldTable) memStats() (peak, spillBytes, spillParts int64) {
+	return t.res.Peak(), t.spillBytes, t.spillParts
+}
+
+// close releases the reservation and destroys the temp spill file. It
+// is idempotent and nil-safe.
+func (t *foldTable) close() {
+	if t == nil {
+		return
+	}
+	if t.sp != nil {
+		t.sp.destroy()
+		t.sp = nil
+	}
+	t.res.Release()
+	t.slots = nil
+	t.held = 0
+}

@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/bits"
+	"testing"
+)
+
+// FuzzPackedKeyRoundTrip checks the packed-key codec against arbitrary
+// per-dimension cardinalities and codes: construction must succeed
+// exactly when the field widths fit 64 bits, and pack → unpack and
+// pack → legacyKey must both reproduce the codes.
+func FuzzPackedKeyRoundTrip(f *testing.F) {
+	// Paper-shaped small cards; max-cardinality codes at 16-bit fields;
+	// degenerate ALL-level dims; and a fallback-width key (>64 bits).
+	f.Add(uint32(12), uint32(30), uint32(1000), uint32(2), uint32(11), uint32(29), uint32(999), uint32(1))
+	f.Add(uint32(65536), uint32(65536), uint32(65536), uint32(65536), uint32(65535), uint32(65535), uint32(65535), uint32(65535))
+	f.Add(uint32(1), uint32(1), uint32(1), uint32(1), uint32(0), uint32(0), uint32(0), uint32(0))
+	f.Add(uint32(1<<30), uint32(1<<30), uint32(16), uint32(1), uint32(7), uint32(8), uint32(9), uint32(0))
+	f.Fuzz(func(t *testing.T, c0, c1, c2, c3, k0, k1, k2, k3 uint32) {
+		cards := []int32{
+			int32(c0%(1<<30)) + 1,
+			int32(c1%(1<<30)) + 1,
+			int32(c2%(1<<30)) + 1,
+			int32(c3%(1<<30)) + 1,
+		}
+		total := 0
+		for _, c := range cards {
+			total += bits.Len32(uint32(c) - 1)
+		}
+		kp, ok := newKeyPackerFromCards(cards)
+		if want := total <= 64; ok != want {
+			t.Fatalf("cards %v (%d bits): packer ok=%v, want %v", cards, total, ok, want)
+		}
+		if !ok {
+			return
+		}
+		codes := []int32{
+			int32(k0 % uint32(cards[0])),
+			int32(k1 % uint32(cards[1])),
+			int32(k2 % uint32(cards[2])),
+			int32(k3 % uint32(cards[3])),
+		}
+		k := kp.pack(codes)
+		out := make([]int32, len(codes))
+		kp.unpack(k, out)
+		for i := range codes {
+			if out[i] != codes[i] {
+				t.Fatalf("cards %v codes %v: unpack dim %d = %d", cards, codes, i, out[i])
+			}
+		}
+		lk := kp.legacyKey(nil, k)
+		if len(lk) != 4*len(codes) {
+			t.Fatalf("legacy key length %d, want %d", len(lk), 4*len(codes))
+		}
+		for i := range codes {
+			if got := int32(binary.LittleEndian.Uint32(lk[i*4:])); got != codes[i] {
+				t.Fatalf("cards %v codes %v: legacy key dim %d = %d", cards, codes, i, got)
+			}
+		}
+	})
+}
+
+// FuzzSpillRecCodec round-trips the spill record codec over arbitrary
+// keys and accumulator states (including NaN/Inf components, compared
+// by bit pattern).
+func FuzzSpillRecCodec(f *testing.F) {
+	packed := make([]byte, 8)
+	binary.LittleEndian.PutUint64(packed, 0xfeedfacecafebeef)
+	f.Add(packed, 1.5, 2.5, true, 0)
+	wide := bytes.Repeat([]byte{0xff, 0x00, 0xab, 0x7f}, 5) // 20-byte fallback-width key
+	f.Add(wide, math.Inf(1), math.NaN(), false, 3)
+	f.Fuzz(func(t *testing.T, key []byte, a, b float64, set bool, pad int) {
+		if len(key) == 0 || len(key) > 256 {
+			return
+		}
+		if pad < 0 || pad > 64 {
+			pad = 0
+		}
+		keyLen := len(key)
+		buf := make([]byte, pad+keyLen+spillRecTail)
+		in := accum{a: a, b: b, set: set}
+		putRec(buf, pad, keyLen, key, in)
+		gotKey, got := getRec(buf, pad, keyLen)
+		if !bytes.Equal(gotKey, key) {
+			t.Fatalf("key round-trip: got %x want %x", gotKey, key)
+		}
+		if math.Float64bits(got.a) != math.Float64bits(in.a) ||
+			math.Float64bits(got.b) != math.Float64bits(in.b) ||
+			got.set != in.set {
+			t.Fatalf("accum round-trip: got %+v want %+v", got, in)
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"mdxopt/internal/query"
+	"mdxopt/internal/table"
+)
+
+// captureBatches decodes the whole view into cloned batches so tests
+// can re-feed the fold kernel without touching the buffer pool.
+func captureBatches(t testing.TB, env *Env) []*table.Batch {
+	t.Helper()
+	heap := env.DB.Base().Heap
+	var batches []*table.Batch
+	if err := heap.ScanRangeBatches(0, heap.Count(), func(b *table.Batch) error {
+		batches = append(batches, b.Clone())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return batches
+}
+
+// TestFoldLoopAllocs pins the packed kernel's steady-state allocation
+// rate at exactly zero: once the groups are resident and the scratch
+// vectors sized, re-feeding the entire base table must not allocate.
+func TestFoldLoopAllocs(t *testing.T) {
+	db, qs := testDB(t)
+	env := NewEnv(db)
+	view := db.Base()
+	batches := captureBatches(t, env)
+
+	stats := &Stats{}
+	cache := newLookupCache(env, stats)
+	defer cache.close()
+	var pipes []*queryPipeline
+	for _, name := range []string{"Q1", "Q2", "Q3", "Q9"} {
+		p, err := newQueryPipeline(env, stats, cache, qs[name], view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.close()
+		if p.packer == nil {
+			t.Fatalf("%s fell back to byte keys on the paper schema", name)
+		}
+		pipes = append(pipes, p)
+	}
+
+	feed := func() {
+		var st Stats
+		for _, b := range batches {
+			for _, p := range pipes {
+				p.foldBatch(&st, b)
+			}
+		}
+	}
+	feed() // warm-up: populate groups, grow tables, size scratch
+	if allocs := testing.AllocsPerRun(5, feed); allocs != 0 {
+		t.Fatalf("steady-state fold pass allocates %v objects, want 0", allocs)
+	}
+	for _, p := range pipes {
+		if p.ioErr != nil {
+			t.Fatal(p.ioErr)
+		}
+	}
+}
+
+// BenchmarkSharedScanCPU measures the end-to-end shared-scan operator
+// (warm pool, so CPU-bound) under both aggregation representations.
+func BenchmarkSharedScanCPU(b *testing.B) {
+	db, qs := testDB(b)
+	queries := []*query.Query{qs["Q1"], qs["Q2"], qs["Q3"], qs["Q4"], qs["Q9"]}
+	for _, mode := range []struct {
+		name     string
+		noPacked bool
+	}{{"packed", false}, {"bytes", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			env := NewEnv(db)
+			env.NoPackedKeys = mode.noPacked
+			// Warm the pool so the measured passes are CPU-bound.
+			var warm Stats
+			if _, err := SharedScanHash(env, db.Base(), queries, &warm); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var tuples int64
+			for i := 0; i < b.N; i++ {
+				var st Stats
+				if _, err := SharedScanHash(env, db.Base(), queries, &st); err != nil {
+					b.Fatal(err)
+				}
+				tuples += st.TupleProbes
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(tuples)/s, "tuples/s")
+			}
+		})
+	}
+}
+
+// BenchmarkAggTable isolates the two table representations on a
+// synthetic key stream: one find-or-insert per operation against a
+// resident working set.
+func BenchmarkAggTable(b *testing.B) {
+	db, _ := testDB(b)
+	env := NewEnv(db)
+	kp, ok := newKeyPackerFromCards([]int32{256, 256, 256, 256})
+	if !ok {
+		b.Fatal("4×8-bit key did not pack")
+	}
+	const n = 1 << 16
+	keys := make([]uint64, n)
+	x := uint64(1)
+	for i := range keys {
+		x = x*6364136223846793005 + 1442695040888963407
+		keys[i] = x >> 40 // 24-bit keys: a few thousand distinct groups
+	}
+	b.Run("packed", func(b *testing.B) {
+		t := newFoldTable(env, query.Sum, kp, "bench")
+		defer t.close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := t.fold(keys[i%n], accum{a: 1, set: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bytes", func(b *testing.B) {
+		t := newAggTable(env, query.Sum, 16, "bench")
+		defer t.close()
+		var buf [16]byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			binary.LittleEndian.PutUint64(buf[:], keys[i%n])
+			if err := t.add(buf[:], accum{a: 1, set: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestFoldKernelBenchRuns smoke-tests the exported harness both ways.
+func TestFoldKernelBenchRuns(t *testing.T) {
+	db, qs := testDB(t)
+	queries := []*query.Query{qs["Q1"], qs["Q2"]}
+	for _, noPacked := range []bool{false, true} {
+		env := NewEnv(db)
+		env.NoPackedKeys = noPacked
+		r, err := FoldKernelBench(env, db.Base(), queries, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Packed == noPacked {
+			t.Fatalf("NoPackedKeys=%v ran packed=%v", noPacked, r.Packed)
+		}
+		if r.Tuples == 0 || r.Folds == 0 || r.TuplesPerSec <= 0 {
+			t.Fatalf("degenerate bench result: %+v", r)
+		}
+		if !noPacked && r.AllocsPerPass > 8 {
+			t.Fatalf("packed kernel allocated %v times per pass", r.AllocsPerPass)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+	"mdxopt/internal/table"
+)
+
+// Fold-kernel microbenchmark harness.
+//
+// FoldKernelBench isolates the aggregation fold loop — batch key
+// packing, predicate filtering, and table find-or-insert — from scan
+// I/O: it decodes the view's pages once into captured batches, builds
+// the query pipelines once, then re-feeds the captured batches for a
+// number of passes. Pass 0 is warm-up (it populates every group, grows
+// the tables to their steady-state capacity, and faults the code
+// paths); the remaining passes are measured. Because every group is
+// resident after warm-up, the measured passes exercise exactly the
+// steady state the kernel is designed for, and their heap allocation
+// count is the kernel's steady-state allocation rate.
+//
+// The same harness drives both representations: the packed
+// open-addressing kernel (default) and the byte-key fallback map
+// (Env.NoPackedKeys), so mdxbench can report their ratio from identical
+// inputs. Callers wanting a pure CPU measurement pass an ungoverned Env
+// (nil Mem) so no pass spills.
+
+// KernelBenchResult reports one FoldKernelBench run.
+type KernelBenchResult struct {
+	Packed        bool    `json:"packed"`          // which representation ran
+	Passes        int     `json:"passes"`          // measured passes (excludes warm-up)
+	Tuples        int64   `json:"tuples"`          // tuples probed across measured passes
+	Folds         int64   `json:"folds"`           // qualifying tuples folded across measured passes
+	Nanos         int64   `json:"nanos"`           // wall time of the measured passes
+	AllocsPerPass float64 `json:"allocs_per_pass"` // heap mallocs per measured pass
+	TuplesPerSec  float64 `json:"tuples_per_sec"`  // probed tuples per second
+}
+
+// FoldKernelBench runs the fold kernel of queries against view for
+// 1 warm-up plus passes measured passes over pre-decoded batches.
+func FoldKernelBench(env *Env, view *star.View, queries []*query.Query, passes int) (*KernelBenchResult, error) {
+	if passes < 1 {
+		passes = 1
+	}
+	if err := checkAnswerable(env, view, queries); err != nil {
+		return nil, err
+	}
+
+	// Decode the whole view once; batches are cloned because the scan
+	// reuses its buffers page to page.
+	var batches []*table.Batch
+	err := view.Heap.ScanRangeBatches(0, view.Heap.Count(), func(b *table.Batch) error {
+		batches = append(batches, b.Clone())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	stats := &Stats{}
+	cache := newLookupCache(env, stats)
+	defer cache.close()
+	pipelines := make([]*queryPipeline, len(queries))
+	for i, q := range queries {
+		p, err := newQueryPipeline(env, stats, cache, q, view)
+		if err != nil {
+			closePipes(pipelines[:i])
+			return nil, err
+		}
+		pipelines[i] = p
+	}
+	defer closePipes(pipelines)
+
+	feed := func(st *Stats) error {
+		for _, b := range batches {
+			for _, p := range pipelines {
+				p.foldBatch(st, b)
+			}
+		}
+		for _, p := range pipelines {
+			if p.ioErr != nil {
+				return p.ioErr
+			}
+		}
+		return nil
+	}
+
+	// Warm-up: populate every group and reach steady-state capacity.
+	if err := feed(&Stats{}); err != nil {
+		return nil, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var measured Stats
+	start := time.Now()
+	for i := 0; i < passes; i++ {
+		if err := feed(&measured); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	if elapsed <= 0 {
+		return nil, fmt.Errorf("exec: fold kernel bench measured no time over %d passes", passes)
+	}
+	r := &KernelBenchResult{
+		Packed:        pipelines[0].packer != nil,
+		Passes:        passes,
+		Tuples:        measured.TupleProbes,
+		Folds:         measured.TuplesAgg,
+		Nanos:         int64(elapsed),
+		AllocsPerPass: float64(after.Mallocs-before.Mallocs) / float64(passes),
+		TuplesPerSec:  float64(measured.TupleProbes) / elapsed.Seconds(),
+	}
+	return r, nil
+}

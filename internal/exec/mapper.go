@@ -7,6 +7,7 @@ import (
 	"mdxopt/internal/mem"
 	"mdxopt/internal/query"
 	"mdxopt/internal/star"
+	"mdxopt/internal/table"
 )
 
 // dimLookup is the in-memory join structure the hash star join builds
@@ -168,11 +169,26 @@ type accum struct {
 
 // queryPipeline is the per-query tail of a star join: dimension lookups
 // plus an aggregation table that spills under memory pressure.
+//
+// Two aggregation representations exist. When the query's group-by key
+// packs into a uint64 (pack.go) and Env.NoPackedKeys is unset, the
+// pipeline folds through the open-addressing foldTable — the default,
+// allocation-free kernel. Otherwise it falls back to the byte-key
+// aggTable. Exactly one of ftab and tab is non-nil.
 type queryPipeline struct {
 	q       *query.Query
 	lookups []*dimLookup // one per dimension, indexed by dim position
-	tab     *aggTable
-	keyBuf  []byte
+
+	packer *keyPacker // non-nil on the packed kernel path
+	ftab   *foldTable // packed open-addressing table (packer != nil)
+	// selRows/selKeys are the batch kernel's scratch vectors (one page
+	// of row indices and packed keys), reused batch to batch so the
+	// steady-state fold loop performs no allocation.
+	selRows []int32
+	selKeys []uint64
+
+	tab    *aggTable // byte-key fallback table (packer == nil)
+	keyBuf []byte
 	// qctx is the query's per-submission context (Env.QueryCtx); when
 	// it is done the pipeline detaches: the shared pass keeps running
 	// for the other queries while this one stops consuming tuples.
@@ -193,8 +209,16 @@ func newQueryPipeline(env *Env, stats *Stats, cache *lookupCache, q *query.Query
 	p := &queryPipeline{
 		q:       q,
 		lookups: make([]*dimLookup, nd),
-		tab:     newAggTable(env, q.Agg, 4*nd, q.Name),
-		keyBuf:  make([]byte, 4*nd),
+	}
+	if kp, ok := newKeyPacker(q.Schema, q.Levels); ok && !env.NoPackedKeys {
+		p.packer = kp
+		p.ftab = newFoldTable(env, q.Agg, kp, q.Name)
+		tpp := view.Heap.TuplesPerPage()
+		p.selRows = make([]int32, 0, tpp)
+		p.selKeys = make([]uint64, 0, tpp)
+	} else {
+		p.tab = newAggTable(env, q.Agg, 4*nd, q.Name)
+		p.keyBuf = make([]byte, 4*nd)
 	}
 	if env.QueryCtx != nil {
 		p.qctx = env.QueryCtx(q)
@@ -217,6 +241,34 @@ func (p *queryPipeline) close() {
 		return
 	}
 	p.tab.close()
+	p.ftab.close()
+}
+
+// pairs finalizes the pipeline's aggregation table — whichever
+// representation it runs — into sorted canonical byte-key pairs.
+func (p *queryPipeline) pairs() ([]aggPair, error) {
+	if p.ftab != nil {
+		return p.ftab.pairs()
+	}
+	return p.tab.pairs()
+}
+
+// tabMemStats reports the aggregation table's memory counters.
+func (p *queryPipeline) tabMemStats() (peak, spillBytes, spillParts int64) {
+	if p.ftab != nil {
+		return p.ftab.memStats()
+	}
+	return p.tab.memStats()
+}
+
+// mergeTab folds another pipeline's aggregation table into p's; both
+// pipelines run the same representation (they were built from the same
+// query and Env).
+func (p *queryPipeline) mergeTab(o *queryPipeline) error {
+	if p.ftab != nil {
+		return p.ftab.mergeFrom(o.ftab)
+	}
+	return p.tab.mergeFrom(o.tab)
 }
 
 // detachedNow polls the pipeline's per-query context, latching
@@ -247,6 +299,169 @@ func (p *queryPipeline) scanStep(st *Stats, keys []int32, vals [4]float64) {
 	if p.probe(keys, vals) {
 		st.TuplesAgg++
 		p.own.TuplesAgg++
+		if p.packer != nil {
+			st.PackedFolds++
+			p.own.PackedFolds++
+		}
+	}
+}
+
+// foldBatch pushes one decoded page of tuples through the pipeline —
+// the scan operators' per-pipeline entry point. On the packed kernel
+// path it runs the vectorized kernel below; on the byte-key fallback
+// it replays the tuples through scanStep-equivalent per-tuple work.
+//
+// The vectorized kernel processes the batch dimension at a time
+// instead of tuple at a time, hoisting the per-dimension branches
+// (predicate presence, shift amount) out of the inner loops: dimension
+// 0 seeds a selection vector of surviving row indices and their
+// partial packed keys, each further dimension compacts the selection
+// while OR-ing its field into the keys, and a final tight loop folds
+// the survivors' measures into the table. All scratch lives in the
+// pipeline (selRows/selKeys), so the steady state allocates nothing.
+func (p *queryPipeline) foldBatch(st *Stats, b *table.Batch) {
+	if p.detached || p.ioErr != nil {
+		return
+	}
+	n := b.N
+	st.TupleProbes += int64(n)
+	p.own.TupleProbes += int64(n)
+	if p.packer == nil {
+		p.foldBatchBytes(st, b)
+		return
+	}
+	nk := b.NumKeys()
+	keys := b.Keys
+	rows := p.selRows[:0]
+	pk := p.selKeys[:0]
+
+	lk := p.lookups[0]
+	sh := p.packer.shifts[0]
+	if lk.pass != nil {
+		for t := 0; t < n; t++ {
+			code := keys[t*nk]
+			if !lk.pass[code] {
+				continue
+			}
+			rows = append(rows, int32(t))
+			pk = append(pk, uint64(uint32(lk.out[code]))<<sh)
+		}
+	} else {
+		for t := 0; t < n; t++ {
+			rows = append(rows, int32(t))
+			pk = append(pk, uint64(uint32(lk.out[keys[t*nk]]))<<sh)
+		}
+	}
+	for dim := 1; dim < len(p.lookups); dim++ {
+		lk := p.lookups[dim]
+		sh := p.packer.shifts[dim]
+		if lk.pass != nil {
+			w := 0
+			for i, r := range rows {
+				code := keys[int(r)*nk+dim]
+				if !lk.pass[code] {
+					continue
+				}
+				rows[w] = r
+				pk[w] = pk[i] | uint64(uint32(lk.out[code]))<<sh
+				w++
+			}
+			rows, pk = rows[:w], pk[:w]
+		} else {
+			for i, r := range rows {
+				pk[i] |= uint64(uint32(lk.out[keys[int(r)*nk+dim]])) << sh
+			}
+		}
+	}
+	p.selRows, p.selKeys = rows[:0], pk[:0]
+
+	survivors := int64(len(rows))
+	st.TuplesAgg += survivors
+	p.own.TuplesAgg += survivors
+	st.PackedFolds += survivors
+	p.own.PackedFolds += survivors
+	if err := p.foldSelection(rows, pk, b); err != nil {
+		p.ioErr = err
+	}
+}
+
+// foldSelection runs the kernel's final fold loop: one find-or-insert
+// per surviving tuple, with the aggregate's delta construction hoisted
+// out of the loop (one loop variant per (measure layout, aggregate)
+// combination instead of a per-tuple switch).
+func (p *queryPipeline) foldSelection(rows []int32, pk []uint64, b *table.Batch) error {
+	ft := p.ftab
+	ms := b.Measures
+	if b.NumMeasures() == 1 {
+		switch p.q.Agg {
+		case query.Count:
+			for i := range rows {
+				if err := ft.fold(pk[i], accum{a: 1, set: true}); err != nil {
+					return err
+				}
+			}
+		case query.Avg:
+			for i, r := range rows {
+				if err := ft.fold(pk[i], accum{a: ms[r], b: 1, set: true}); err != nil {
+					return err
+				}
+			}
+		default: // Sum, Min, Max: the single measure is the component
+			for i, r := range rows {
+				if err := ft.fold(pk[i], accum{a: ms[r], set: true}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	// Multi-aggregate views carry the four components per tuple; pick
+	// the query's column(s) once.
+	var ai int
+	switch p.q.Agg {
+	case query.Count:
+		ai = star.AggCount
+	case query.Min:
+		ai = star.AggMin
+	case query.Max:
+		ai = star.AggMax
+	default:
+		ai = star.AggSum
+	}
+	if p.q.Agg == query.Avg {
+		for i, r := range rows {
+			if err := ft.fold(pk[i], accum{a: ms[r*4+star.AggSum], b: ms[r*4+star.AggCount], set: true}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, r := range rows {
+		if err := ft.fold(pk[i], accum{a: ms[r*4+int32(ai)], set: true}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldBatchBytes is foldBatch's byte-key fallback: per-tuple probes
+// into the legacy aggregation map, identical to the pre-kernel scan
+// loop. TupleProbes were already counted by foldBatch.
+func (p *queryPipeline) foldBatchBytes(st *Stats, b *table.Batch) {
+	nm := b.NumMeasures()
+	for t := 0; t < b.N; t++ {
+		keys, measures := b.Row(t)
+		var vals [4]float64
+		if nm == 4 {
+			vals = [4]float64{measures[0], measures[1], measures[2], measures[3]}
+		} else {
+			m := measures[0]
+			vals = [4]float64{m, 1, m, m}
+		}
+		if p.probe(keys, vals) {
+			st.TuplesAgg++
+			p.own.TuplesAgg++
+		}
 	}
 }
 
@@ -255,6 +470,18 @@ func (p *queryPipeline) scanStep(st *Stats, keys []int32, vals [4]float64) {
 // max) accumulator (see star.TupleAggregates). Returns whether the
 // tuple qualified.
 func (p *queryPipeline) probe(keys []int32, vals [4]float64) bool {
+	if p.packer != nil {
+		var pk uint64
+		for dim, lk := range p.lookups {
+			code := keys[dim]
+			if lk.pass != nil && !lk.pass[code] {
+				return false
+			}
+			pk |= uint64(uint32(lk.out[code])) << p.packer.shifts[dim]
+		}
+		p.absorbPacked(pk, vals)
+		return true
+	}
 	buf := p.keyBuf
 	for dim, lk := range p.lookups {
 		code := keys[dim]
@@ -288,6 +515,14 @@ func (p *queryPipeline) foldFiltered(keys []int32, vals [4]float64, residual []i
 // fold aggregates a tuple already known to qualify (used on the bitmap
 // path, where the predicate was applied by the index).
 func (p *queryPipeline) fold(keys []int32, vals [4]float64) {
+	if p.packer != nil {
+		var pk uint64
+		for dim, lk := range p.lookups {
+			pk |= uint64(uint32(lk.out[keys[dim]])) << p.packer.shifts[dim]
+		}
+		p.absorbPacked(pk, vals)
+		return
+	}
 	buf := p.keyBuf
 	for dim, lk := range p.lookups {
 		g := lk.out[keys[dim]]
@@ -308,6 +543,17 @@ func (p *queryPipeline) absorb(vals [4]float64) {
 		return
 	}
 	if err := p.tab.add(p.keyBuf, deltaOf(p.q.Agg, vals)); err != nil {
+		p.ioErr = err
+	}
+}
+
+// absorbPacked is absorb for the packed kernel: fold vals into the
+// group addressed by the packed key.
+func (p *queryPipeline) absorbPacked(pk uint64, vals [4]float64) {
+	if p.ioErr != nil {
+		return
+	}
+	if err := p.ftab.fold(pk, deltaOf(p.q.Agg, vals)); err != nil {
 		p.ioErr = err
 	}
 }

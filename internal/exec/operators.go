@@ -68,7 +68,7 @@ func emit(stats *Stats, pipelines []*queryPipeline) ([]*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		peak, spillBytes, spillParts := p.tab.memStats()
+		peak, spillBytes, spillParts := p.tabMemStats()
 		p.own.PeakMemory += peak
 		p.own.SpillBytes += spillBytes
 		p.own.SpillPartitions += spillParts
@@ -134,14 +134,12 @@ func SharedScanHash(env *Env, view *star.View, queries []*query.Query, stats *St
 			}
 			pipelines[i] = p
 		}
-		// scanBatch feeds one decoded page of tuples to a pipeline set.
+		// scanBatch feeds one decoded page of tuples to a pipeline set,
+		// each pipeline consuming the whole batch through its fold
+		// kernel (vectorized on the packed path).
 		scanBatch := func(set []*queryPipeline, st *Stats, b *table.Batch) {
-			for t := 0; t < b.N; t++ {
-				keys, measures := b.Row(t)
-				vals := star.TupleAggregates(view, measures)
-				for _, p := range set {
-					p.scanStep(st, keys, vals)
-				}
+			for _, p := range set {
+				p.foldBatch(st, b)
 			}
 		}
 		if env.workers() > 1 {
@@ -327,6 +325,10 @@ func SharedIndex(env *Env, view *star.View, queries []*query.Query, stats *Stats
 				if p.foldFiltered(keys, vals, residuals[i]) {
 					stats.TuplesAgg++
 					p.own.TuplesAgg++
+					if p.packer != nil {
+						stats.PackedFolds++
+						p.own.PackedFolds++
+					}
 				}
 			}
 			return nil
@@ -407,18 +409,27 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 				if p.foldFiltered(keys, vals, residuals[i]) {
 					st.TuplesAgg++
 					p.own.TuplesAgg++
+					if p.packer != nil {
+						st.PackedFolds++
+						p.own.PackedFolds++
+					}
 				}
 			}
 		}
-		// mixedBatch feeds one decoded page to both pipeline sets; index
-		// pipelines need the absolute row number for their bitmap tests.
+		// mixedBatch feeds one decoded page to both pipeline sets: hash
+		// pipelines consume the batch through the fold kernel; index
+		// pipelines go tuple at a time because their bitmap tests need
+		// the absolute row number.
 		mixedBatch := func(hash, index []*queryPipeline, st *Stats, b *table.Batch) {
+			for _, p := range hash {
+				p.foldBatch(st, b)
+			}
+			if len(index) == 0 {
+				return
+			}
 			for t := 0; t < b.N; t++ {
 				keys, measures := b.Row(t)
 				vals := star.TupleAggregates(view, measures)
-				for _, p := range hash {
-					p.scanStep(st, keys, vals)
-				}
 				row := b.Start + int64(t)
 				for i, p := range index {
 					indexStep(i, p, st, row, keys, vals)

@@ -1,0 +1,101 @@
+package exec
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"mdxopt/internal/star"
+)
+
+// Packed group keys.
+//
+// A query's group-by key is one member code per dimension, each dense
+// in [0, card) at the query's level — the catalog knows every level's
+// cardinality, so the whole key packs into contiguous bit fields of a
+// single uint64 whenever the widths sum to at most 64 (the paper's
+// 4-dimension schema needs well under 16 bits per dimension). The
+// packed form replaces the 4·nd-byte string key of the legacy
+// aggregation map: hashing is one multiply instead of a string hash,
+// and equality is one word compare. Queries whose widths exceed 64
+// bits fall back to the byte-key path (keyPacker construction fails).
+//
+// The byte layout of the legacy key — little-endian int32 per
+// dimension — remains the canonical result ordering: legacyKey
+// reconstructs it exactly, so sorted output is byte-identical whichever
+// representation folded the tuples.
+
+// keyPacker packs and unpacks a query's group-by key. Immutable after
+// construction; safe to share across worker pipelines.
+type keyPacker struct {
+	shifts []uint // bit offset of each dimension's field
+	masks  []uint64
+	bits   int
+}
+
+// newKeyPacker builds a packer for a group-by at the given levels, or
+// reports false when the key does not fit in 64 bits.
+func newKeyPacker(s *star.Schema, levels []int) (*keyPacker, bool) {
+	return newKeyPackerFromCards(s.LevelCards(levels))
+}
+
+// newKeyPackerFromCards builds a packer from per-dimension code
+// cardinalities (field width = bits to hold card-1).
+func newKeyPackerFromCards(cards []int32) (*keyPacker, bool) {
+	kp := &keyPacker{
+		shifts: make([]uint, len(cards)),
+		masks:  make([]uint64, len(cards)),
+	}
+	shift := 0
+	for i, card := range cards {
+		if card < 1 {
+			return nil, false
+		}
+		w := bits.Len32(uint32(card) - 1)
+		kp.shifts[i] = uint(shift)
+		kp.masks[i] = 1<<w - 1
+		shift += w
+	}
+	if shift > 64 {
+		return nil, false
+	}
+	kp.bits = shift
+	return kp, true
+}
+
+// pack encodes one code per dimension into the packed key. Codes must
+// be within the cards the packer was built with.
+func (kp *keyPacker) pack(codes []int32) uint64 {
+	var k uint64
+	for i, c := range codes {
+		k |= uint64(uint32(c)) & kp.masks[i] << kp.shifts[i]
+	}
+	return k
+}
+
+// unpack decodes the packed key into out, one code per dimension.
+func (kp *keyPacker) unpack(k uint64, out []int32) {
+	for i := range out {
+		out[i] = int32(k >> kp.shifts[i] & kp.masks[i])
+	}
+}
+
+// legacyKey appends the canonical byte-key form of k — each dimension's
+// code as a little-endian int32, the exact layout the byte-key fold
+// path builds — and returns the extended slice. Result ordering and the
+// Group key decode both go through this form.
+func (kp *keyPacker) legacyKey(dst []byte, k uint64) []byte {
+	for i := range kp.shifts {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(k>>kp.shifts[i]&kp.masks[i]))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// hash64 is a wyhash-style single multiply-fold of the packed key; it
+// drives both the fold table's probe sequence and, via the same value,
+// the spill partition routing (see writePackedRec).
+func hash64(x uint64) uint64 {
+	hi, lo := bits.Mul64(x^0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9)
+	return hi ^ lo
+}

@@ -34,10 +34,10 @@ func (p *queryPipeline) merge(o *queryPipeline) error {
 		return o.ioErr
 	}
 	p.own.Add(o.own)
-	if err := p.tab.mergeFrom(o.tab); err != nil {
+	if err := p.mergeTab(o); err != nil {
 		return err
 	}
-	peak, spillBytes, spillParts := o.tab.memStats()
+	peak, spillBytes, spillParts := o.tabMemStats()
 	p.own.PeakMemory += peak
 	p.own.SpillBytes += spillBytes
 	p.own.SpillPartitions += spillParts

@@ -37,7 +37,7 @@ type Result struct {
 // Spilled tables are merged partition by partition (spill.go); the
 // groups come out in the same raw-key order either way.
 func (p *queryPipeline) result() (*Result, error) {
-	pairs, err := p.tab.pairs()
+	pairs, err := p.pairs()
 	if err != nil {
 		return nil, err
 	}

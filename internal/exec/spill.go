@@ -121,8 +121,15 @@ type aggTable struct {
 	dir    string
 	fanout int
 
-	m        map[string]accum
+	m        map[string]*accum
 	mapBytes int64
+	// floorHeld is the single-partition spill floor pre-reserved at
+	// construction (0 when the broker denied it). Reserving the floor
+	// while the budget still has room means a spill that starts under
+	// saturation spends this instead of overdrafting with MustGrow —
+	// concurrent pipelines racing for a freed slab can no longer push
+	// the broker's peak past the budget.
+	floorHeld int64
 
 	sp *spillFiles // nil until the first denied grant
 
@@ -131,34 +138,41 @@ type aggTable struct {
 }
 
 func newAggTable(env *Env, agg query.Agg, keyLen int, tag string) *aggTable {
-	return &aggTable{
+	t := &aggTable{
 		agg:    agg,
 		keyLen: keyLen,
 		res:    env.Mem.Reserve(tag),
 		dir:    env.spillDir(),
 		fanout: env.spillFanout(),
-		m:      make(map[string]accum),
+		m:      make(map[string]*accum),
 	}
+	if fl := spillFloorBytes(t.entryBytes()); t.res.TryGrow(fl) {
+		t.floorHeld = fl
+	}
+	return t
 }
 
 func (t *aggTable) entryBytes() int64 { return int64(t.keyLen) + aggEntryOverhead }
 
 // add folds one delta for key into the table, spilling when the broker
-// refuses to grow the reservation. The m[string(key)] accesses compile
-// to the allocation-free map fast path, matching the cost profile of
-// the pre-broker aggregation loop.
+// refuses to grow the reservation. The matched-key path is a single
+// map operation: the m[string(key)] read compiles to the
+// allocation-free map fast path and the delta is merged in place
+// through the stored pointer, instead of the former read-modify-
+// write-back pair whose write converted the key to a fresh string on
+// every matched tuple.
 func (t *aggTable) add(key []byte, d accum) error {
 	if t.sp != nil {
 		return t.writeRec(key, d)
 	}
 	if cur, ok := t.m[string(key)]; ok {
-		mergeAccum(t.agg, &cur, d)
-		t.m[string(key)] = cur
+		mergeAccum(t.agg, cur, d)
 		return nil
 	}
 	eb := t.entryBytes()
 	if t.res.TryGrow(eb) {
-		t.m[string(key)] = d
+		ac := d
+		t.m[string(key)] = &ac
 		t.mapBytes += eb
 		return nil
 	}
@@ -178,14 +192,15 @@ func (t *aggTable) startSpill() error {
 	// overdrafting past the ceiling the denial just established.
 	t.res.Shrink(t.mapBytes)
 	t.mapBytes = 0
-	sp, err := newSpillFiles(t.dir, t.keyLen, t.fanout, t.res)
+	sp, err := newSpillFiles(t.dir, t.keyLen, t.fanout, t.entryBytes(), t.res, t.floorHeld)
 	if err != nil {
 		return err
 	}
+	t.floorHeld = 0 // ownership moves to sp.bufHeld
 	t.sp = sp
 	t.spillParts += int64(len(sp.parts))
 	for k, ac := range t.m {
-		if err := t.writeRec([]byte(k), ac); err != nil {
+		if err := t.writeRec([]byte(k), *ac); err != nil {
 			return err
 		}
 	}
@@ -207,7 +222,7 @@ func (t *aggTable) writeRec(key []byte, ac accum) error {
 func (t *aggTable) mergeFrom(o *aggTable) error {
 	if o.sp == nil {
 		for k, ac := range o.m {
-			if err := t.add([]byte(k), ac); err != nil {
+			if err := t.add([]byte(k), *ac); err != nil {
 				return err
 			}
 		}
@@ -237,7 +252,7 @@ func (t *aggTable) pairs() ([]aggPair, error) {
 	if t.sp == nil {
 		out = make([]aggPair, 0, len(t.m))
 		for k, ac := range t.m {
-			out = append(out, aggPair{key: k, ac: ac})
+			out = append(out, aggPair{key: k, ac: *ac})
 		}
 	} else {
 		if err := t.sp.flushBufs(); err != nil {
@@ -271,14 +286,13 @@ func (t *aggTable) pairs() ([]aggPair, error) {
 func (t *aggTable) mergePartition(pi int, out []aggPair) ([]aggPair, error) {
 	pages := t.sp.parts[pi].pages
 	for len(pages) > 0 {
-		m := make(map[string]accum)
+		m := make(map[string]*accum)
 		var mBytes int64
 		var overflow *spillWriter
 		err := t.sp.readPart(pi, pages, func(key []byte, ac accum) error {
 			k := string(key)
 			if cur, ok := m[k]; ok {
-				mergeAccum(t.agg, &cur, ac)
-				m[k] = cur
+				mergeAccum(t.agg, cur, ac)
 				return nil
 			}
 			eb := t.entryBytes()
@@ -296,14 +310,15 @@ func (t *aggTable) mergePartition(pi int, out []aggPair) ([]aggPair, error) {
 			default:
 				mBytes += eb
 			}
-			m[k] = ac
+			cur := ac
+			m[k] = &cur
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
 		for k, ac := range m {
-			out = append(out, aggPair{key: k, ac: ac})
+			out = append(out, aggPair{key: k, ac: *ac})
 		}
 		t.res.Shrink(mBytes)
 		pages = nil
@@ -361,24 +376,37 @@ type spillPart struct {
 	pages []uint32
 }
 
-func newSpillFiles(dir string, keyLen, fanout int, res *mem.Reservation) (*spillFiles, error) {
+// spillFloorBytes is the single-partition required-state floor of a
+// spill: one partition page buffer plus the merge floor (read scratch
+// page, overflow writer page, and one merge-table starting state of
+// floorEntry bytes). Tables pre-reserve it at construction, while the
+// budget still has room, so a spill forced under saturation can always
+// fall back to it without overdrafting.
+func spillFloorBytes(floorEntry int64) int64 {
+	return 3*storage.PageSize + floorEntry
+}
+
+func newSpillFiles(dir string, keyLen, fanout int, floorEntry int64, res *mem.Reservation, preHeld int64) (*spillFiles, error) {
 	path := filepath.Join(dir, fmt.Sprintf("mdx-spill-%d-%d.tmp", os.Getpid(), spillSeq.Add(1)))
 	dm, err := storage.OpenDisk(path)
 	if err != nil {
 		return nil, err
 	}
 	// The grant covers one page buffer per partition plus a merge
-	// floor: the read scratch page, the overflow writer's page, and one
-	// table entry. The fanout adapts to what the broker will grant —
-	// halving until the buffers fit the remaining budget — with a
-	// single-partition required-state floor (without one page nothing
-	// can spill at all). Reserving the merge floor together with the
-	// buffers means the merge phase never needs a fresh grant while
-	// other pipelines pin the ceiling, keeping the peak at the budget.
-	mergeFloor := int64(2*storage.PageSize + keyLen + aggEntryOverhead)
+	// floor: the read scratch page, the overflow writer's page, and the
+	// merge table's starting state (floorEntry — one map entry for the
+	// byte-key tables, one initial slot slab for the packed fold
+	// tables). The caller transfers preHeld bytes it already has on res
+	// (its pre-reserved spill floor, spillFloorBytes(floorEntry)), so
+	// only the excess is requested here. The fanout adapts to what the
+	// broker will grant — halving until the buffers fit the remaining
+	// budget — flooring at one partition, which the pre-reserved floor
+	// covers in full; MustGrow overdraft remains only for tables whose
+	// floor reservation was denied at construction.
+	mergeFloor := 2*storage.PageSize + floorEntry
 	granted := false
 	for fanout > 1 {
-		if res.TryGrow(int64(fanout)*storage.PageSize + mergeFloor) {
+		if res.TryGrow(int64(fanout)*storage.PageSize + mergeFloor - preHeld) {
 			granted = true
 			break
 		}
@@ -386,7 +414,7 @@ func newSpillFiles(dir string, keyLen, fanout int, res *mem.Reservation) (*spill
 	}
 	if !granted {
 		fanout = 1
-		res.MustGrow(storage.PageSize + mergeFloor)
+		res.MustGrow(storage.PageSize + mergeFloor - preHeld)
 	}
 	recSize := keyLen + spillRecTail
 	sp := &spillFiles{

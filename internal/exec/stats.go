@@ -54,6 +54,12 @@ type Stats struct {
 	BitmapWords   int64 // 64-bit words of bitmap AND/OR
 	BitTests      int64 // per-tuple bitmap membership tests
 	CacheRows     int64 // cached result rows re-aggregated by the zero-IO rollup operator
+	// PackedFolds counts the subset of TuplesAgg folded through the
+	// packed-key open-addressing kernel (foldtable.go) rather than the
+	// byte-key fallback map. It marks which path did the work and adds
+	// no simulated cost of its own — the folds are already priced as
+	// TuplesAgg.
+	PackedFolds int64
 
 	// PeakMemory is the sum of the high-water marks of every memory
 	// reservation the work held (aggregation tables, dimension lookups,
@@ -85,6 +91,7 @@ func (s *Stats) Add(other Stats) {
 	s.BitmapWords += other.BitmapWords
 	s.BitTests += other.BitTests
 	s.CacheRows += other.CacheRows
+	s.PackedFolds += other.PackedFolds
 	s.PeakMemory += other.PeakMemory
 	s.SpillBytes += other.SpillBytes
 	s.SpillPartitions += other.SpillPartitions
@@ -111,9 +118,9 @@ func (s Stats) SimulatedSeconds(m *cost.Model) float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("io{%s} scan=%d probe=%d agg=%d fetch=%d build=%d bmwords=%d bittest=%d cacherows=%d peakmem=%d spill=%d/%dp wall=%s",
+	return fmt.Sprintf("io{%s} scan=%d probe=%d agg=%d fetch=%d build=%d bmwords=%d bittest=%d cacherows=%d packed=%d peakmem=%d spill=%d/%dp wall=%s",
 		s.IO, s.TuplesScanned, s.TupleProbes, s.TuplesAgg, s.TuplesFetched,
-		s.HashBuildRows, s.BitmapWords, s.BitTests, s.CacheRows,
+		s.HashBuildRows, s.BitmapWords, s.BitTests, s.CacheRows, s.PackedFolds,
 		s.PeakMemory, s.SpillBytes, s.SpillPartitions, s.Wall)
 }
 
@@ -157,6 +164,11 @@ type Env struct {
 	// Merge memory per partition is roughly the final group footprint
 	// divided by the fanout.
 	SpillFanout int
+	// NoPackedKeys disables the packed-key open-addressing fold kernel,
+	// forcing every pipeline onto the legacy byte-key aggregation map.
+	// Results are identical either way; the switch exists for ablation
+	// benchmarks and equivalence harnesses.
+	NoPackedKeys bool
 	// Lookups, when non-nil, is a set of prebuilt dimension lookups
 	// shared across passes: the task-graph executor hoists lookup builds
 	// out of the class passes and runs each pass with the finished set.

@@ -23,9 +23,25 @@ const (
 	// rollup target plus 1 byte of predicate pass per view-level code.
 	memLookupBytesPerRow = 5
 	// memAggEntryOverhead mirrors exec's aggEntryOverhead: hash-table
-	// bookkeeping per group on top of the packed key.
+	// bookkeeping per group on top of the byte key, charged by the
+	// legacy map tables (group-by keys wider than 64 bits).
 	memAggEntryOverhead = 96
+	// memFoldEntryBytes is the per-group estimate for the packed-key
+	// open-addressing tables (exec's foldTable): one 32-byte slot,
+	// doubled for the ≤3/4 load factor and rehash headroom.
+	memFoldEntryBytes = 64
 )
+
+// aggEntryBytes prices one aggregation group of q: queries whose
+// group-by key packs into a uint64 run on the open-addressing fold
+// kernel; wider keys fall back to the byte-key map. The split mirrors
+// exec's newQueryPipeline exactly.
+func aggEntryBytes(q *query.Query) int64 {
+	if q.Schema.PackedGroupBits(q.Levels) <= 64 {
+		return memFoldEntryBytes
+	}
+	return int64(4*len(q.Schema.Dims)) + memAggEntryOverhead
+}
 
 // memLookupKey identifies one shareable dimension lookup, mirroring
 // exec's lookupKey: queries with the same dimension, view level, target
@@ -67,8 +83,7 @@ func (e *Estimator) groupEstimate(q *query.Query, v *star.View) float64 {
 
 // aggMemory estimates q's aggregation-table footprint on v in bytes.
 func (e *Estimator) aggMemory(q *query.Query, v *star.View) int64 {
-	keyLen := 4 * len(q.Schema.Dims)
-	return int64(e.groupEstimate(q, v) * float64(keyLen+memAggEntryOverhead))
+	return int64(e.groupEstimate(q, v) * float64(aggEntryBytes(q)))
 }
 
 // bitmapMemory is one result bitmap's footprint over v in bytes.

@@ -215,8 +215,7 @@ func TestGlobalMemoryCachedPlansShrinkEstimate(t *testing.T) {
 		Rows:   make([]rescache.Row, 8),
 	}
 	asCache := e.GlobalMemory(&Global{Cached: []*CachePlan{{Query: q, Entry: ent}}})
-	keyLen := 4 * len(q.Schema.Dims)
-	if want := int64(8) * int64(keyLen+memAggEntryOverhead); asCache != want {
+	if want := int64(8) * aggEntryBytes(q); asCache != want {
 		t.Fatalf("cached-plan memory = %d, want %d", asCache, want)
 	}
 	if asCache >= asClass {

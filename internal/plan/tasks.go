@@ -102,8 +102,8 @@ func (e *Estimator) ClassPassMemory(c *Class, hoistedLookups bool) int64 {
 }
 
 // CacheMemory estimates a cache rollup's footprint: its re-aggregation
-// table, at most one group per cached row.
+// table, at most one group per cached row, priced per entry the same
+// way as the scan-side tables (packed fold kernel vs byte-key map).
 func (e *Estimator) CacheMemory(cp *CachePlan) int64 {
-	keyLen := 4 * len(cp.Query.Schema.Dims)
-	return int64(len(cp.Entry.Rows)) * int64(keyLen+memAggEntryOverhead)
+	return int64(len(cp.Entry.Rows)) * aggEntryBytes(cp.Query)
 }

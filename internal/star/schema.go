@@ -3,6 +3,7 @@ package star
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"mdxopt/internal/table"
@@ -75,6 +76,31 @@ func (s *Schema) GroupByName(levels []int) string {
 		}
 	}
 	return b.String()
+}
+
+// LevelCards returns the member-code cardinality of each dimension at
+// the given group-by levels (1 for the virtual ALL level). The
+// execution layer's packed group keys and the planner's memory model
+// both size their per-dimension bit fields from these cards.
+func (s *Schema) LevelCards(levels []int) []int32 {
+	cards := make([]int32, len(s.Dims))
+	for i, d := range s.Dims {
+		cards[i] = d.Card(levels[i])
+	}
+	return cards
+}
+
+// PackedGroupBits returns the total bits needed to pack a group-by key
+// at the given levels into a single machine word: one bit field per
+// dimension, sized to hold the level's maximum member code (card-1).
+// A dimension with a single member (the ALL level) contributes 0 bits.
+// Keys pack into a uint64 when the result is at most 64.
+func (s *Schema) PackedGroupBits(levels []int) int {
+	total := 0
+	for i, d := range s.Dims {
+		total += bits.Len32(uint32(d.Card(levels[i])) - 1)
+	}
+	return total
 }
 
 // ViewSchema returns the heap-file schema for a view of this star schema:

@@ -243,6 +243,29 @@ func (b *Batch) Row(i int) ([]int32, []float64) {
 	return b.Keys[i*b.nk : (i+1)*b.nk], b.Measures[i*b.nm : (i+1)*b.nm]
 }
 
+// NumKeys returns the number of key columns per tuple — the stride of
+// the flat Keys array. Vectorized consumers index columns directly
+// instead of slicing per row.
+func (b *Batch) NumKeys() int { return b.nk }
+
+// NumMeasures returns the number of measure columns per tuple — the
+// stride of the flat Measures array.
+func (b *Batch) NumMeasures() int { return b.nm }
+
+// Clone returns a deep copy of the batch. ScanRangeBatches reuses the
+// backing arrays from page to page; harnesses that capture batches
+// across calls (the fold-kernel benchmark) clone them first.
+func (b *Batch) Clone() *Batch {
+	return &Batch{
+		Start:    b.Start,
+		N:        b.N,
+		Keys:     append([]int32(nil), b.Keys[:b.N*b.nk]...),
+		Measures: append([]float64(nil), b.Measures[:b.N*b.nm]...),
+		nk:       b.nk,
+		nm:       b.nm,
+	}
+}
+
 // ScanRangeBatches iterates over rows in [from, to), clamped to the
 // table, handing fn one whole page of decoded tuples at a time. The page
 // is decoded into the batch's reusable buffers and unpinned before fn

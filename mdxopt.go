@@ -636,6 +636,13 @@ type Stats struct {
 	// SpillPartitions counts spill partition files written.
 	SpillPartitions int64
 
+	// PackedFolds counts the aggregated tuples folded through the
+	// packed-key vectorized kernel (a subset of the tuples aggregated);
+	// 0 means every query in the request fell back to byte-key
+	// aggregation (group-by key wider than 64 bits, or packing
+	// disabled).
+	PackedFolds int64
+
 	// DAGNodes is how many task-graph nodes the plan compiled to (class
 	// passes + cache rollups + shared lookup builds); DAGParallelPeak is
 	// the most that ran concurrently (1 under the serial executor).
@@ -918,6 +925,7 @@ func statsOut(st exec.Stats) Stats {
 		PeakMemoryBytes:  st.PeakMemory,
 		SpillBytes:       st.SpillBytes,
 		SpillPartitions:  st.SpillPartitions,
+		PackedFolds:      st.PackedFolds,
 	}
 }
 
