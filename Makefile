@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race race-dag fuzz-smoke bench go-bench scan-bench serve-bench mem-bench cache-bench dag-bench agg-bench clean
+.PHONY: check build vet fmt test race race-dag fuzz-smoke bench go-bench scan-bench serve-bench mem-bench cache-bench dag-bench agg-bench pool-bench clean
 
-# The full gate: compile everything, vet, check formatting, race-test
-# the concurrent executor packages (fast feedback), run the whole suite
-# under the race detector, then smoke the fuzz targets.
-check: build vet fmt race-dag race fuzz-smoke
+# The full gate: compile everything, vet, check formatting, run the
+# suite in shuffled order, race-test the concurrent packages (fast
+# feedback), run the whole suite under the race detector, then smoke
+# the fuzz targets.
+check: build vet fmt test race-dag race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -17,15 +18,19 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
+# -shuffle=on randomizes test (and subtest) execution order so the
+# tier-1 gate also catches inter-test state dependence.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
 
-# Focused race gate for the task-graph executor's concurrent layers.
+# Focused race gate for the concurrent layers: the worker pool and
+# task-graph executor, the memory broker, the result cache, and the
+# sharded buffer pool.
 race-dag:
-	$(GO) test -race ./internal/dag/... ./internal/exec/... ./internal/sched/...
+	$(GO) test -race ./internal/dag/... ./internal/exec/... ./internal/sched/... ./internal/mem/... ./internal/rescache/... ./internal/storage/...
 
 # Short deterministic runs of the native fuzz targets (packed-key
 # codec, spill record codec) — regression smoke, not a fuzzing session.
@@ -37,7 +42,7 @@ fuzz-smoke:
 # mem and cache experiments (all seeded deterministically; they write
 # BENCH_scan.json, BENCH_serve.json, BENCH_mem.json and
 # BENCH_cache.json).
-bench: go-bench scan-bench serve-bench mem-bench cache-bench dag-bench agg-bench
+bench: go-bench scan-bench serve-bench mem-bench cache-bench dag-bench agg-bench pool-bench
 
 # Paper experiment benchmarks (Tests 1-7 etc.).
 go-bench:
@@ -75,5 +80,10 @@ agg-bench:
 	$(GO) test ./internal/exec -run '^$$' -bench 'BenchmarkSharedScanCPU|BenchmarkAggTable' -benchmem
 	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-aggdb -scale 0.1 -exp agg -json BENCH_agg.json
 
+# Unified worker pool: morsel-driven vs static-partition scan sweep over
+# workers x classes x latency shapes; writes BENCH_pool.json.
+pool-bench:
+	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-pooldb -scale 0.1 -exp pool -json BENCH_pool.json
+
 clean:
-	rm -rf /tmp/mdxopt-servedb /tmp/mdxopt-scandb /tmp/mdxopt-memdb /tmp/mdxopt-cachedb /tmp/mdxopt-dagdb /tmp/mdxopt-aggdb
+	rm -rf /tmp/mdxopt-servedb /tmp/mdxopt-scandb /tmp/mdxopt-memdb /tmp/mdxopt-cachedb /tmp/mdxopt-dagdb /tmp/mdxopt-aggdb /tmp/mdxopt-pooldb

@@ -1,0 +1,292 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mdxopt/internal/core"
+	"mdxopt/internal/datagen"
+	"mdxopt/internal/exec"
+	"mdxopt/internal/mdx"
+	"mdxopt/internal/mem"
+	"mdxopt/internal/plan"
+	"mdxopt/internal/star"
+	"mdxopt/internal/storage"
+)
+
+// The pool experiment measures what the unified morsel-driven worker
+// pool buys over the legacy static pre-split. Each cell runs a pinned-
+// view workload (the dag experiment's expressions) at a fixed pool
+// width, once with Env.StaticPartition (each scan carved into one
+// contiguous range per worker up front) and once morsel-driven (workers
+// claim small page ranges from a shared cursor). Two latency shapes per
+// view heap: "uniform" charges every physical read the same cost —
+// the shapes where static partitioning is already balanced — and
+// "tailskew" makes only the trailing quarter of each heap slow, the
+// adversarial shape where a static split parks one worker on the entire
+// slow tail while its siblings finish early and idle. Work-stealing
+// spreads that tail across the whole width, so the morsel wall should
+// beat static by at least the straggler margin (>= 1.3x) at equal
+// worker count; results stay byte-identical in every cell and the
+// broker peak must stay within the budget now that the estimator
+// prices one aggregation-table copy per scan worker.
+//
+// Reading multi-class cells: the static mode is the legacy behavior and
+// its scan goroutines are NOT pool-bounded — a C-class batch at W
+// workers runs up to C x W concurrent scanners, so on latency-uniform
+// shapes it can beat the morsel pool simply by oversubscribing beyond
+// the configured width (goroutines sleeping in injected I/O stack
+// freely). The equal-concurrency comparison is the single-class
+// workload, where static's fan-out equals the pool width — and there
+// the skewed shape shows the straggler win the morsel cursor exists
+// for. The win requirement is therefore asserted over skewed cells at
+// >= 4 workers, where both modes hold the same number of slots.
+
+type poolConfig struct {
+	Scale        float64 `json:"scale"`
+	Workers      []int   `json:"workers"`
+	PoolFrames   int     `json:"pool_frames"`
+	PoolShards   int     `json:"pool_shards"`
+	BudgetBytes  int64   `json:"memory_budget_bytes"`
+	LatencyUS    int     `json:"slow_read_latency_us"`
+	TailFraction float64 `json:"tail_fraction"`
+	MorselPages  int     `json:"morsel_pages"`
+	Reps         int     `json:"reps"`
+	Algorithm    string  `json:"algorithm"`
+}
+
+// poolCell is one (workload, shape, mode, workers) measurement.
+type poolCell struct {
+	Workload     string  `json:"workload"`
+	Shape        string  `json:"shape"` // "uniform" | "tailskew"
+	Mode         string  `json:"mode"`  // "static" | "morsel"
+	Classes      int     `json:"classes"`
+	DAGNodes     int     `json:"dag_nodes"`
+	Workers      int     `json:"workers"`
+	Effective    int     `json:"effective_workers"`
+	WorkerPeak   int     `json:"worker_peak"`
+	WallMS       float64 `json:"wall_ms"`       // mean per rep
+	Speedup      float64 `json:"speedup"`       // vs same shape+mode at workers=1
+	StragglerWin float64 `json:"straggler_win"` // static wall / morsel wall (morsel cells)
+	PeakBytes    int64   `json:"peak_bytes"`
+	WithinBudget bool    `json:"peak_within_budget"`
+	Drained      bool    `json:"drained_to_zero"`
+}
+
+type poolReport struct {
+	Config poolConfig `json:"config"`
+	Cells  []poolCell `json:"cells"`
+}
+
+// runPoolCell opens the database cold, installs the shape's per-page
+// latency on every view heap, and runs the workload reps times at the
+// given width and scan mode, verifying results against want (or filling
+// it on the first cell of the workload).
+func runPoolCell(dir string, cfg poolConfig, wl dagWorkload, shape, mode string, workers int, want *[]*exec.Result) (poolCell, error) {
+	cell := poolCell{Workload: wl.Name, Shape: shape, Mode: mode, Workers: workers}
+	db, err := star.OpenWith(dir, storage.PoolOpts{Frames: cfg.PoolFrames, Shards: cfg.PoolShards})
+	if err != nil {
+		return cell, err
+	}
+	defer db.Close()
+
+	queries, err := mdx.ParseAndTranslate(db.Schema, wl.Src)
+	if err != nil {
+		return cell, err
+	}
+	est := plan.NewEstimator(db)
+	est.Workers = workers
+	g, err := core.Optimize(est, queries, core.Algorithm(cfg.Algorithm))
+	if err != nil {
+		return cell, err
+	}
+	cell.Classes = len(g.Classes)
+
+	// Latency shape. Uniform charges every physical view-heap read;
+	// tailskew charges only the trailing TailFraction of each heap's
+	// pages — the contiguous slow run a static pre-split hands whole to
+	// its last worker.
+	latency := time.Duration(cfg.LatencyUS) * time.Microsecond
+	for _, v := range db.Views {
+		slowFrom := uint32(0)
+		if shape == "tailskew" {
+			slowFrom = uint32(float64(v.Heap.File().NumPages()) * (1 - cfg.TailFraction))
+		}
+		v.Heap.File().Disk().SetFault(func(op string, page uint32) error {
+			if op == "read" && page >= slowFrom {
+				time.Sleep(latency)
+			}
+			return nil
+		})
+		defer v.Heap.File().Disk().SetFault(nil)
+	}
+
+	broker := mem.New(cfg.BudgetBytes)
+	env := exec.NewEnv(db)
+	env.Mem = broker
+	env.MorselPages = cfg.MorselPages
+	env.StaticPartition = mode == "static"
+	opts := core.ExecOptions{
+		Workers: workers,
+		Est:     est,
+		Gate: func(ctx context.Context, cost int64) (func(), error) {
+			return broker.Admit(ctx, cost)
+		},
+	}
+
+	var wall time.Duration
+	for rep := -1; rep < cfg.Reps; rep++ { // rep -1 is the warm-up
+		if err := db.ColdReset(); err != nil {
+			return cell, err
+		}
+		var st exec.Stats
+		start := time.Now()
+		ex, err := core.Run(env, g, queries, &st, opts)
+		if err != nil {
+			return cell, err
+		}
+		elapsed := time.Since(start)
+		if *want == nil {
+			*want = ex.Results
+		} else {
+			for i := range ex.Results {
+				if !ex.Results[i].Equal((*want)[i]) {
+					return cell, fmt.Errorf("%s %s/%s workers=%d: query %s result differs from baseline",
+						wl.Name, shape, mode, workers, queries[i].Name)
+				}
+			}
+		}
+		cell.DAGNodes = ex.DAGNodes
+		cell.Effective = ex.EffectiveWorkers
+		if ex.WorkerPeak > cell.WorkerPeak {
+			cell.WorkerPeak = ex.WorkerPeak
+		}
+		if rep < 0 {
+			continue
+		}
+		wall += elapsed
+	}
+	bs := broker.Stats()
+	mean := wall / time.Duration(cfg.Reps)
+	cell.WallMS = float64(mean.Microseconds()) / 1e3
+	cell.PeakBytes = bs.Peak
+	cell.WithinBudget = bs.Peak <= cfg.BudgetBytes
+	cell.Drained = bs.Used == 0
+	return cell, nil
+}
+
+// runPool builds (or reuses) the benchmark database and sweeps
+// shape x workload x workers x scan mode, printing the grid and
+// optionally writing the JSON report. It fails unless the morsel mode
+// beats static partitioning by >= 1.3x on some skewed cell at >= 4
+// workers, and unless every cell stayed within budget and drained.
+func runPool(w io.Writer, dir string, scale float64, jsonPath string) error {
+	cfg := poolConfig{
+		Scale:        scale,
+		Workers:      []int{1, 2, 4, 8},
+		PoolFrames:   4096,
+		PoolShards:   64,
+		BudgetBytes:  256 << 20,
+		LatencyUS:    2000,
+		TailFraction: 0.25,
+		MorselPages:  4,
+		Reps:         3,
+		Algorithm:    "TPLO",
+	}
+
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		start := time.Now()
+		db, err := datagen.Build(dir, datagen.PaperSpec(scale))
+		if err != nil {
+			return err
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "built database in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	var workloads []dagWorkload
+	for _, wl := range dagWorkloads() {
+		if wl.Name == "classes1" || wl.Name == "classes4" {
+			workloads = append(workloads, wl)
+		}
+	}
+
+	rep := poolReport{Config: cfg}
+	fmt.Fprintf(w, "pool: scale %g, %dus slow reads, tail %.0f%%, %d-page morsels, %s plans\n",
+		cfg.Scale, cfg.LatencyUS, cfg.TailFraction*100, cfg.MorselPages, cfg.Algorithm)
+	fmt.Fprintf(w, "  %10s %9s %7s %8s %5s %10s %8s %7s %10s %6s\n",
+		"workload", "shape", "mode", "workers", "peak", "ms/run", "speedup", "win", "memKiB", "ok")
+
+	bestWin := 0.0
+	for _, wl := range workloads {
+		var want []*exec.Result
+		for _, shape := range []string{"uniform", "tailskew"} {
+			serial := map[string]float64{}
+			for _, workers := range cfg.Workers {
+				var staticMS float64
+				for _, mode := range []string{"static", "morsel"} {
+					cell, err := runPoolCell(dir, cfg, wl, shape, mode, workers, &want)
+					if err != nil {
+						return err
+					}
+					if workers == 1 {
+						serial[mode] = cell.WallMS
+					}
+					cell.Speedup = serial[mode] / cell.WallMS
+					if mode == "static" {
+						staticMS = cell.WallMS
+					} else {
+						cell.StragglerWin = staticMS / cell.WallMS
+						if shape == "tailskew" && workers >= 4 && cell.StragglerWin > bestWin {
+							bestWin = cell.StragglerWin
+						}
+					}
+					rep.Cells = append(rep.Cells, cell)
+					ok := "yes"
+					if !cell.WithinBudget || !cell.Drained {
+						ok = "NO"
+					}
+					win := "-"
+					if cell.StragglerWin > 0 {
+						win = fmt.Sprintf("%.2fx", cell.StragglerWin)
+					}
+					fmt.Fprintf(w, "  %10s %9s %7s %8d %5d %10.2f %7.2fx %7s %10d %6s\n",
+						cell.Workload, cell.Shape, cell.Mode, cell.Workers, cell.WorkerPeak,
+						cell.WallMS, cell.Speedup, win, cell.PeakBytes>>10, ok)
+				}
+			}
+		}
+	}
+
+	for _, c := range rep.Cells {
+		if !c.WithinBudget {
+			return fmt.Errorf("pool: %s %s/%s workers=%d: peak %d exceeds budget",
+				c.Workload, c.Shape, c.Mode, c.Workers, c.PeakBytes)
+		}
+		if !c.Drained {
+			return fmt.Errorf("pool: %s %s/%s workers=%d: broker not drained",
+				c.Workload, c.Shape, c.Mode, c.Workers)
+		}
+	}
+	if bestWin < 1.3 {
+		return fmt.Errorf("pool: best morsel-vs-static win on a skewed scan at >= 4 workers is %.2fx, want >= 1.3x", bestWin)
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -56,6 +56,7 @@ func runDAG(t *testing.T, env *exec.Env, g *plan.Global, queries []*query.Query,
 func TestDAGExecutionEquivalence(t *testing.T) {
 	db, _ := testDB(t)
 	env := exec.NewEnv(db)
+	env.MorselPages = 2 // tiny morsels force heavy work-stealing
 	est := plan.NewEstimator(db)
 	rng := rand.New(rand.NewSource(20260808))
 
@@ -73,7 +74,7 @@ func TestDAGExecutionEquivalence(t *testing.T) {
 		if base.DAGParallelPeak > 1 {
 			t.Fatalf("trial %d: serial run peaked at %d nodes", trial, base.DAGParallelPeak)
 		}
-		for _, workers := range []int{2, 4} {
+		for _, workers := range []int{2, 4, 8} {
 			got, gotTotal := runDAG(t, env, g, queries, workers)
 			if got.DAGNodes != base.DAGNodes {
 				t.Fatalf("trial %d workers=%d: %d nodes vs %d serial",
@@ -123,7 +124,7 @@ func TestDAGEquivalenceUnderDetach(t *testing.T) {
 	}
 
 	base, _ := runDAG(t, env, g, queries, 1)
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 4, 8} {
 		got, _ := runDAG(t, env, g, queries, workers)
 		if !errors.Is(got.Results[0].Err, context.Canceled) {
 			t.Fatalf("workers=%d: detached query err = %v, want context.Canceled",

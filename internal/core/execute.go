@@ -23,11 +23,15 @@ type ClassStat struct {
 
 // ExecOptions configures Run.
 type ExecOptions struct {
-	// Workers bounds how many task-graph nodes — class passes, cache
-	// rollups, shared lookup builds — execute concurrently. Values <= 1
-	// run the graph serially in the legacy order (builds, classes in plan
-	// order, cache rollups), producing byte-identical results and
-	// identical deterministic work counters to any higher worker count.
+	// Workers is the unified pool width: it bounds every executor
+	// goroutine at once — concurrently running task-graph nodes (class
+	// passes, cache rollups, shared lookup builds) AND the scan-morsel
+	// workers a running class pass fans out, all drawing slots from one
+	// dag.Pool. Values <= 1 run the graph serially in the legacy order
+	// (builds, classes in plan order, cache rollups) with serial scans;
+	// any width produces byte-identical results and identical
+	// deterministic work counters. Widths beyond dag.WorkerCap() are
+	// clamped.
 	Workers int
 	// Est prices each node's memory footprint for Gate and for the
 	// graph's node costs. nil prices every node at zero (gating then
@@ -52,10 +56,17 @@ type Execution struct {
 	// Classes covers the plan's classes in order, followed by one entry
 	// per cache-served query (View "cache:<entry>", Regime "cache").
 	Classes []ClassStat
-	// DAGNodes is how many task-graph nodes the plan compiled to;
-	// DAGParallelPeak is the maximum number observed running at once.
-	DAGNodes        int
+	// DAGNodes is how many task-graph nodes the plan compiled to.
+	DAGNodes int
+	// WorkerPeak is the pool-wide concurrency peak: nodes running plus
+	// the scan-morsel workers they fanned out, never exceeding the
+	// effective width. DAGParallelPeak is its pre-pool alias and always
+	// carries the same value.
+	WorkerPeak      int
 	DAGParallelPeak int
+	// EffectiveWorkers is the width the run actually used: the requested
+	// Workers clamped to [1, dag.WorkerCap()].
+	EffectiveWorkers int
 }
 
 // Execute runs a global plan with the §3 shared operators — one shared
@@ -121,7 +132,10 @@ func Run(env *exec.Env, g *plan.Global, queries []*query.Query, stats *exec.Stat
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	parallel := opts.Workers > 1
+	// One pool for the whole run: node starts and the scan morsels class
+	// passes fan out draw on the same slots.
+	pool := dag.NewPool(opts.Workers)
+	parallel := pool.Width() > 1
 
 	// Shared lookup builds, hoisted out of the class passes. The set is
 	// closed only after the graph has drained, so an error path never
@@ -175,6 +189,9 @@ func Run(env *exec.Env, g *plan.Global, queries []*query.Query, stats *exec.Stat
 		nodeEnv.Lookups = lookups
 		if parallel {
 			nodeEnv.IOFiles = classFiles(env.DB, c)
+			// The pass's scan morsels draw on the run's pool; its width
+			// supersedes any standalone Env.Parallelism.
+			nodeEnv.Pool = pool
 		}
 		graph.Add(&dag.Node{
 			Label: "class " + c.View.Name,
@@ -229,7 +246,7 @@ func Run(env *exec.Env, g *plan.Global, queries []*query.Query, stats *exec.Stat
 		})
 	}
 
-	dagStats, err := graph.Run(ctx, dag.Options{Workers: opts.Workers, Gate: opts.Gate})
+	dagStats, err := graph.Run(ctx, dag.Options{Pool: pool, Gate: opts.Gate})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -246,8 +263,10 @@ func Run(env *exec.Env, g *plan.Global, queries []*query.Query, stats *exec.Stat
 	}
 
 	ex := &Execution{
-		DAGNodes:        dagStats.Nodes,
-		DAGParallelPeak: dagStats.ParallelPeak,
+		DAGNodes:         dagStats.Nodes,
+		WorkerPeak:       dagStats.WorkerPeak,
+		DAGParallelPeak:  dagStats.WorkerPeak,
+		EffectiveWorkers: pool.Width(),
 	}
 	byQuery := map[*query.Query]*exec.Result{}
 	perQuery := map[*query.Query]exec.Stats{}

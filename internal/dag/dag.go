@@ -7,7 +7,13 @@
 // the memory budget, and the first error cancels everything else while
 // still draining in-flight work before Run returns.
 //
-// With Workers <= 1 the graph runs serially in insertion order, which for
+// The worker slots live in a Pool (pool.go) shared with the work a node
+// itself fans out: a running class pass splits its shared scan into
+// page-aligned morsels, and its extra scan workers Join the same pool
+// the scheduler starts nodes from. One width therefore bounds every
+// executor goroutine, inter-class and intra-class alike.
+//
+// With width <= 1 the graph runs serially in insertion order, which for
 // the graphs the planner builds (dependencies are always inserted before
 // their dependents) reproduces the pre-DAG sequential executor exactly.
 package dag
@@ -57,9 +63,15 @@ func (g *Graph) Len() int { return len(g.nodes) }
 
 // Options configures one Run.
 type Options struct {
-	// Workers bounds the number of nodes executing at once. Values <= 1
-	// run the graph serially in insertion order.
+	// Workers bounds the number of tasks executing at once. Values <= 1
+	// run the graph serially in insertion order. Ignored when Pool is
+	// set.
 	Workers int
+	// Pool, when non-nil, supplies the worker slots instead of a fresh
+	// NewPool(Workers). Callers pass the same pool to the work their
+	// nodes fan out (shared-scan morsels), so node starts and morsel
+	// helpers draw on one width. A pool belongs to a single Run.
+	Pool *Pool
 	// Gate, when non-nil, is called with the node's Cost before the node
 	// starts (after a worker slot is acquired, so a blocked admission
 	// never wedges ready work behind it on the same slot... each waiter
@@ -77,6 +89,10 @@ type Stats struct {
 	// ParallelPeak is the maximum number of nodes observed running
 	// simultaneously (1 for a serial run of a non-empty graph).
 	ParallelPeak int
+	// WorkerPeak is the pool-wide peak: nodes plus the scan-morsel
+	// helpers they fanned out, everything that held a worker slot at
+	// once. Equals ParallelPeak when no node fanned out.
+	WorkerPeak int
 }
 
 // Run executes the graph and blocks until every started node has
@@ -89,10 +105,14 @@ func (g *Graph) Run(ctx context.Context, opts Options) (Stats, error) {
 	if len(g.nodes) == 0 {
 		return st, ctx.Err()
 	}
-	if opts.Workers <= 1 {
+	pool := opts.Pool
+	if pool == nil {
+		pool = NewPool(opts.Workers)
+	}
+	if pool.Width() <= 1 {
 		return g.runSerial(ctx, opts, st)
 	}
-	return g.runParallel(ctx, opts, st)
+	return g.runParallel(ctx, opts, pool, st)
 }
 
 // runSerial executes nodes one at a time in insertion order, which is a
@@ -100,6 +120,7 @@ func (g *Graph) Run(ctx context.Context, opts Options) (Stats, error) {
 // degradation target: identical work, identical order, no goroutines.
 func (g *Graph) runSerial(ctx context.Context, opts Options, st Stats) (Stats, error) {
 	st.ParallelPeak = 1
+	st.WorkerPeak = 1
 	for _, n := range g.nodes {
 		if err := ctx.Err(); err != nil {
 			return st, err
@@ -121,13 +142,12 @@ func (g *Graph) runSerial(ctx context.Context, opts Options, st Stats) (Stats, e
 	return st, nil
 }
 
-func (g *Graph) runParallel(ctx context.Context, opts Options, st Stats) (Stats, error) {
+func (g *Graph) runParallel(ctx context.Context, opts Options, pool *Pool, st Stats) (Stats, error) {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
 		firstErr  atomic.Pointer[error]
-		slots     = make(chan struct{}, opts.Workers)
 		wg        sync.WaitGroup
 		cur, peak atomic.Int64
 	)
@@ -153,12 +173,10 @@ func (g *Graph) runParallel(ctx context.Context, opts Options, st Stats) (Stats,
 			if runCtx.Err() != nil {
 				return
 			}
-			select {
-			case slots <- struct{}{}:
-			case <-runCtx.Done():
+			if !pool.acquire(runCtx.Done()) {
 				return
 			}
-			defer func() { <-slots }()
+			defer pool.release()
 			release := func() {}
 			if opts.Gate != nil {
 				var err error
@@ -181,7 +199,9 @@ func (g *Graph) runParallel(ctx context.Context, opts Options, st Stats) (Stats,
 					break
 				}
 			}
+			pool.enter()
 			err := n.Run(runCtx)
+			pool.exit()
 			cur.Add(-1)
 			release()
 			if err != nil {
@@ -192,6 +212,7 @@ func (g *Graph) runParallel(ctx context.Context, opts Options, st Stats) (Stats,
 	wg.Wait()
 
 	st.ParallelPeak = int(peak.Load())
+	st.WorkerPeak = pool.Peak()
 	if p := firstErr.Load(); p != nil {
 		return st, *p
 	}

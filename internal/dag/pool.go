@@ -1,0 +1,127 @@
+package dag
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// The unified worker pool.
+//
+// One Pool governs every goroutine a Run may put to work: graph nodes
+// (class passes, cache rollups, lookup builds) and the page-aligned scan
+// morsels a running node fans out (exec's morsel-driven shared scans).
+// Both draw slots from the same bounded channel, so "4 DAG workers × 4
+// scan workers" can no longer oversubscribe to 16 goroutines — intra-
+// and inter-class parallelism compose against one width instead of
+// multiplying.
+
+// capFactor is the oversubscription allowance folded into WorkerCap.
+// The engine's shared passes are dominated by page I/O (and, in the
+// benchmarks, injected device latency), so a hardware thread can
+// usefully multiplex several workers blocked in reads; a factor of 1
+// would serialize the whole engine on single-core machines.
+const capFactor = 8
+
+// WorkerCap is the GOMAXPROCS-derived ceiling on effective pool width.
+// Requests beyond it are clamped by NewPool, bounding total executor
+// goroutines regardless of what the caller's knobs multiply out to.
+func WorkerCap() int {
+	c := capFactor * runtime.GOMAXPROCS(0)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Pool is the bounded worker-slot pool one Run schedules on. A nil Pool
+// behaves as width 1 (serial). Pools are cheap; create one per Run.
+type Pool struct {
+	width int
+	slots chan struct{}
+	// cur/peak track tasks actually running — nodes past their admission
+	// gate plus joined morsel workers — not slots held while blocked in
+	// admission, so Peak reports realized concurrency.
+	cur, peak atomic.Int64
+}
+
+// NewPool returns a pool of the requested width clamped to
+// [1, WorkerCap()].
+func NewPool(width int) *Pool {
+	if width < 1 {
+		width = 1
+	}
+	if c := WorkerCap(); width > c {
+		width = c
+	}
+	return &Pool{width: width, slots: make(chan struct{}, width)}
+}
+
+// Width is the clamped slot count. Nil-safe: a nil pool has width 1.
+func (p *Pool) Width() int {
+	if p == nil {
+		return 1
+	}
+	return p.width
+}
+
+// Join claims a worker slot for a morsel helper, blocking until a slot
+// frees or stop is closed (the scan ran out of morsels or aborted). It
+// reports whether the slot was claimed; the caller must Leave after
+// true. Helpers never hold a slot while waiting on anything else, so
+// Join cannot deadlock against node scheduling.
+func (p *Pool) Join(stop <-chan struct{}) bool {
+	select {
+	case p.slots <- struct{}{}:
+	default:
+		select {
+		case p.slots <- struct{}{}:
+		case <-stop:
+			return false
+		}
+	}
+	p.enter()
+	return true
+}
+
+// Leave returns a slot claimed by Join.
+func (p *Pool) Leave() {
+	p.exit()
+	<-p.slots
+}
+
+// Peak is the maximum number of tasks — nodes plus morsel helpers —
+// observed running at once. Nil-safe.
+func (p *Pool) Peak() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.peak.Load())
+}
+
+// acquire claims a slot for a graph node, abandoning the wait when the
+// run is canceled. Unlike Join it does not mark the task running — the
+// node still has to pass the admission gate; runParallel calls enter
+// afterwards.
+func (p *Pool) acquire(cancel <-chan struct{}) bool {
+	select {
+	case p.slots <- struct{}{}:
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
+func (p *Pool) release() { <-p.slots }
+
+// enter marks one task running and folds it into the peak.
+func (p *Pool) enter() {
+	running := p.cur.Add(1)
+	for {
+		pk := p.peak.Load()
+		if running <= pk || p.peak.CompareAndSwap(pk, running) {
+			return
+		}
+	}
+}
+
+func (p *Pool) exit() { p.cur.Add(-1) }

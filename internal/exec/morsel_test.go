@@ -1,0 +1,262 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"mdxopt/internal/dag"
+	"mdxopt/internal/query"
+)
+
+// Morsel-driven scan equivalence: the shared-scan operators must produce
+// byte-identical results and identical deterministic work counters at
+// every worker count, whether workers claim morsels dynamically or run
+// the legacy static pre-split — the merge order (worker index), the
+// canonical result sort, and the exact float64 measure sums make the
+// outcome independent of how pages were dealt out.
+
+// scanCounters projects the deterministic counters of a shared pass —
+// the fields that may not vary with worker count or morsel grain. I/O
+// and wall-clock metrics legitimately change with scheduling.
+func scanCounters(s Stats) [8]int64 {
+	return [8]int64{
+		s.TuplesScanned, s.TupleProbes, s.TuplesAgg, s.TuplesFetched,
+		s.HashBuildRows, s.BitmapWords, s.BitTests, s.CacheRows,
+	}
+}
+
+// TestMorselEquivalenceRandomized fuzzes SharedScanHash across widths:
+// random query subsets, random morsel grains (down to one page, the
+// maximum-stealing worst case), workers 1/2/4/8 — all must match the
+// serial pass exactly.
+func TestMorselEquivalenceRandomized(t *testing.T) {
+	db, qs := testDB(t)
+	all := []*query.Query{qs["Q1"], qs["Q2"], qs["Q3"], qs["Q4"], qs["Q9"]}
+	rng := rand.New(rand.NewSource(20260808))
+
+	for trial := 0; trial < 6; trial++ {
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		group := append([]*query.Query(nil), all[:2+rng.Intn(len(all)-1)]...)
+		grain := 1 + rng.Intn(3)
+
+		env := NewEnv(db)
+		var baseSt Stats
+		baseline, err := SharedScanHash(env, db.Base(), group, &baseSt)
+		if err != nil {
+			t.Fatalf("trial %d serial: %v", trial, err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			penv := NewEnv(db)
+			penv.Parallelism = workers
+			penv.MorselPages = grain
+			var st Stats
+			results, err := SharedScanHash(penv, db.Base(), group, &st)
+			if err != nil {
+				t.Fatalf("trial %d workers=%d grain=%d: %v", trial, workers, grain, err)
+			}
+			checkIdentical(t, results, baseline)
+			if scanCounters(st) != scanCounters(baseSt) {
+				t.Fatalf("trial %d workers=%d grain=%d: counters %v, serial %v",
+					trial, workers, grain, scanCounters(st), scanCounters(baseSt))
+			}
+		}
+	}
+}
+
+// TestMorselEquivalenceMixed runs the mixed scan+probe pass at every
+// width: only the scan side fans out into morsels, and both result sets
+// must stay identical to serial.
+func TestMorselEquivalenceMixed(t *testing.T) {
+	db, qs := testDB(t)
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+	if view == nil {
+		t.Skip("A'B'C'D view not materialized")
+	}
+	hash := []*query.Query{qs["Q3"]}
+	index := []*query.Query{qs["Q7"], qs["Q8"]}
+
+	env := NewEnv(db)
+	var baseSt Stats
+	baseHash, baseIndex, err := SharedMixed(env, view, hash, index, &baseSt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		penv := NewEnv(db)
+		penv.Parallelism = workers
+		penv.MorselPages = 1
+		var st Stats
+		gotHash, gotIndex, err := SharedMixed(penv, view, hash, index, &st)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		checkIdentical(t, gotHash, baseHash)
+		checkIdentical(t, gotIndex, baseIndex)
+		if scanCounters(st) != scanCounters(baseSt) {
+			t.Fatalf("workers=%d: counters %v, serial %v",
+				workers, scanCounters(st), scanCounters(baseSt))
+		}
+	}
+}
+
+// TestMorselStaticPartitionEquivalence: the StaticPartition ablation
+// path (legacy pre-split, no stealing) must also reproduce the serial
+// results — it shares the merge machinery with the morsel path.
+func TestMorselStaticPartitionEquivalence(t *testing.T) {
+	db, qs := testDB(t)
+	group := []*query.Query{qs["Q1"], qs["Q2"], qs["Q3"], qs["Q4"], qs["Q9"]}
+
+	env := NewEnv(db)
+	var baseSt Stats
+	baseline, err := SharedScanHash(env, db.Base(), group, &baseSt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		penv := NewEnv(db)
+		penv.Parallelism = workers
+		penv.StaticPartition = true
+		var st Stats
+		results, err := SharedScanHash(penv, db.Base(), group, &st)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		checkIdentical(t, results, baseline)
+		if scanCounters(st) != scanCounters(baseSt) {
+			t.Fatalf("workers=%d: counters %v, serial %v",
+				workers, scanCounters(st), scanCounters(baseSt))
+		}
+	}
+}
+
+// TestMorselSpillEquivalence: a memory budget far below the working set
+// forces every worker's aggregation table through the spill path; the
+// merged results must still match the unbudgeted serial run and the
+// broker must drain to zero.
+func TestMorselSpillEquivalence(t *testing.T) {
+	db, qs := testDB(t)
+	group := []*query.Query{qs["Q1"], qs["Q2"], qs["Q3"], qs["Q4"], qs["Q9"]}
+
+	env := NewEnv(db)
+	var baseSt Stats
+	baseline, err := SharedScanHash(env, db.Base(), group, &baseSt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 8} {
+		penv, broker := budgetedEnv(t, db, 1<<12)
+		penv.Parallelism = workers
+		penv.MorselPages = 1
+		var st Stats
+		results, err := SharedScanHash(penv, db.Base(), group, &st)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		checkIdentical(t, results, baseline)
+		checkDrained(t, broker)
+		if st.SpillBytes == 0 {
+			t.Fatalf("workers=%d: 4KiB budget did not spill: %s", workers, st)
+		}
+	}
+}
+
+// TestMorselDetachMidScan cancels one query's per-submission context
+// partway through a parallel scan — triggered by a disk-read hook, so
+// the cancellation lands mid-morsel with workers in flight. The dead
+// query must come back detached, the pass must still scan every row
+// exactly once across all workers, and the survivor must stay
+// oracle-correct.
+func TestMorselDetachMidScan(t *testing.T) {
+	db, qs := testDB(t)
+	if err := db.ColdReset(); err != nil {
+		t.Fatal(err)
+	}
+	dead, live := qs["Q1"], qs["Q9"]
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	disk := db.Base().Heap.File().Disk()
+	var reads atomic.Int64
+	disk.SetFault(func(op string, page uint32) error {
+		if op == "read" && reads.Add(1) == 8 {
+			cancel()
+		}
+		return nil
+	})
+	defer disk.SetFault(nil)
+
+	env := NewEnv(db)
+	env.Parallelism = 4
+	env.MorselPages = 1
+	env.QueryCtx = func(q *query.Query) context.Context {
+		if q == dead {
+			return ctx
+		}
+		return context.Background()
+	}
+
+	var st Stats
+	rs, err := SharedScanHash(env, db.Base(), []*query.Query{dead, live}, &st)
+	if err != nil {
+		t.Fatalf("SharedScanHash: %v", err)
+	}
+	if !errors.Is(rs[0].Err, context.Canceled) {
+		t.Fatalf("dead query's err = %v, want context.Canceled", rs[0].Err)
+	}
+	if rs[1].Err != nil {
+		t.Fatalf("surviving query's result has error: %v", rs[1].Err)
+	}
+	if st.TuplesScanned != db.Base().Rows() {
+		t.Fatalf("pass scanned %d of %d rows: detach aborted the shared scan",
+			st.TuplesScanned, db.Base().Rows())
+	}
+	disk.SetFault(nil)
+	env.QueryCtx = nil
+	checkAgainstOracle(t, env, rs[1])
+}
+
+// TestMorselAllDetachedStopsEarly: when every pipeline detaches, the
+// morsel workers stop claiming at the next boundary instead of scanning
+// the rest of the table for no one.
+func TestMorselAllDetachedStopsEarly(t *testing.T) {
+	db, qs := testDB(t)
+	env := NewEnv(db)
+	env.Parallelism = 4
+	env.MorselPages = 1
+	env.QueryCtx = func(*query.Query) context.Context { return canceledCtx() }
+
+	var st Stats
+	rs, err := SharedScanHash(env, db.Base(), []*query.Query{qs["Q1"], qs["Q9"]}, &st)
+	if err != nil {
+		t.Fatalf("SharedScanHash: %v", err)
+	}
+	for i, r := range rs {
+		if r.Err == nil {
+			t.Fatalf("result %d of an all-canceled pass has no error", i)
+		}
+	}
+	if st.TuplesScanned >= db.Base().Rows() {
+		t.Fatalf("all pipelines detached but the pass scanned all %d rows", st.TuplesScanned)
+	}
+}
+
+// TestScanWidthResolution: Env.Parallelism clamps to the pool cap, and a
+// run-wide pool overrides it entirely.
+func TestScanWidthResolution(t *testing.T) {
+	db, _ := testDB(t)
+	env := NewEnv(db)
+	if got := env.scanWidth(); got != 1 {
+		t.Fatalf("default scanWidth = %d, want 1", got)
+	}
+	env.Parallelism = 1 << 20
+	if got, cap := env.scanWidth(), dag.WorkerCap(); got != cap {
+		t.Fatalf("scanWidth = %d, want clamp to WorkerCap %d", got, cap)
+	}
+	env.Pool = dag.NewPool(2)
+	if got := env.scanWidth(); got != 2 {
+		t.Fatalf("scanWidth = %d with a width-2 pool, want 2 (pool overrides Parallelism)", got)
+	}
+}

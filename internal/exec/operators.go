@@ -142,7 +142,7 @@ func SharedScanHash(env *Env, view *star.View, queries []*query.Query, stats *St
 				p.foldBatch(st, b)
 			}
 		}
-		if env.workers() > 1 {
+		if env.scanWidth() > 1 {
 			err := parallelScan(env, view, stats,
 				func() (any, error) {
 					set := make([]*queryPipeline, len(queries))
@@ -436,7 +436,7 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 				}
 			}
 		}
-		if env.workers() > 1 {
+		if env.scanWidth() > 1 {
 			type mixedState struct {
 				hash, index []*queryPipeline
 			}

@@ -2,7 +2,9 @@ package exec
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"mdxopt/internal/dag"
 	"mdxopt/internal/star"
 	"mdxopt/internal/table"
 )
@@ -10,19 +12,58 @@ import (
 // Parallel shared scans.
 //
 // Every aggregate this engine supports is decomposable, so a shared scan
-// can be partitioned into contiguous row ranges processed by independent
-// workers — each with its own aggregation tables but sharing the
-// read-only dimension lookups and filter bitmaps — and the per-worker
-// tables merged afterwards. This parallelizes exactly the per-tuple CPU
-// the paper's Test 1 identifies as the irreducible cost of the shared
-// scan. Enable it with Env.Parallelism.
+// can be split across independent workers — each with its own
+// aggregation tables but sharing the read-only dimension lookups and
+// filter bitmaps — and the per-worker tables merged afterwards in worker
+// index order. This parallelizes exactly the per-tuple CPU the paper's
+// Test 1 identifies as the irreducible cost of the shared scan.
+//
+// The default split is morsel-driven: workers claim page-aligned morsels
+// from a shared atomic cursor, so a worker that lands on slow pages
+// simply claims fewer morsels while its siblings absorb the rest — no
+// static pre-split, no straggler. The pass's own goroutine is always
+// worker 0; extra workers run only while they hold a slot of the
+// run-wide dag.Pool (Env.Pool), the same pool the task-graph scheduler
+// starts nodes on, so intra-class fan-out and inter-class node
+// concurrency are bounded by one width. Env.StaticPartition reverts to
+// the legacy one-range-per-worker pre-split (scanPartitions) for the
+// straggler ablation.
+//
+// Determinism: morsel assignment is racy, but every per-worker table is
+// merged into worker 0's primary state in worker index order, table
+// finalization sorts on canonical byte keys, and the workload's measures
+// sum exactly in float64 — so results and the deterministic work
+// counters are byte-identical at every width, morsel or static, to the
+// serial pass.
 
-// workers returns the effective worker count.
-func (e *Env) workers() int {
-	if e.Parallelism < 1 {
-		return 1
+// defaultMorselPages is the pages-per-morsel grain: big enough that the
+// shared cursor is touched once per ~dozens of pages, small enough that
+// a skewed page-cost tail is spread across all workers.
+const defaultMorselPages = 16
+
+// scanWidth is the effective worker fan-out of one shared pass: the
+// run-wide pool's width when the pass runs under the task-graph
+// executor, Env.Parallelism standalone, clamped to dag.WorkerCap.
+func (e *Env) scanWidth() int {
+	w := e.Parallelism
+	if e.Pool != nil {
+		w = e.Pool.Width()
 	}
-	return e.Parallelism
+	if w < 1 {
+		w = 1
+	}
+	if c := dag.WorkerCap(); w > c {
+		w = c
+	}
+	return w
+}
+
+// morselPages resolves the pages-per-morsel grain.
+func (e *Env) morselPages() int64 {
+	if e.MorselPages > 0 {
+		return int64(e.MorselPages)
+	}
+	return defaultMorselPages
 }
 
 // merge folds another pipeline's aggregation table (in-memory or
@@ -50,7 +91,9 @@ func (p *queryPipeline) merge(o *queryPipeline) error {
 // workers ever share a page: whole pages are dealt out as evenly as
 // possible (the first pages%n workers get one extra), which both keeps
 // the per-worker work balanced and prevents a boundary page from being
-// fetched — and its read double-counted — by two workers.
+// fetched — and its read double-counted — by two workers. Used only by
+// the StaticPartition ablation path; the morsel path needs no
+// pre-split.
 func scanPartitions(rows int64, n, tpp int) [][2]int64 {
 	if n < 1 {
 		n = 1
@@ -82,17 +125,17 @@ func scanPartitions(rows int64, n, tpp int) [][2]int64 {
 }
 
 // parallelScan runs processBatch over the view's rows with
-// env.workers() page-aligned partitions. mkState builds one worker's
-// private state (pipelines); check runs at the worker's cancellation
-// checkpoints — once per page batch — (global context plus per-pipeline
-// detachment: a worker whose pipelines have all detached stops early
-// with errDetached, which is not an error); processBatch handles one
-// decoded page of tuples; afterwards the per-worker stats and states
-// are merged via mergeState (which may itself fail, e.g. draining a
-// worker's spill file). discard must release a state's resources — it
-// runs (deferred, idempotently) for every state on every path, so
-// memory reservations and spill files never leak on errors. Lookups
-// and bitmaps must be built before calling (they are shared
+// env.scanWidth() workers. mkState builds one worker's private state
+// (pipelines); check runs at the worker's cancellation checkpoints —
+// once per page batch — (global context plus per-pipeline detachment: a
+// worker whose pipelines have all detached stops early with
+// errDetached, which is not an error); processBatch handles one decoded
+// page of tuples; afterwards the per-worker stats and states are merged
+// in worker index order via mergeState (which may itself fail, e.g.
+// draining a worker's spill file). discard must release a state's
+// resources — it runs (deferred, idempotently) for every state on every
+// path, so memory reservations and spill files never leak on errors.
+// Lookups and bitmaps must be built before calling (they are shared
 // read-only).
 func parallelScan(
 	env *Env,
@@ -104,10 +147,9 @@ func parallelScan(
 	mergeState func(state any) error,
 	discard func(state any),
 ) error {
-	n := env.workers()
-	parts := scanPartitions(view.Rows(), n, view.Heap.TuplesPerPage())
+	width := env.scanWidth()
 
-	states := make([]any, len(parts))
+	states := make([]any, width)
 	defer func() {
 		for _, s := range states {
 			if s != nil {
@@ -123,8 +165,114 @@ func parallelScan(
 		states[i] = s
 	}
 
-	workerStats := make([]Stats, len(parts))
-	errs := make([]error, len(parts))
+	workerStats := make([]Stats, width)
+	errs := make([]error, width)
+	if env.StaticPartition {
+		staticScan(env, view, states, workerStats, errs, check, processBatch)
+	} else {
+		morselScan(env, view, states, workerStats, errs, check, processBatch)
+	}
+	for w := range errs {
+		if errs[w] != nil && errs[w] != errDetached {
+			return errs[w]
+		}
+	}
+	for w := range states {
+		stats.Add(workerStats[w])
+		if err := mergeState(states[w]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// morselScan drives the states over the view with a shared morsel
+// cursor: each worker atomically claims the next morselPages-sized page
+// range until the table is exhausted. Worker 0 is the calling goroutine
+// (it already occupies a pool slot when running as a task-graph node);
+// workers 1..n-1 participate only once they Join the pool, so a
+// saturated pool degrades the scan toward worker 0 alone instead of
+// oversubscribing. The first real worker error parks the cursor so
+// every worker stops at its next morsel boundary.
+func morselScan(env *Env, view *star.View, states []any, workerStats []Stats, errs []error,
+	check func(state any) error, processBatch func(state any, st *Stats, b *table.Batch)) {
+
+	rows := view.Rows()
+	tpp := int64(view.Heap.TuplesPerPage())
+	if tpp < 1 {
+		tpp = 1
+	}
+	pages := (rows + tpp - 1) / tpp
+	grain := env.morselPages()
+
+	var cursor atomic.Int64
+	var aborted atomic.Bool
+	worker := func(w int) error {
+		st := &workerStats[w]
+		for !aborted.Load() {
+			startPage := cursor.Add(grain) - grain
+			if startPage >= pages {
+				return nil
+			}
+			from := startPage * tpp
+			to := (startPage + grain) * tpp
+			if to > rows {
+				to = rows
+			}
+			err := view.Heap.ScanRangeBatches(from, to, func(b *table.Batch) error {
+				if err := check(states[w]); err != nil {
+					return err
+				}
+				st.TuplesScanned += int64(b.N)
+				processBatch(states[w], st, b)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fail := func(w int, err error) {
+		errs[w] = err
+		if err != nil && err != errDetached {
+			aborted.Store(true)
+		}
+	}
+
+	pool := env.Pool
+	if pool == nil {
+		pool = dag.NewPool(len(states))
+	}
+	// stop releases helpers still waiting for a slot once the cursor is
+	// drained (or worker 0 bailed); helpers that joined late see the
+	// exhausted cursor and exit immediately.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 1; w < len(states); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if !pool.Join(stop) {
+				return
+			}
+			defer pool.Leave()
+			fail(w, worker(w))
+		}(w)
+	}
+	fail(0, worker(0))
+	close(stop)
+	wg.Wait()
+}
+
+// staticScan is the legacy pre-split: one contiguous page-aligned range
+// per worker (scanPartitions), every worker started unconditionally.
+// Kept behind Env.StaticPartition as the straggler ablation baseline —
+// a slow range parks its worker on the whole range with no stealing.
+func staticScan(env *Env, view *star.View, states []any, workerStats []Stats, errs []error,
+	check func(state any) error, processBatch func(state any, st *Stats, b *table.Batch)) {
+
+	parts := scanPartitions(view.Rows(), len(states), view.Heap.TuplesPerPage())
 	var wg sync.WaitGroup
 	for w := range parts {
 		wg.Add(1)
@@ -143,16 +291,4 @@ func parallelScan(
 		}(w)
 	}
 	wg.Wait()
-	for w := range parts {
-		if errs[w] != nil && errs[w] != errDetached {
-			return errs[w]
-		}
-	}
-	for w := range parts {
-		stats.Add(workerStats[w])
-		if err := mergeState(states[w]); err != nil {
-			return err
-		}
-	}
-	return nil
 }

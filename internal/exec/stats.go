@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"mdxopt/internal/cost"
+	"mdxopt/internal/dag"
 	"mdxopt/internal/mem"
 	"mdxopt/internal/query"
 	"mdxopt/internal/star"
@@ -133,10 +134,29 @@ type Env struct {
 	// sharing opportunity). On by default; the ablation benchmark turns
 	// it off.
 	ShareLookups bool
-	// Parallelism partitions shared scans across this many workers with
+	// Parallelism fans shared scans out across this many workers with
 	// per-worker aggregation tables merged afterwards (all supported
-	// aggregates are decomposable). Values below 2 run serially.
+	// aggregates are decomposable). Values below 2 run serially. It is
+	// the standalone-Env alias of the unified pool width: when Pool is
+	// set (the task-graph executor runs the pass), the pool's width
+	// governs instead and this field is ignored, so a caller's two knobs
+	// compose into one bound rather than multiplying.
 	Parallelism int
+	// Pool, when non-nil, is the run-wide worker pool the pass's scan
+	// morsels draw slots from — the same pool the task-graph scheduler
+	// starts nodes on. Extra scan workers beyond the pass's own
+	// goroutine run only while they hold a pool slot, so total executor
+	// concurrency never exceeds the pool width.
+	Pool *dag.Pool
+	// StaticPartition reverts shared scans to the legacy static
+	// pre-split (one contiguous page range per worker, scanPartitions)
+	// instead of morsel-driven work stealing. Results are identical;
+	// the switch exists for the pool benchmark's straggler ablation.
+	StaticPartition bool
+	// MorselPages overrides the pages per scan morsel (default
+	// defaultMorselPages). Smaller morsels steal more finely; tests use
+	// tiny morsels to force contention on the shared cursor.
+	MorselPages int
 	// Ctx, when non-nil, is checked periodically during scans and
 	// probes; cancellation aborts the operator with the context's error.
 	Ctx context.Context

@@ -31,6 +31,14 @@ type Estimator struct {
 	// ClassCost calls) — the "number of global plans searched" currency
 	// of the paper's §8 time/space trade-off discussion.
 	CostEvals int64
+	// Workers is the effective worker-pool width execution will run
+	// under (core.ExecOptions.Workers after clamping). The memory model
+	// multiplies scan-side aggregation-table footprints by the resident
+	// per-worker copies (see aggTableCopies), so admission keeps the
+	// broker's peak within budget when shared scans fan out into
+	// morsels. Zero or one prices the serial pass. Cost estimates are
+	// unaffected — the pool changes wall-clock, not work.
+	Workers int
 	// Cache, when non-nil, is the semantic result cache the optimizers
 	// consult before costing star-join plans: a query answerable from a
 	// cached entry gains a zero-IO rollup candidate (CacheCandidate)

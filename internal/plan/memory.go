@@ -91,9 +91,23 @@ func bitmapMemory(v *star.View) int64 {
 	return (v.Rows() + 63) / 64 * 8
 }
 
+// aggTableCopies is how many copies of each member's aggregation table
+// a class pass holds at its peak: one for the serial or probe-regime
+// pass, and under a Workers-wide pool one per scan worker plus the
+// primary table they merge into (the workers' tables are still resident
+// while the first merges absorb them). Lookups and bitmaps are shared
+// read-only across scan workers and are not multiplied.
+func (e *Estimator) aggTableCopies(c *Class) int64 {
+	if e.Workers <= 1 || c.Regime == ProbeRegime {
+		return 1
+	}
+	return int64(e.Workers) + 1
+}
+
 // ClassMemory estimates the operator-state footprint of evaluating
 // class c in one shared pass, in bytes: deduplicated dimension lookups
-// (assuming lookup sharing), one aggregation table per member, one
+// (assuming lookup sharing), one aggregation table per member — per
+// resident copy when the pool fans the scan out (aggTableCopies) — one
 // result bitmap per index member, and the union bitmap in the probe
 // regime. Methods and Regime must already be assigned (ClassCost does
 // this); an unpriced class is estimated as if in the scan regime with
@@ -103,10 +117,11 @@ func (e *Estimator) ClassMemory(c *Class) int64 {
 		return 0
 	}
 	v := c.View
+	copies := e.aggTableCopies(c)
 	total := e.classLookupMemory(c)
 	bitmaps := 0
 	for _, p := range c.Plans {
-		total += e.aggMemory(p.Query, v)
+		total += copies * e.aggMemory(p.Query, v)
 		if p.Method == IndexSJ {
 			bitmaps++
 		}

@@ -93,10 +93,15 @@ type Outcome struct {
 	// BatchSize is how many submissions the merged batch held.
 	BatchSize int
 	// DAGNodes is how many task-graph nodes the batch's plan compiled
-	// to; DAGParallelPeak is the most that ran concurrently (1 under the
-	// serial executor). Whole-batch properties, repeated per submission.
-	DAGNodes        int
-	DAGParallelPeak int
+	// to. WorkerPeak is the unified pool's concurrency peak — nodes plus
+	// scan-morsel workers — and DAGParallelPeak is its pre-pool alias
+	// carrying the same value (1 under the serial executor).
+	// EffectiveWorkers is the clamped pool width the batch ran at.
+	// Whole-batch properties, repeated per submission.
+	DAGNodes         int
+	WorkerPeak       int
+	DAGParallelPeak  int
+	EffectiveWorkers int
 	// SharedWith counts the other submissions whose queries shared at
 	// least one pass (class) with this one's; 0 means every pass was
 	// private even if the query was batched.
@@ -391,13 +396,15 @@ func Exec(env *exec.Env, planFn PlanFunc, admit AdmitFunc, subs []*Submission, o
 	for si, sub := range subs {
 		qs := perSub[si]
 		o := &Outcome{
-			Queries:         qs,
-			Results:         results[offset : offset+len(qs)],
-			PerQuery:        perQuery[offset : offset+len(qs)],
-			Plan:            planText,
-			BatchSize:       len(subs),
-			DAGNodes:        ex.DAGNodes,
-			DAGParallelPeak: ex.DAGParallelPeak,
+			Queries:          qs,
+			Results:          results[offset : offset+len(qs)],
+			PerQuery:         perQuery[offset : offset+len(qs)],
+			Plan:             planText,
+			BatchSize:        len(subs),
+			DAGNodes:         ex.DAGNodes,
+			WorkerPeak:       ex.WorkerPeak,
+			DAGParallelPeak:  ex.DAGParallelPeak,
+			EffectiveWorkers: ex.EffectiveWorkers,
 		}
 		offset += len(qs)
 		var ferr error

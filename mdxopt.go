@@ -34,6 +34,7 @@ import (
 
 	"mdxopt/internal/core"
 	"mdxopt/internal/cost"
+	"mdxopt/internal/dag"
 	"mdxopt/internal/datagen"
 	"mdxopt/internal/exec"
 	"mdxopt/internal/mdx"
@@ -101,8 +102,9 @@ type DB struct {
 	// spillDir is where budget-exceeded aggregation state spills
 	// (OpenOptions.SpillDir; empty = the system temp directory).
 	spillDir string
-	// execWorkers is the default task-graph concurrency for plans this
-	// database executes (OpenOptions.ExecWorkers; 1 = serial).
+	// execWorkers is the default unified pool width for plans this
+	// database executes (OpenOptions.Workers, with OpenOptions.ExecWorkers
+	// as its accepted alias; 1 = serial).
 	execWorkers int
 
 	// rescache is the semantic result cache
@@ -224,9 +226,21 @@ type Options struct {
 	// ColdCache flushes the buffer pool and index caches before
 	// executing, as the paper does between measurements.
 	ColdCache bool
-	// Parallelism partitions shared scans across this many workers
-	// (per-worker aggregation tables merged afterwards). Values below 2
-	// run serially.
+	// Workers is the unified worker-pool width for this request: one
+	// bound on every executor goroutine at once — concurrently running
+	// plan passes (class scans, cache rollups, shared lookup builds) AND
+	// the page-aligned scan morsels a running pass fans out, all drawing
+	// slots from one pool. 0 falls back to the legacy aliases below (or
+	// the database default, OpenOptions.Workers); 1 runs fully serially.
+	// Results and deterministic work counters are identical at every
+	// width. Widths beyond the GOMAXPROCS-derived cap are clamped;
+	// Stats.EffectiveWorkers reports the width actually used.
+	Workers int
+	// Parallelism is a documented alias from the pre-pool API, when scan
+	// fan-out was a separate knob from plan-node concurrency. When
+	// Workers is 0 the two aliases compose into one width —
+	// max(1,ExecWorkers) × max(1,Parallelism), clamped — instead of
+	// multiplying into unbounded goroutines. Prefer Workers.
 	Parallelism int
 	// Batching routes the query through the admission scheduler: it is
 	// held for a short window, merged with other concurrent submissions
@@ -243,15 +257,13 @@ type Options struct {
 	// per-request cap. Ignored with Batching (batches are governed
 	// collectively by the admission scheduler).
 	MemoryBudget int64
-	// ExecWorkers bounds how many of the plan's task-graph nodes —
-	// class passes, cache rollups, shared lookup builds — run
-	// concurrently. 0 uses the database default
-	// (OpenOptions.ExecWorkers); 1 runs the graph serially. Results and
-	// deterministic work counters are identical at every setting. Each
-	// node's start is additionally gated on the memory broker with the
-	// optimizer's footprint estimate, so at tight budgets execution
-	// degrades toward serial instead of overcommitting. Ignored with
-	// Batching (use BatchConfig.ExecWorkers).
+	// ExecWorkers is the other pre-pool alias (task-graph node
+	// concurrency); see Parallelism for how the aliases compose when
+	// Workers is 0. Each pass's start is gated on the memory broker with
+	// the optimizer's footprint estimate — priced per worker, since scan
+	// fan-out multiplies resident aggregation state — so at tight
+	// budgets execution degrades toward serial instead of
+	// overcommitting. Ignored with Batching (use BatchConfig.Workers).
 	ExecWorkers int
 }
 
@@ -336,11 +348,15 @@ type OpenOptions struct {
 	// directory.
 	SpillDir string
 
-	// ExecWorkers is the default task-graph concurrency for executed
-	// plans: how many nodes (class passes, cache rollups, shared lookup
-	// builds) may run at once. Default 1 (serial, the legacy order);
-	// Options.ExecWorkers overrides per request. Independent of
-	// Options.Parallelism, which partitions one scan internally.
+	// Workers is the database-default unified worker-pool width for
+	// executed plans: one bound covering concurrently running plan
+	// passes and the scan morsels they fan out. Default 1 (serial, the
+	// legacy order); Options.Workers overrides per request. Widths
+	// beyond the GOMAXPROCS-derived cap are clamped.
+	Workers int
+
+	// ExecWorkers is the pre-pool alias of Workers, kept accepted; it is
+	// used only when Workers is 0.
 	ExecWorkers int
 
 	// ResultCacheBudget bounds the semantic result cache in bytes:
@@ -371,7 +387,11 @@ func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &DB{db: db, mem: mem.New(opts.MemoryBudget), spillDir: opts.SpillDir, execWorkers: opts.ExecWorkers}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = opts.ExecWorkers
+	}
+	d := &DB{db: db, mem: mem.New(opts.MemoryBudget), spillDir: opts.SpillDir, execWorkers: workers}
 	if opts.ResultCacheBudget > 0 {
 		d.rescache = rescache.New(opts.ResultCacheBudget, d.mem)
 	}
@@ -644,10 +664,17 @@ type Stats struct {
 	PackedFolds int64
 
 	// DAGNodes is how many task-graph nodes the plan compiled to (class
-	// passes + cache rollups + shared lookup builds); DAGParallelPeak is
-	// the most that ran concurrently (1 under the serial executor).
-	DAGNodes        int
-	DAGParallelPeak int
+	// passes + cache rollups + shared lookup builds). WorkerPeak is the
+	// unified worker pool's concurrency peak — nodes running plus the
+	// scan-morsel workers they fanned out (1 under the serial executor);
+	// DAGParallelPeak is its pre-pool alias and always carries the same
+	// value. EffectiveWorkers is the pool width the request actually ran
+	// at: the requested Workers (or composed legacy aliases) clamped to
+	// the GOMAXPROCS-derived cap.
+	DAGNodes         int
+	WorkerPeak       int
+	DAGParallelPeak  int
+	EffectiveWorkers int
 
 	// ResultCacheHits counts this request's queries served from the
 	// semantic result cache by a zero-IO rollup; ResultCacheMisses the
@@ -811,7 +838,6 @@ func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, op
 		}
 	}
 	env := exec.NewEnv(d.db)
-	env.Parallelism = opts.Parallelism
 	env.Ctx = ctx
 	env.Mem = d.mem
 	if opts.MemoryBudget > 0 {
@@ -819,7 +845,8 @@ func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, op
 	}
 	env.SpillDir = d.spillDir
 	var st exec.Stats
-	ex, err := core.Run(env, g, queries, &st, d.execOptions(opts.ExecWorkers, env.Mem))
+	workers := d.effectiveWorkers(opts.Workers, opts.ExecWorkers, opts.Parallelism)
+	ex, err := core.Run(env, g, queries, &st, d.execOptions(workers, env.Mem))
 	if err != nil {
 		return nil, err
 	}
@@ -835,23 +862,59 @@ func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, op
 	}
 	ans.Stats = statsOut(st)
 	ans.Stats.DAGNodes = ex.DAGNodes
+	ans.Stats.WorkerPeak = ex.WorkerPeak
 	ans.Stats.DAGParallelPeak = ex.DAGParallelPeak
+	ans.Stats.EffectiveWorkers = ex.EffectiveWorkers
 	d.cacheCounters(&ans.Stats, results, evicted)
 	return ans, nil
 }
 
-// execOptions shapes the task-graph executor's configuration for one
-// request: the effective worker count (request override, else the
-// database default), and — when actually parallel — per-node memory
-// admission against broker with the optimizer's footprint estimates.
-func (d *DB) execOptions(workers int, broker *mem.Broker) core.ExecOptions {
-	if workers == 0 {
-		workers = d.execWorkers
+// effectiveWorkers resolves one request's unified pool width: the
+// Workers option when set, otherwise the legacy aliases composed —
+// ExecWorkers (or the database default when that is 0 too) times
+// Parallelism — so the pre-pool knob pair bounds one pool instead of
+// multiplying goroutine layers. The result is clamped to
+// [1, dag.WorkerCap()].
+func (d *DB) effectiveWorkers(workers, execWorkers, parallelism int) int {
+	if workers <= 0 && execWorkers == 0 {
+		execWorkers = d.execWorkers
 	}
+	return composeWorkers(workers, execWorkers, parallelism)
+}
+
+// composeWorkers folds the unified Workers knob and its two legacy
+// aliases into one clamped pool width (see Options.Workers).
+func composeWorkers(workers, execWorkers, parallelism int) int {
+	w := workers
+	if w <= 0 {
+		if execWorkers < 1 {
+			execWorkers = 1
+		}
+		if parallelism < 1 {
+			parallelism = 1
+		}
+		w = execWorkers * parallelism
+	}
+	if c := dag.WorkerCap(); w > c {
+		w = c
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// execOptions shapes the task-graph executor's configuration for one
+// request running at the given resolved pool width: when actually
+// parallel, per-pass memory admission against broker with the
+// optimizer's footprint estimates, priced per worker (scan fan-out
+// multiplies resident aggregation tables).
+func (d *DB) execOptions(workers int, broker *mem.Broker) core.ExecOptions {
 	if workers <= 1 {
 		return core.ExecOptions{}
 	}
 	est := plan.NewEstimator(d.db)
+	est.Workers = workers
 	return core.ExecOptions{
 		Workers: workers,
 		Est:     est,
@@ -995,15 +1058,22 @@ type BatchConfig struct {
 	Algorithm Algorithm
 	// PaperPlanSpace confines batch plans to the paper's plan space.
 	PaperPlanSpace bool
-	// Parallelism partitions each batch's shared scans across workers.
+	// Workers is the unified worker-pool width each batch executes at:
+	// one bound on concurrently running plan passes plus the scan
+	// morsels they fan out (default 1 = serial; clamped to the
+	// GOMAXPROCS-derived cap). The batch's memory is governed
+	// collectively by the admission claim — sized per worker, since scan
+	// fan-out multiplies resident aggregation state — so passes are not
+	// individually gated.
+	Workers int
+	// Parallelism and ExecWorkers are the pre-pool aliases; when Workers
+	// is 0 they compose into one width, max(1,ExecWorkers) ×
+	// max(1,Parallelism), clamped. Prefer Workers.
 	Parallelism int
 	// ColdCache flushes the buffer pool before every batch, as in the
 	// paper's measurements.
 	ColdCache bool
-	// ExecWorkers bounds how many of a batch plan's task-graph nodes
-	// run concurrently (default 1 = serial). The batch's memory is
-	// governed collectively by the admission claim, so nodes are not
-	// individually gated.
+	// ExecWorkers is a pre-pool alias; see Parallelism.
 	ExecWorkers int
 }
 
@@ -1162,7 +1232,9 @@ func (d *DB) queryBatched(ctx context.Context, src string) (*Answer, error) {
 	}
 	ans.Stats = statsOut(st)
 	ans.Stats.DAGNodes = out.DAGNodes
+	ans.Stats.WorkerPeak = out.WorkerPeak
 	ans.Stats.DAGParallelPeak = out.DAGParallelPeak
+	ans.Stats.EffectiveWorkers = out.EffectiveWorkers
 	d.cacheCounters(&ans.Stats, out.Results, evicted)
 	return ans, nil
 }
@@ -1188,8 +1260,8 @@ func (d *DB) runBatchSubs(subs []*sched.Submission) {
 			return
 		}
 	}
+	workers := composeWorkers(cfg.Workers, cfg.ExecWorkers, cfg.Parallelism)
 	env := exec.NewEnv(d.db)
-	env.Parallelism = cfg.Parallelism
 	env.Mem = d.mem
 	env.SpillDir = d.spillDir
 	planFn := func(subQ [][]*query.Query, keys []string) ([][]*query.Query, *plan.Global, error) {
@@ -1201,6 +1273,7 @@ func (d *DB) runBatchSubs(subs []*sched.Submission) {
 	} else {
 		est = plan.NewEstimator(d.db)
 	}
+	est.Workers = workers
 	admit := func(ctx context.Context, g *plan.Global) (func(), error) {
 		cl, err := d.mem.AdmitClaim(ctx, est.GlobalMemory(g))
 		if err != nil {
@@ -1214,9 +1287,9 @@ func (d *DB) runBatchSubs(subs []*sched.Submission) {
 		return cl.Release, nil
 	}
 	// The whole batch already holds an admission claim sized by
-	// GlobalMemory — the sum over its nodes — so individual nodes run
-	// ungated.
-	sched.Exec(env, planFn, admit, subs, core.ExecOptions{Workers: cfg.ExecWorkers})
+	// GlobalMemory — the sum over its nodes, priced per worker — so
+	// individual nodes run ungated.
+	sched.Exec(env, planFn, admit, subs, core.ExecOptions{Workers: workers})
 }
 
 // planBatch optimizes a merged cross-request query set, consulting the

@@ -46,7 +46,14 @@ func sample(t *testing.T) *DB {
 }
 
 func TestCreateSampleShape(t *testing.T) {
-	db := sample(t)
+	// A private database, not sample(t): this test pins the exact
+	// freshly-created view count, and other tests materialize additional
+	// views into the shared fixture (test order is shuffled).
+	db, err := CreateSample(filepath.Join(t.TempDir(), "db"), 0.01)
+	if err != nil {
+		t.Fatalf("CreateSample: %v", err)
+	}
+	defer db.Close()
 	if got := db.Dimensions(); len(got) != 4 || got[0] != "A" || got[3] != "D" {
 		t.Fatalf("Dimensions = %v", got)
 	}
