@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race race-dag fuzz-smoke bench go-bench scan-bench serve-bench mem-bench cache-bench dag-bench agg-bench pool-bench clean
+.PHONY: check build vet fmt test race race-dag fuzz-smoke bench go-bench scan-bench serve-bench mem-bench cache-bench dag-bench agg-bench pool-bench idx-bench clean
 
 # The full gate: compile everything, vet, check formatting, run the
 # suite in shuffled order, race-test the concurrent packages (fast
@@ -27,22 +27,25 @@ race:
 	$(GO) test -race ./...
 
 # Focused race gate for the concurrent layers: the worker pool and
-# task-graph executor, the memory broker, the result cache, and the
-# sharded buffer pool.
+# task-graph executor, the memory broker, the result cache, the
+# sharded buffer pool, and the page-batched fetch / bitmap routing
+# layers under the probe worker pool.
 race-dag:
-	$(GO) test -race ./internal/dag/... ./internal/exec/... ./internal/sched/... ./internal/mem/... ./internal/rescache/... ./internal/storage/...
+	$(GO) test -race ./internal/dag/... ./internal/exec/... ./internal/sched/... ./internal/mem/... ./internal/rescache/... ./internal/storage/... ./internal/table/... ./internal/bitmap/...
 
 # Short deterministic runs of the native fuzz targets (packed-key
-# codec, spill record codec) — regression smoke, not a fuzzing session.
+# codec, spill record codec, selection-vector expansion) — regression
+# smoke, not a fuzzing session.
 fuzz-smoke:
 	$(GO) test ./internal/exec -run '^$$' -fuzz FuzzPackedKeyRoundTrip -fuzztime 5s
 	$(GO) test ./internal/exec -run '^$$' -fuzz FuzzSpillRecCodec -fuzztime 5s
+	$(GO) test ./internal/exec -run '^$$' -fuzz FuzzSelVecExpand -fuzztime 5s
 
 # All benchmarks: the Go micro/paper benchmarks plus the scan, serve,
 # mem and cache experiments (all seeded deterministically; they write
 # BENCH_scan.json, BENCH_serve.json, BENCH_mem.json and
 # BENCH_cache.json).
-bench: go-bench scan-bench serve-bench mem-bench cache-bench dag-bench agg-bench pool-bench
+bench: go-bench scan-bench serve-bench mem-bench cache-bench dag-bench agg-bench pool-bench idx-bench
 
 # Paper experiment benchmarks (Tests 1-7 etc.).
 go-bench:
@@ -85,5 +88,13 @@ agg-bench:
 pool-bench:
 	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-pooldb -scale 0.1 -exp pool -json BENCH_pool.json
 
+# Vectorized shared-index probe: word-at-a-time routing vs the scalar
+# tuple loop (dense multi-query union), plus the workers x budget
+# equivalence sweep; also runs the in-tree routing/fetch micros, then
+# writes BENCH_idx.json.
+idx-bench:
+	$(GO) test ./internal/exec -run '^$$' -bench 'BenchmarkBitmapRoute|BenchmarkFetchBatches' -benchmem
+	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-idxdb -scale 0.1 -exp idx -json BENCH_idx.json
+
 clean:
-	rm -rf /tmp/mdxopt-servedb /tmp/mdxopt-scandb /tmp/mdxopt-memdb /tmp/mdxopt-cachedb /tmp/mdxopt-dagdb /tmp/mdxopt-aggdb /tmp/mdxopt-pooldb
+	rm -rf /tmp/mdxopt-servedb /tmp/mdxopt-scandb /tmp/mdxopt-memdb /tmp/mdxopt-cachedb /tmp/mdxopt-dagdb /tmp/mdxopt-aggdb /tmp/mdxopt-pooldb /tmp/mdxopt-idxdb

@@ -1,0 +1,361 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mdxopt/internal/datagen"
+	"mdxopt/internal/exec"
+	"mdxopt/internal/mem"
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+	"mdxopt/internal/storage"
+)
+
+// The idx experiment measures the vectorized shared-index probe —
+// word-at-a-time bitmap routing, page-batched fetch, morsel-parallel
+// union scan — against the scalar tuple-at-a-time loop it replaced
+// (exec.Env.NoVectorIndex), in two parts.
+//
+// The kernel microbenchmark isolates the probe from pipeline and
+// bitmap construction (exec.ProbeKernelBench): the union and the query
+// bitmaps are built once, the pool is warmed, and the whole union is
+// re-probed for a fixed number of passes per representation. The
+// workload is the vectorized path's home turf and the scalar path's
+// worst case — many queries over a dense union — because the scalar
+// loop pays one bitmap Get per (union tuple, query) while the routing
+// kernel pays one AND per (word, query). The quantities of interest
+// are fetched union tuples per second — the vectorized kernel must
+// clear 3x scalar — and its steady-state allocation rate (zero).
+//
+// The equivalence sweep then runs the full SharedIndex operator across
+// worker counts and memory budgets and requires every cell to be
+// byte-identical to the serial scalar baseline: same results, same
+// deterministic counters (BitTests, TuplesFetched, TuplesAgg,
+// BitmapWords), same physical page reads from a cold pool, and a
+// broker peak within the budget.
+
+type idxConfig struct {
+	Scale         float64  `json:"scale"`
+	Queries       []string `json:"queries"`
+	KernelPasses  int      `json:"kernel_passes"`
+	KernelRounds  int      `json:"kernel_rounds"`
+	Workers       []int    `json:"workers"`
+	TightDivisor  int64    `json:"tight_budget_divisor"` // tight budget = ungoverned peak / divisor + floor
+	FloorBytes    int64    `json:"required_floor_bytes"` // required-state floor added to the tight budget
+	MinSpeedup    float64  `json:"min_speedup"`
+	MaxAllocsPass float64  `json:"max_allocs_per_pass"`
+}
+
+// idxKernel is one ProbeKernelBench measurement.
+type idxKernel struct {
+	Repr          string  `json:"repr"` // "vector" or "scalar"
+	Passes        int     `json:"passes"`
+	Tuples        int64   `json:"tuples"`
+	Routed        int64   `json:"routed"`
+	Folds         int64   `json:"folds"`
+	TuplesPerSec  float64 `json:"tuples_per_sec"`
+	AllocsPerPass float64 `json:"allocs_per_pass"`
+	WallMS        float64 `json:"wall_ms"`
+}
+
+// idxCell is one (representation, workers, budget) SharedIndex run.
+type idxCell struct {
+	Repr          string  `json:"repr"`
+	Workers       int     `json:"workers"`
+	BudgetBytes   int64   `json:"budget_bytes"` // 0 = ungoverned (tracked, not enforced)
+	WallMS        float64 `json:"wall_ms"`
+	BitTests      int64   `json:"bit_tests"`
+	TuplesFetched int64   `json:"tuples_fetched"`
+	TuplesAgg     int64   `json:"tuples_agg"`
+	BitmapWords   int64   `json:"bitmap_words"`
+	PageReads     int64   `json:"page_reads"` // physical reads from a cold pool
+	PeakBytes     int64   `json:"peak_bytes"`
+	WithinBudget  bool    `json:"peak_within_budget"`
+	Identical     bool    `json:"identical_to_baseline"`
+}
+
+type idxReport struct {
+	Config  idxConfig   `json:"config"`
+	Kernels []idxKernel `json:"kernels"`
+	Speedup float64     `json:"kernel_speedup"`
+	Cells   []idxCell   `json:"cells"`
+}
+
+// idxWorkload builds the experiment's query set: index-answerable
+// queries on the A'B'C'D view whose (A, B) predicates tile the level-1
+// A'xB' grid into disjoint rectangular blocks. The bitmaps are pairwise
+// disjoint and their union is the entire view (a fully dense union)
+// while each query claims only its block — the configuration where
+// scalar re-testing does maximal wasted work (all but one of the
+// per-tuple bitmap Gets miss) and word-at-a-time routing does none,
+// because the scalar loop's cost grows with the query count while the
+// routing kernel's is per word. The group-by keeps C and D coarse so
+// the shared fold cost — identical in both representations — does not
+// drown the probe cost this experiment isolates.
+func idxWorkload(schema *star.Schema) ([]*query.Query, error) {
+	const blocks = 9 // 9x9 grid = 81 queries
+	levels := []int{1, 1, 2, 1}
+	cardA := int(schema.Dims[0].Card(levels[0]))
+	cardB := int(schema.Dims[1].Card(levels[1]))
+	if cardA < blocks || cardB < blocks {
+		return nil, fmt.Errorf("idx: dims %s/%s have %d/%d level-1 members, need %d",
+			schema.Dims[0].Name, schema.Dims[1].Name, cardA, cardB, blocks)
+	}
+	slice := func(card, i int) []int32 {
+		lo, hi := i*card/blocks, (i+1)*card/blocks
+		ms := make([]int32, 0, hi-lo)
+		for m := lo; m < hi; m++ {
+			ms = append(ms, int32(m))
+		}
+		return ms
+	}
+	var queries []*query.Query
+	for ai := 0; ai < blocks; ai++ {
+		for bi := 0; bi < blocks; bi++ {
+			preds := make([]query.Predicate, schema.NumDims())
+			preds[0] = query.Predicate{Members: slice(cardA, ai)}
+			preds[1] = query.Predicate{Members: slice(cardB, bi)}
+			q, err := query.New(fmt.Sprintf("I%d_%d", ai+1, bi+1), schema, levels, preds)
+			if err != nil {
+				return nil, err
+			}
+			queries = append(queries, q)
+		}
+	}
+	return queries, nil
+}
+
+// runIdxCell cold-resets the database, runs one SharedIndex cell, and
+// compares it to want (or fills want on the baseline cell).
+func runIdxCell(db *star.Database, view *star.View, queries []*query.Query, repr string, workers int, budget int64, want *[]*exec.Result) (idxCell, error) {
+	cell := idxCell{Repr: repr, Workers: workers, BudgetBytes: budget}
+	if err := db.ColdReset(); err != nil {
+		return cell, err
+	}
+	broker := mem.New(budget)
+	env := exec.NewEnv(db)
+	env.Mem = broker
+	env.Parallelism = workers
+	env.NoVectorIndex = repr == "scalar"
+
+	readsBefore := view.Heap.File().IOStats().Reads()
+	var st exec.Stats
+	start := time.Now()
+	results, err := exec.SharedIndex(env, view, queries, &st)
+	if err != nil {
+		return cell, err
+	}
+	cell.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+	cell.BitTests = st.BitTests
+	cell.TuplesFetched = st.TuplesFetched
+	cell.TuplesAgg = st.TuplesAgg
+	cell.BitmapWords = st.BitmapWords
+	cell.PageReads = view.Heap.File().IOStats().Reads() - readsBefore
+	bs := broker.Stats()
+	cell.PeakBytes = bs.Peak
+	cell.WithinBudget = budget == 0 || bs.Peak <= budget
+	if bs.Used != 0 {
+		return cell, fmt.Errorf("idx: %s workers=%d budget=%d: broker not drained (%d bytes held)", repr, workers, budget, bs.Used)
+	}
+
+	if *want == nil {
+		*want = results
+		cell.Identical = true
+		return cell, nil
+	}
+	cell.Identical = true
+	for i := range results {
+		if !results[i].Equal((*want)[i]) {
+			cell.Identical = false
+		}
+	}
+	return cell, nil
+}
+
+// runIdx builds (or reuses) the benchmark database, runs the probe
+// kernel microbenchmark and the equivalence sweep, enforces the gates,
+// and optionally writes the JSON report.
+func runIdx(w io.Writer, dir string, scale float64, jsonPath string) error {
+	cfg := idxConfig{
+		Scale:         scale,
+		KernelPasses:  8,
+		KernelRounds:  5,
+		Workers:       []int{1, 2, 4},
+		TightDivisor:  4,
+		MinSpeedup:    3.0,
+		MaxAllocsPass: 1,
+	}
+
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		start := time.Now()
+		db, err := datagen.Build(dir, datagen.PaperSpec(scale))
+		if err != nil {
+			return err
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "built database in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+	db, err := star.OpenWith(dir, storage.PoolOpts{Frames: 4096})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+	if view == nil {
+		return fmt.Errorf("idx: A'B'C'D view not materialized")
+	}
+	queries, err := idxWorkload(db.Schema)
+	if err != nil {
+		return err
+	}
+	for _, q := range queries {
+		cfg.Queries = append(cfg.Queries, fmt.Sprintf("%s=%s|A in %d members", q.Name, q.GroupByName(), len(q.Preds[0].Members)))
+	}
+
+	rep := idxReport{Config: cfg}
+
+	// Part 1: the isolated probe-kernel microbenchmark. The two
+	// representations alternate across several rounds and each reports
+	// its best round, so machine-wide drift (frequency scaling, a noisy
+	// neighbor) cannot skew the ratio the gate enforces.
+	fmt.Fprintf(w, "idx: scale %g, %d queries over %s (%d rows), %d rounds x %d kernel passes\n",
+		scale, len(queries), view, view.Rows(), cfg.KernelRounds, cfg.KernelPasses)
+	var best [2]*exec.ProbeKernelResult
+	for round := 0; round < cfg.KernelRounds; round++ {
+		for i, repr := range []string{"vector", "scalar"} {
+			env := exec.NewEnv(db)
+			env.NoVectorIndex = repr == "scalar"
+			r, err := exec.ProbeKernelBench(env, view, queries, cfg.KernelPasses)
+			if err != nil {
+				return err
+			}
+			if (repr == "vector") != r.Vectorized {
+				return fmt.Errorf("idx: %s kernel ran vectorized=%v", repr, r.Vectorized)
+			}
+			if best[i] == nil || r.TuplesPerSec > best[i].TuplesPerSec {
+				best[i] = r
+			}
+		}
+	}
+	var tps [2]float64
+	for i, repr := range []string{"vector", "scalar"} {
+		r := best[i]
+		k := idxKernel{
+			Repr:          repr,
+			Passes:        r.Passes,
+			Tuples:        r.Tuples,
+			Routed:        r.Routed,
+			Folds:         r.Folds,
+			TuplesPerSec:  r.TuplesPerSec,
+			AllocsPerPass: r.AllocsPerPass,
+			WallMS:        float64(r.Nanos) / 1e6,
+		}
+		rep.Kernels = append(rep.Kernels, k)
+		tps[i] = r.TuplesPerSec
+		fmt.Fprintf(w, "  kernel %-6s %12.0f tuples/s  %8.2f ms  %6.2f allocs/pass (best of %d)\n",
+			repr, k.TuplesPerSec, k.WallMS, k.AllocsPerPass, cfg.KernelRounds)
+	}
+	rep.Speedup = tps[0] / tps[1]
+	fmt.Fprintf(w, "  kernel speedup %.2fx (vector vs scalar)\n", rep.Speedup)
+	if rep.Kernels[0].Tuples != rep.Kernels[1].Tuples {
+		return fmt.Errorf("idx: kernels fetched different unions: %d vs %d",
+			rep.Kernels[0].Tuples, rep.Kernels[1].Tuples)
+	}
+
+	// Part 2: the equivalence sweep. The scalar serial ungoverned run is
+	// the baseline; every other cell must match it exactly. The tight
+	// budget sits under the ungoverned peak but above the probe's
+	// required state — result bitmaps, union, probe buffers and the
+	// spill machinery's per-table floor are all overdraft grants that
+	// must fit for peak <= budget to be satisfiable.
+	var want []*exec.Result
+	base, err := runIdxCell(db, view, queries, "scalar", 1, 0, &want)
+	if err != nil {
+		return err
+	}
+	rep.Cells = append(rep.Cells, base)
+	maxWorkers := cfg.Workers[len(cfg.Workers)-1]
+	bitmapBytes := (view.Rows() + 63) / 64 * 8
+	tpp := int64(view.Heap.TuplesPerPage())
+	sch := view.Heap.Schema()
+	probeBuf := tpp*int64(4*sch.NumKeys()+8*sch.NumMeasures()) + 8*tpp + (tpp/64+2)*8
+	cfg.FloorBytes = int64(len(queries)+1)*bitmapBytes +
+		int64(maxWorkers+1)*probeBuf +
+		int64((maxWorkers+1)*len(queries))*4*storage.PageSize
+	rep.Config = cfg
+	tight := base.PeakBytes/cfg.TightDivisor + cfg.FloorBytes
+	fmt.Fprintf(w, "  sweep: ungoverned peak %d KiB, tight budget %d KiB\n", base.PeakBytes>>10, tight>>10)
+	fmt.Fprintf(w, "  %-6s %7s %10s %10s %10s %12s %9s %8s %5s\n",
+		"repr", "workers", "budgetKiB", "ms", "bittests", "fetched", "pagereads", "peakKiB", "ok")
+	cells := []struct {
+		repr    string
+		workers int
+	}{{"scalar", 1}}
+	for _, workers := range cfg.Workers {
+		cells = append(cells, struct {
+			repr    string
+			workers int
+		}{"vector", workers})
+	}
+	for _, c := range cells {
+		for _, budget := range []int64{0, tight} {
+			cell, err := runIdxCell(db, view, queries, c.repr, c.workers, budget, &want)
+			if err != nil {
+				return err
+			}
+			rep.Cells = append(rep.Cells, cell)
+			ok := "yes"
+			if !cell.Identical || !cell.WithinBudget {
+				ok = "NO"
+			}
+			fmt.Fprintf(w, "  %-6s %7d %10d %10.2f %10d %12d %9d %8d %5s\n",
+				cell.Repr, cell.Workers, cell.BudgetBytes>>10, cell.WallMS,
+				cell.BitTests, cell.TuplesFetched, cell.PageReads, cell.PeakBytes>>10, ok)
+		}
+	}
+
+	// Gates.
+	if rep.Speedup < cfg.MinSpeedup {
+		return fmt.Errorf("idx: kernel speedup %.2fx below %.1fx", rep.Speedup, cfg.MinSpeedup)
+	}
+	if a := rep.Kernels[0].AllocsPerPass; a >= cfg.MaxAllocsPass {
+		return fmt.Errorf("idx: vectorized kernel allocates %.2f objects per pass, want < %.0f", a, cfg.MaxAllocsPass)
+	}
+	for _, c := range rep.Cells {
+		if !c.Identical {
+			return fmt.Errorf("idx: %s workers=%d budget=%d: results differ from baseline", c.Repr, c.Workers, c.BudgetBytes)
+		}
+		if !c.WithinBudget {
+			return fmt.Errorf("idx: %s workers=%d: peak %d exceeds budget %d", c.Repr, c.Workers, c.PeakBytes, c.BudgetBytes)
+		}
+		if c.BitTests != base.BitTests || c.TuplesFetched != base.TuplesFetched ||
+			c.TuplesAgg != base.TuplesAgg || c.BitmapWords != base.BitmapWords {
+			return fmt.Errorf("idx: %s workers=%d budget=%d: counters (%d,%d,%d,%d) differ from baseline (%d,%d,%d,%d)",
+				c.Repr, c.Workers, c.BudgetBytes,
+				c.BitTests, c.TuplesFetched, c.TuplesAgg, c.BitmapWords,
+				base.BitTests, base.TuplesFetched, base.TuplesAgg, base.BitmapWords)
+		}
+		if c.PageReads != base.PageReads {
+			return fmt.Errorf("idx: %s workers=%d budget=%d: %d page reads, baseline %d",
+				c.Repr, c.Workers, c.BudgetBytes, c.PageReads, base.PageReads)
+		}
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -95,6 +95,34 @@ func (b *Bitset) And(o *Bitset) int64 {
 	return int64(len(b.words))
 }
 
+// OrInto sets dst to dst ∪ b and returns the number of words processed
+// — the destination-argument variant of Or, so a union accumulated into
+// a fresh bitset needs no clone of its first operand.
+func (b *Bitset) OrInto(dst *Bitset) int64 {
+	b.check(dst)
+	for i, w := range b.words {
+		dst.words[i] |= w
+	}
+	return int64(len(b.words))
+}
+
+// AndInto sets dst to dst ∩ b and returns the number of words
+// processed — the destination-argument variant of And.
+func (b *Bitset) AndInto(dst *Bitset) int64 {
+	b.check(dst)
+	for i, w := range b.words {
+		dst.words[i] &= w
+	}
+	return int64(len(b.words))
+}
+
+// CopyFrom overwrites b's bits with o's. Unlike Clone it reuses b's
+// backing words; like Clone it is not charged as bitmap work.
+func (b *Bitset) CopyFrom(o *Bitset) {
+	b.check(o)
+	copy(b.words, o.words)
+}
+
 // AndNot sets b to b \ o and returns the number of words processed.
 func (b *Bitset) AndNot(o *Bitset) int64 {
 	b.check(o)
@@ -189,12 +217,33 @@ func (b *Bitset) ForEach(fn func(i int64)) {
 }
 
 // Iterator returns a function producing set-bit indexes in ascending
-// order and -1 when exhausted, matching table.HeapFile.FetchRows.
+// order and -1 when exhausted, matching table.HeapFile.FetchRows. The
+// iterator caches its current word and strips one trailing set bit per
+// call, so a full traversal costs one pass over the words instead of a
+// NextSet rescan per produced bit.
 func (b *Bitset) Iterator() func() int64 {
-	cur := int64(-1)
+	wi := 0
+	var w uint64
+	if len(b.words) > 0 {
+		w = b.words[0]
+	}
 	return func() int64 {
-		cur = b.NextSet(cur + 1)
-		return cur
+		for w == 0 {
+			wi++
+			if wi >= len(b.words) {
+				return -1
+			}
+			w = b.words[wi]
+		}
+		t := bits.TrailingZeros64(w)
+		w &= w - 1
+		i := int64(wi)*wordBits + int64(t)
+		if i >= b.n {
+			wi = len(b.words)
+			w = 0
+			return -1
+		}
+		return i
 	}
 }
 

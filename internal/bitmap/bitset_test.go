@@ -157,6 +157,66 @@ func TestBitsetUnionCountQuick(t *testing.T) {
 	}
 }
 
+func TestBitsetIntoVariantsMatchInPlace(t *testing.T) {
+	// OrInto/AndInto/CopyFrom are the destination-argument forms of
+	// Or/And/Clone: same bits, same word counts charged.
+	rng := rand.New(rand.NewSource(99))
+	const n = 300
+	for trial := 0; trial < 30; trial++ {
+		a := randomBitset(rng, n)
+		b := randomBitset(rng, n)
+
+		or := a.Clone()
+		wantWords := or.Or(b)
+		dst := New(n)
+		dst.CopyFrom(a)
+		if gotWords := b.OrInto(dst); gotWords != wantWords {
+			t.Fatalf("OrInto charged %d words, Or charged %d", gotWords, wantWords)
+		}
+		if !dst.Equal(or) {
+			t.Fatal("CopyFrom+OrInto differs from Clone+Or")
+		}
+
+		and := a.Clone()
+		and.And(b)
+		dst.CopyFrom(a)
+		b.AndInto(dst)
+		if !dst.Equal(and) {
+			t.Fatal("AndInto differs from And")
+		}
+	}
+}
+
+func TestBitsetIteratorEdgeWords(t *testing.T) {
+	// Word-boundary bits and a full final partial word: the word-cached
+	// iterator must produce exactly the set bits, in order, once.
+	b := New(130)
+	for _, i := range []int64{0, 63, 64, 127, 128, 129} {
+		b.Set(i)
+	}
+	it := b.Iterator()
+	var got []int64
+	for v := it(); v >= 0; v = it() {
+		got = append(got, v)
+	}
+	want := []int64{0, 63, 64, 127, 128, 129}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bit %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Exhausted iterators stay exhausted.
+	if it() != -1 || it() != -1 {
+		t.Fatal("exhausted iterator produced a bit")
+	}
+	if it := New(0).Iterator(); it() != -1 {
+		t.Fatal("zero-length iterator produced a bit")
+	}
+}
+
 func TestBitsetLengthMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

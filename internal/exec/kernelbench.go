@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"mdxopt/internal/bitmap"
 	"mdxopt/internal/query"
 	"mdxopt/internal/star"
 	"mdxopt/internal/table"
@@ -120,4 +121,136 @@ func FoldKernelBench(env *Env, view *star.View, queries []*query.Query, passes i
 		TuplesPerSec:  float64(measured.TupleProbes) / elapsed.Seconds(),
 	}
 	return r, nil
+}
+
+// Probe-kernel microbenchmark harness.
+//
+// ProbeKernelBench isolates the shared index probe — union routing,
+// page-batched fetch, and per-query bitmap re-test — from pipeline and
+// bitmap construction: it builds the query pipelines, result bitmaps
+// and union once, runs one warm-up probe pass (faulting every union
+// page into the buffer pool and growing the aggregation tables to
+// steady state), then re-probes the whole union for a number of
+// measured passes. Env.NoVectorIndex selects the representation: the
+// word-at-a-time routing kernel (default) or the scalar
+// tuple-at-a-time loop it replaced, from identical inputs, so mdxbench
+// can report their ratio. Both run serially — the harness measures the
+// kernel, not the worker pool.
+
+// ProbeKernelResult reports one ProbeKernelBench run.
+type ProbeKernelResult struct {
+	Vectorized    bool    `json:"vectorized"`      // which representation ran
+	Passes        int     `json:"passes"`          // measured passes (excludes warm-up)
+	Tuples        int64   `json:"tuples"`          // union tuples fetched across measured passes
+	Routed        int64   `json:"routed"`          // per-query tuples routed (own TuplesFetched)
+	Folds         int64   `json:"folds"`           // qualifying tuples folded across measured passes
+	Nanos         int64   `json:"nanos"`           // wall time of the measured passes
+	AllocsPerPass float64 `json:"allocs_per_pass"` // heap mallocs per measured pass
+	TuplesPerSec  float64 `json:"tuples_per_sec"`  // fetched union tuples per second
+}
+
+// ProbeKernelBench runs the index-probe kernel of queries against view
+// for 1 warm-up plus passes measured passes over a pre-built union.
+func ProbeKernelBench(env *Env, view *star.View, queries []*query.Query, passes int) (*ProbeKernelResult, error) {
+	if passes < 1 {
+		passes = 1
+	}
+	if err := checkAnswerable(env, view, queries); err != nil {
+		return nil, err
+	}
+
+	stats := &Stats{}
+	cache := newLookupCache(env, stats)
+	defer cache.close()
+	pipelines := make([]*queryPipeline, len(queries))
+	defer closePipes(pipelines)
+	bitmaps := make([]*bitmap.Bitset, len(queries))
+	residuals := make([][]int, len(queries))
+	for i, q := range queries {
+		p, err := newQueryPipeline(env, stats, cache, q, view)
+		if err != nil {
+			return nil, err
+		}
+		pipelines[i] = p
+		bs, residual, err := pipelineBitmap(env, view, p, stats)
+		if err != nil {
+			return nil, err
+		}
+		bitmaps[i] = bs
+		residuals[i] = residual
+	}
+	union := bitmaps[0]
+	if len(bitmaps) > 1 {
+		union = bitmap.New(view.Rows())
+		union.CopyFrom(bitmaps[0])
+		for _, bs := range bitmaps[1:] {
+			bs.OrInto(union)
+		}
+	}
+	ps := &probeShared{
+		view:      view,
+		union:     union,
+		bitmaps:   bitmaps,
+		residuals: residuals,
+		tpp:       int64(view.Heap.TuplesPerPage()),
+		rows:      view.Rows(),
+	}
+	w := newProbeWorker(view, pipelines)
+	pages := (ps.rows + ps.tpp - 1) / ps.tpp
+
+	probe := func(st *Stats) error {
+		if env.NoVectorIndex {
+			if err := ps.probeScalar(env, pipelines, st); err != nil && err != errDetached {
+				return err
+			}
+		} else if err := ps.probePages(env, w, st, 0, pages); err != nil && err != errDetached {
+			return err
+		}
+		for _, p := range pipelines {
+			if p.ioErr != nil {
+				return p.ioErr
+			}
+		}
+		return nil
+	}
+
+	// Warm-up: union pages resident, every group populated.
+	if err := probe(&Stats{}); err != nil {
+		return nil, err
+	}
+
+	ownBefore := int64(0)
+	for _, p := range pipelines {
+		ownBefore += p.own.TuplesFetched
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var measured Stats
+	start := time.Now()
+	for i := 0; i < passes; i++ {
+		if err := probe(&measured); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	if elapsed <= 0 {
+		return nil, fmt.Errorf("exec: probe kernel bench measured no time over %d passes", passes)
+	}
+	routed := -ownBefore
+	for _, p := range pipelines {
+		routed += p.own.TuplesFetched
+	}
+	return &ProbeKernelResult{
+		Vectorized:    !env.NoVectorIndex,
+		Passes:        passes,
+		Tuples:        measured.TuplesFetched,
+		Routed:        routed,
+		Folds:         measured.TuplesAgg,
+		Nanos:         int64(elapsed),
+		AllocsPerPass: float64(after.Mallocs-before.Mallocs) / float64(passes),
+		TuplesPerSec:  float64(measured.TuplesFetched) / elapsed.Seconds(),
+	}, nil
 }

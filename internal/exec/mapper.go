@@ -465,6 +465,85 @@ func (p *queryPipeline) foldBatchBytes(st *Stats, b *table.Batch) {
 	}
 }
 
+// foldBatchSel is the index path's per-pipeline entry into the fold
+// kernel: sel holds the batch slots of tuples whose position the
+// query's bitmap already covers, so the indexed predicates are proven
+// and only residual (unindexed restricted) dimensions still filter.
+// Every survivor folds with its full packed key. It counts TuplesAgg
+// (and PackedFolds on the packed path) in both st and the pipeline's
+// own stats; TuplesFetched and BitTests are the caller's to count —
+// they are properties of the routing, not the fold.
+func (p *queryPipeline) foldBatchSel(st *Stats, b *table.Batch, sel []int32, residual []int) {
+	if p.detached || p.ioErr != nil || len(sel) == 0 {
+		return
+	}
+	if p.packer == nil {
+		p.foldSelBytes(st, b, sel, residual)
+		return
+	}
+	nk := b.NumKeys()
+	keys := b.Keys
+	rows := append(p.selRows[:0], sel...)
+	for _, dim := range residual {
+		lk := p.lookups[dim]
+		if lk.pass == nil {
+			continue
+		}
+		w := 0
+		for _, r := range rows {
+			if lk.pass[keys[int(r)*nk+dim]] {
+				rows[w] = r
+				w++
+			}
+		}
+		rows = rows[:w]
+	}
+	pk := p.selKeys[:0]
+	lk0 := p.lookups[0]
+	sh0 := p.packer.shifts[0]
+	for _, r := range rows {
+		pk = append(pk, uint64(uint32(lk0.out[keys[int(r)*nk]]))<<sh0)
+	}
+	for dim := 1; dim < len(p.lookups); dim++ {
+		lk := p.lookups[dim]
+		sh := p.packer.shifts[dim]
+		for i, r := range rows {
+			pk[i] |= uint64(uint32(lk.out[keys[int(r)*nk+dim]])) << sh
+		}
+	}
+	p.selRows, p.selKeys = rows[:0], pk[:0]
+
+	survivors := int64(len(rows))
+	st.TuplesAgg += survivors
+	p.own.TuplesAgg += survivors
+	st.PackedFolds += survivors
+	p.own.PackedFolds += survivors
+	if err := p.foldSelection(rows, pk, b); err != nil {
+		p.ioErr = err
+	}
+}
+
+// foldSelBytes is foldBatchSel's byte-key fallback: per-selected-tuple
+// residual filtering and fold through the legacy aggregation map,
+// identical to the scalar bitmap path's foldFiltered loop.
+func (p *queryPipeline) foldSelBytes(st *Stats, b *table.Batch, sel []int32, residual []int) {
+	nm := b.NumMeasures()
+	for _, r := range sel {
+		keys, measures := b.Row(int(r))
+		var vals [4]float64
+		if nm == 4 {
+			vals = [4]float64{measures[0], measures[1], measures[2], measures[3]}
+		} else {
+			m := measures[0]
+			vals = [4]float64{m, 1, m, m}
+		}
+		if p.foldFiltered(keys, vals, residual) {
+			st.TuplesAgg++
+			p.own.TuplesAgg++
+		}
+	}
+}
+
 // probe pushes one base-table tuple through the pipeline: predicate
 // tests, rollup, and aggregation. vals is the tuple's (sum, count, min,
 // max) accumulator (see star.TupleAggregates). Returns whether the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mdxopt/internal/bitmap"
+	"mdxopt/internal/mem"
 	"mdxopt/internal/query"
 	"mdxopt/internal/star"
 	"mdxopt/internal/table"
@@ -266,6 +267,13 @@ func IndexJoinQuery(env *Env, view *star.View, q *query.Query, stats *Stats) (*R
 // operator (§3.2, Fig. 4): the per-query result bitmaps are OR-ed, the
 // view is probed once with the union, and each fetched tuple is routed to
 // the queries whose bitmaps cover its position.
+//
+// The probe is vectorized (route.go): the union drives a page-batched
+// fetch, routing is one AND per bitmap word, and with a worker pool the
+// pages are claimed morsel-wise from a shared cursor with per-worker
+// pipelines merged in worker-index order, exactly like the parallel
+// shared scan. Env.NoVectorIndex reverts to the scalar per-tuple loop;
+// results and deterministic counters are identical either way.
 func SharedIndex(env *Env, view *star.View, queries []*query.Query, stats *Stats) ([]*Result, error) {
 	if err := checkAnswerable(env, view, queries); err != nil {
 		return nil, err
@@ -276,7 +284,8 @@ func SharedIndex(env *Env, view *star.View, queries []*query.Query, stats *Stats
 		defer cache.close()
 		// Result bitmaps (and the union) are required state: the probe
 		// cannot run without them, so their footprint is an overdraft
-		// grant held for the duration of the pass.
+		// grant held for the duration of the pass. The probe workers'
+		// batch and selection-vector buffers ride the same reservation.
 		bres := env.Mem.Reserve("bitmaps")
 		defer bres.Release()
 		pipelines := make([]*queryPipeline, len(queries))
@@ -297,46 +306,47 @@ func SharedIndex(env *Env, view *star.View, queries []*query.Query, stats *Stats
 			bitmaps[i] = bs
 			residuals[i] = residual
 		}
-		union := bitmaps[0].Clone()
-		bres.MustGrow(bitsetBytes(view.Rows()))
-		for _, bs := range bitmaps[1:] {
-			stats.BitmapWords += union.Or(bs)
+		// A single query probes its own bitmap directly; a real union is
+		// accumulated into a fresh bitset (no clone of the first operand)
+		// with the n-1 ORs charged as bitmap work, same as the estimator
+		// prices them.
+		union := bitmaps[0]
+		if len(bitmaps) > 1 {
+			union = bitmap.New(view.Rows())
+			bres.MustGrow(bitsetBytes(view.Rows()))
+			union.CopyFrom(bitmaps[0])
+			for _, bs := range bitmaps[1:] {
+				stats.BitmapWords += bs.OrInto(union)
+			}
 		}
-		err := view.Heap.FetchRows(union.Iterator(), func(row int64, keys []int32, measures []float64) error {
-			if stats.TuplesFetched%checkEvery == 0 {
-				if err := checkpoint(env, pipelines); err != nil {
-					return err
-				}
+		ps := &probeShared{
+			view:      view,
+			union:     union,
+			bitmaps:   bitmaps,
+			residuals: residuals,
+			tpp:       int64(view.Heap.TuplesPerPage()),
+			rows:      view.Rows(),
+		}
+		width := env.scanWidth()
+		switch {
+		case env.NoVectorIndex:
+			if err := ps.probeScalar(env, pipelines, stats); err != nil && err != errDetached {
+				return err
 			}
-			stats.TuplesFetched++
-			vals := star.TupleAggregates(view, measures)
-			for i, p := range pipelines {
-				if p.detached {
-					continue
-				}
-				if len(pipelines) > 1 {
-					stats.BitTests++
-					p.own.BitTests++
-					if !bitmaps[i].Get(row) {
-						continue
-					}
-				}
-				p.own.TuplesFetched++
-				if p.foldFiltered(keys, vals, residuals[i]) {
-					stats.TuplesAgg++
-					p.own.TuplesAgg++
-					if p.packer != nil {
-						stats.PackedFolds++
-						p.own.PackedFolds++
-					}
-				}
+		case width <= 1:
+			bres.MustGrow(probeBufBytes(view))
+			w := newProbeWorker(view, pipelines)
+			pages := (ps.rows + ps.tpp - 1) / ps.tpp
+			if err := ps.probePages(env, w, stats, 0, pages); err != nil && err != errDetached {
+				return err
 			}
-			return nil
-		})
-		if err != nil && err != errDetached {
-			return err
+		default:
+			if err := parallelProbe(env, cache, view, ps, queries, pipelines, stats, bres, width); err != nil {
+				return err
+			}
 		}
 		stats.PeakMemory += cache.memPeak() + bres.Peak()
+		var err error
 		results, err = emit(stats, pipelines)
 		return err
 	})
@@ -344,6 +354,57 @@ func SharedIndex(env *Env, view *star.View, queries []*query.Query, stats *Stats
 		return nil, err
 	}
 	return results, nil
+}
+
+// parallelProbe fans the vectorized union probe out across the worker
+// pool: each worker gets its own pipeline set, fetch batch, and routing
+// scratch, claims page-aligned morsels from the shared cursor, and is
+// merged into the primary pipelines in worker-index order — the same
+// shape (and determinism argument) as parallelScan.
+func parallelProbe(env *Env, cache *lookupCache, view *star.View, ps *probeShared,
+	queries []*query.Query, pipelines []*queryPipeline, stats *Stats, bres *mem.Reservation, width int) error {
+
+	workers := make([]*probeWorker, width)
+	defer func() {
+		for _, pw := range workers {
+			if pw != nil {
+				closePipes(pw.pipelines)
+			}
+		}
+	}()
+	for wi := range workers {
+		set := make([]*queryPipeline, len(queries))
+		for i, q := range queries {
+			p, err := newQueryPipeline(env, stats, cache, q, view)
+			if err != nil {
+				closePipes(set)
+				return err
+			}
+			set[i] = p
+		}
+		bres.MustGrow(probeBufBytes(view))
+		workers[wi] = newProbeWorker(view, set)
+	}
+	workerStats := make([]Stats, width)
+	errs := make([]error, width)
+	pages := (ps.rows + ps.tpp - 1) / ps.tpp
+	morselDrive(env, pages, width, errs, func(wi int, fromPage, toPage int64) error {
+		return ps.probePages(env, workers[wi], &workerStats[wi], fromPage, toPage)
+	})
+	for _, e := range errs {
+		if e != nil && e != errDetached {
+			return e
+		}
+	}
+	for wi := range workers {
+		stats.Add(workerStats[wi])
+		for i, p := range workers[wi].pipelines {
+			if err := pipelines[i].merge(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // SharedMixed evaluates hash-join queries and index-join queries over the
@@ -395,51 +456,90 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 			bitmaps[i] = bs
 			residuals[i] = residual
 		}
-		// indexStep routes one scanned tuple to an index pipeline riding
-		// the scan as a bitmap filter (§3.3).
-		indexStep := func(i int, p *queryPipeline, st *Stats, row int64, keys []int32, vals [4]float64) {
-			if p.detached {
+		// mixedState is one worker's private state: both pipeline sets
+		// plus the routing scratch the vectorized index filters use
+		// (masked bitmap words and a selection vector, sized to a page).
+		type mixedState struct {
+			hash, index []*queryPipeline
+			uwords      []uint64
+			sel         []int32
+		}
+		newMixedScratch := func(ms *mixedState) {
+			if len(indexQueries) == 0 || env.NoVectorIndex {
 				return
 			}
-			st.BitTests++
-			p.own.BitTests++
-			if bitmaps[i].Get(row) {
-				st.TuplesFetched++
-				p.own.TuplesFetched++
-				if p.foldFiltered(keys, vals, residuals[i]) {
-					st.TuplesAgg++
-					p.own.TuplesAgg++
-					if p.packer != nil {
-						st.PackedFolds++
-						p.own.PackedFolds++
-					}
-				}
-			}
+			tpp := view.Heap.TuplesPerPage()
+			ms.uwords = make([]uint64, 0, tpp/wordBits+2)
+			ms.sel = make([]int32, 0, tpp)
+			bres.MustGrow(int64(4*tpp) + int64(tpp/wordBits+2)*8)
 		}
 		// mixedBatch feeds one decoded page to both pipeline sets: hash
 		// pipelines consume the batch through the fold kernel; index
-		// pipelines go tuple at a time because their bitmap tests need
-		// the absolute row number.
-		mixedBatch := func(hash, index []*queryPipeline, st *Stats, b *table.Batch) {
-			for _, p := range hash {
+		// pipelines ride the same batch as bitmap filters (§3.3) — each
+		// pipeline's bitmap words over the batch's row range are masked
+		// and expanded to a selection vector (one AND-free word walk per
+		// query, the bitmap itself is the hit word), and the survivors
+		// fold through the selection kernel. Env.NoVectorIndex replays
+		// the scalar per-tuple Get loop instead, with the tuple's
+		// aggregate components computed lazily on first consumption.
+		mixedBatch := func(ms *mixedState, st *Stats, b *table.Batch) {
+			for _, p := range ms.hash {
 				p.foldBatch(st, b)
 			}
-			if len(index) == 0 {
+			if len(ms.index) == 0 {
+				return
+			}
+			if !env.NoVectorIndex {
+				for i, p := range ms.index {
+					if p.detached {
+						continue
+					}
+					st.BitTests += int64(b.N)
+					p.own.BitTests += int64(b.N)
+					var w0 int
+					ms.uwords, w0 = maskedWords(ms.uwords, bitmaps[i].Words(), b.Start, b.Start+int64(b.N))
+					ms.sel = expandWords(ms.sel[:0], ms.uwords, w0, b.Start)
+					hits := int64(len(ms.sel))
+					st.TuplesFetched += hits
+					p.own.TuplesFetched += hits
+					if hits > 0 {
+						p.foldBatchSel(st, b, ms.sel, residuals[i])
+					}
+				}
 				return
 			}
 			for t := 0; t < b.N; t++ {
 				keys, measures := b.Row(t)
-				vals := star.TupleAggregates(view, measures)
 				row := b.Start + int64(t)
-				for i, p := range index {
-					indexStep(i, p, st, row, keys, vals)
+				valsReady := false
+				var vals [4]float64
+				for i, p := range ms.index {
+					if p.detached {
+						continue
+					}
+					st.BitTests++
+					p.own.BitTests++
+					if !bitmaps[i].Get(row) {
+						continue
+					}
+					if !valsReady {
+						vals = star.TupleAggregates(view, measures)
+						valsReady = true
+					}
+					st.TuplesFetched++
+					p.own.TuplesFetched++
+					if p.foldFiltered(keys, vals, residuals[i]) {
+						st.TuplesAgg++
+						p.own.TuplesAgg++
+						if p.packer != nil {
+							st.PackedFolds++
+							p.own.PackedFolds++
+						}
+					}
 				}
 			}
 		}
 		if env.scanWidth() > 1 {
-			type mixedState struct {
-				hash, index []*queryPipeline
-			}
 			err := parallelScan(env, view, stats,
 				func() (any, error) {
 					ms := &mixedState{
@@ -463,6 +563,7 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 						}
 						ms.index[i] = p
 					}
+					newMixedScratch(ms)
 					return ms, nil
 				},
 				func(state any) error {
@@ -470,8 +571,7 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 					return checkpoint(env, ms.hash, ms.index)
 				},
 				func(state any, st *Stats, b *table.Batch) {
-					ms := state.(*mixedState)
-					mixedBatch(ms.hash, ms.index, st, b)
+					mixedBatch(state.(*mixedState), st, b)
 				},
 				func(state any) error {
 					ms := state.(*mixedState)
@@ -496,12 +596,14 @@ func SharedMixed(env *Env, view *star.View, hashQueries, indexQueries []*query.Q
 				return err
 			}
 		} else {
+			serial := &mixedState{hash: hashPipes, index: indexPipes}
+			newMixedScratch(serial)
 			err := view.Heap.ScanRangeBatches(0, view.Rows(), func(b *table.Batch) error {
 				if err := checkpoint(env, hashPipes, indexPipes); err != nil {
 					return err
 				}
 				stats.TuplesScanned += int64(b.N)
-				mixedBatch(hashPipes, indexPipes, stats, b)
+				mixedBatch(serial, stats, b)
 				return nil
 			})
 			if err != nil && err != errDetached {

@@ -186,48 +186,33 @@ func parallelScan(
 	return nil
 }
 
-// morselScan drives the states over the view with a shared morsel
-// cursor: each worker atomically claims the next morselPages-sized page
-// range until the table is exhausted. Worker 0 is the calling goroutine
-// (it already occupies a pool slot when running as a task-graph node);
-// workers 1..n-1 participate only once they Join the pool, so a
-// saturated pool degrades the scan toward worker 0 alone instead of
-// oversubscribing. The first real worker error parks the cursor so
-// every worker stops at its next morsel boundary.
-func morselScan(env *Env, view *star.View, states []any, workerStats []Stats, errs []error,
-	check func(state any) error, processBatch func(state any, st *Stats, b *table.Batch)) {
-
-	rows := view.Rows()
-	tpp := int64(view.Heap.TuplesPerPage())
-	if tpp < 1 {
-		tpp = 1
-	}
-	pages := (rows + tpp - 1) / tpp
+// morselDrive is the shared morsel-cursor driver: nWorkers workers
+// atomically claim the next grain-sized page range of [0, pages) and
+// hand it to run until the cursor is exhausted. Worker 0 is the
+// calling goroutine (it already occupies a pool slot when running as a
+// task-graph node); workers 1..nWorkers-1 participate only once they
+// Join the run-wide pool, so a saturated pool degrades the pass toward
+// worker 0 alone instead of oversubscribing. The first real worker
+// error (errDetached is completion, not failure) parks the cursor so
+// every worker stops at its next morsel boundary; per-worker errors
+// land in errs. Both the shared scans and the shared index probe drive
+// their workers through this.
+func morselDrive(env *Env, pages int64, nWorkers int, errs []error, run func(w int, fromPage, toPage int64) error) {
 	grain := env.morselPages()
 
 	var cursor atomic.Int64
 	var aborted atomic.Bool
 	worker := func(w int) error {
-		st := &workerStats[w]
 		for !aborted.Load() {
 			startPage := cursor.Add(grain) - grain
 			if startPage >= pages {
 				return nil
 			}
-			from := startPage * tpp
-			to := (startPage + grain) * tpp
-			if to > rows {
-				to = rows
+			endPage := startPage + grain
+			if endPage > pages {
+				endPage = pages
 			}
-			err := view.Heap.ScanRangeBatches(from, to, func(b *table.Batch) error {
-				if err := check(states[w]); err != nil {
-					return err
-				}
-				st.TuplesScanned += int64(b.N)
-				processBatch(states[w], st, b)
-				return nil
-			})
-			if err != nil {
+			if err := run(w, startPage, endPage); err != nil {
 				return err
 			}
 		}
@@ -242,14 +227,14 @@ func morselScan(env *Env, view *star.View, states []any, workerStats []Stats, er
 
 	pool := env.Pool
 	if pool == nil {
-		pool = dag.NewPool(len(states))
+		pool = dag.NewPool(nWorkers)
 	}
 	// stop releases helpers still waiting for a slot once the cursor is
 	// drained (or worker 0 bailed); helpers that joined late see the
 	// exhausted cursor and exit immediately.
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
-	for w := 1; w < len(states); w++ {
+	for w := 1; w < nWorkers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -263,6 +248,35 @@ func morselScan(env *Env, view *star.View, states []any, workerStats []Stats, er
 	fail(0, worker(0))
 	close(stop)
 	wg.Wait()
+}
+
+// morselScan drives the states over the view with the shared morsel
+// cursor, decoding each claimed page range through ScanRangeBatches.
+func morselScan(env *Env, view *star.View, states []any, workerStats []Stats, errs []error,
+	check func(state any) error, processBatch func(state any, st *Stats, b *table.Batch)) {
+
+	rows := view.Rows()
+	tpp := int64(view.Heap.TuplesPerPage())
+	if tpp < 1 {
+		tpp = 1
+	}
+	pages := (rows + tpp - 1) / tpp
+	morselDrive(env, pages, len(states), errs, func(w int, fromPage, toPage int64) error {
+		st := &workerStats[w]
+		from := fromPage * tpp
+		to := toPage * tpp
+		if to > rows {
+			to = rows
+		}
+		return view.Heap.ScanRangeBatches(from, to, func(b *table.Batch) error {
+			if err := check(states[w]); err != nil {
+				return err
+			}
+			st.TuplesScanned += int64(b.N)
+			processBatch(states[w], st, b)
+			return nil
+		})
+	})
 }
 
 // staticScan is the legacy pre-split: one contiguous page-aligned range

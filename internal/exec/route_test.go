@@ -1,0 +1,734 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"mdxopt/internal/bitmap"
+	"mdxopt/internal/query"
+	"mdxopt/internal/star"
+	"mdxopt/internal/table"
+)
+
+// Vectorized index-path tests: the word-at-a-time routing kernel
+// (route.go) against naive per-bit oracles, and the vectorized
+// SharedIndex/SharedMixed operators against the Env.NoVectorIndex
+// scalar ablation — byte-identical results and deterministic counters
+// at every worker width.
+
+// naiveExpand collects the set bits of bs within [from, to) as offsets
+// relative to from, the per-bit oracle for maskedWords+expandWords.
+func naiveExpand(bs *bitmap.Bitset, from, to int64) []int32 {
+	var out []int32
+	for i := from; i < to; i++ {
+		if bs.Get(i) {
+			out = append(out, int32(i-from))
+		}
+	}
+	return out
+}
+
+// naiveRoute computes the batch slots of union rows in [from, to) that
+// a query's bitmap also covers: the slot is the row's rank among the
+// union's set bits of the range.
+func naiveRoute(union, q *bitmap.Bitset, from, to int64) []int32 {
+	var out []int32
+	slot := int32(0)
+	for i := from; i < to; i++ {
+		if !union.Get(i) {
+			continue
+		}
+		if q.Get(i) {
+			out = append(out, slot)
+		}
+		slot++
+	}
+	return out
+}
+
+func eqInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoutingKernelMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260809))
+	for trial := 0; trial < 200; trial++ {
+		n := int64(1 + rng.Intn(700))
+		union := bitmap.New(n)
+		q := bitmap.New(n)
+		density := rng.Float64()
+		for i := int64(0); i < n; i++ {
+			if rng.Float64() < density {
+				union.Set(i)
+				if rng.Intn(2) == 0 {
+					q.Set(i)
+				}
+			}
+		}
+		// Random page-like ranges, including word-straddling and
+		// word-aligned boundaries.
+		from := int64(rng.Intn(int(n)))
+		to := from + 1 + int64(rng.Intn(int(n-from)))
+		if trial%5 == 0 {
+			from = from / 64 * 64 // aligned start
+		}
+
+		var uwords []uint64
+		uwords, w0 := maskedWords(uwords, union.Words(), from, to)
+		sel := expandWords(nil, uwords, w0, from)
+		if want := naiveExpand(union, from, to); !eqInt32(sel, want) {
+			t.Fatalf("trial %d: expand [%d,%d) = %v, want %v", trial, from, to, sel, want)
+		}
+		hits := routeWords(nil, uwords, q.Words(), w0)
+		if want := naiveRoute(union, q, from, to); !eqInt32(hits, want) {
+			t.Fatalf("trial %d: route [%d,%d) = %v, want %v", trial, from, to, hits, want)
+		}
+	}
+}
+
+func TestRoutingKernelEdgeCases(t *testing.T) {
+	n := int64(200)
+	empty := bitmap.New(n)
+	full := bitmap.NewFull(n)
+
+	// Empty union: no words set, nothing expanded or routed.
+	uw, w0 := maskedWords(nil, empty.Words(), 10, 150)
+	if sel := expandWords(nil, uw, w0, 10); len(sel) != 0 {
+		t.Fatalf("empty union expanded %v", sel)
+	}
+	if hits := routeWords(nil, uw, full.Words(), w0); len(hits) != 0 {
+		t.Fatalf("empty union routed %v", hits)
+	}
+
+	// Full union, full query: the dense fast path must produce the
+	// identity selection.
+	uw, w0 = maskedWords(nil, full.Words(), 63, 129)
+	sel := expandWords(nil, uw, w0, 63)
+	hits := routeWords(nil, uw, full.Words(), w0)
+	if len(sel) != 66 || len(hits) != 66 {
+		t.Fatalf("full range [63,129): %d expanded, %d routed, want 66", len(sel), len(hits))
+	}
+	for i := range sel {
+		if sel[i] != int32(i) || hits[i] != int32(i) {
+			t.Fatalf("full range slot %d: sel=%d hits=%d", i, sel[i], hits[i])
+		}
+	}
+
+	// Full union, empty query: everything fetched, nothing routed.
+	if hits := routeWords(nil, uw, empty.Words(), w0); len(hits) != 0 {
+		t.Fatalf("empty query routed %v", hits)
+	}
+
+	// Single-bit range.
+	one := bitmap.New(n)
+	one.Set(64)
+	uw, w0 = maskedWords(nil, one.Words(), 64, 65)
+	if sel := expandWords(nil, uw, w0, 64); !eqInt32(sel, []int32{0}) {
+		t.Fatalf("single-bit range expanded %v", sel)
+	}
+
+	if sel := identitySel(nil, 4); !eqInt32(sel, []int32{0, 1, 2, 3}) {
+		t.Fatalf("identitySel = %v", sel)
+	}
+}
+
+// randIndexQueries synthesizes index-answerable queries on the A'B'C'D
+// view: indexed predicates on A/B/C of varying density (sparse unions
+// through near-full ones) and, half the time, a residual D filter that
+// only the fetch-side pass tests can apply.
+func randIndexQueries(t *testing.T, db *star.Database, rng *rand.Rand, n int) []*query.Query {
+	t.Helper()
+	schema := db.Schema
+	levels := []int{1, 1, 1, 0}
+	out := make([]*query.Query, n)
+	for qi := range out {
+		preds := make([]query.Predicate, schema.NumDims())
+		// Restrict 1–3 of the indexed dims A, B, C.
+		restricted := 1 + rng.Intn(3)
+		dims := rng.Perm(3)[:restricted]
+		for _, dim := range dims {
+			card := int(schema.Dims[dim].Card(levels[dim]))
+			k := 1 + rng.Intn(card) // 1 member (sparse) .. full (dense)
+			members := rng.Perm(card)[:k]
+			ms := make([]int32, k)
+			for i, m := range members {
+				ms[i] = int32(m)
+			}
+			preds[dim] = query.Predicate{Members: ms}
+		}
+		if rng.Intn(2) == 0 { // residual D filter
+			card := int(schema.Dims[3].Card(levels[3]))
+			k := 1 + rng.Intn(card)
+			members := rng.Perm(card)[:k]
+			ms := make([]int32, k)
+			for i, m := range members {
+				ms[i] = int32(m)
+			}
+			preds[3] = query.Predicate{Members: ms}
+		}
+		q, err := query.New(fmt.Sprintf("RQ%d", qi), schema, levels, preds)
+		if err != nil {
+			t.Fatalf("query.New: %v", err)
+		}
+		out[qi] = q
+	}
+	return out
+}
+
+// TestSharedIndexVectorScalarEquivalence is the randomized equivalence
+// suite: vectorized SharedIndex at workers {1,2,4,8} against the
+// Env.NoVectorIndex scalar ablation — results byte-identical and every
+// deterministic counter equal, across sparse and dense unions, single
+// and multi query sets, and residual-dim filters.
+func TestSharedIndexVectorScalarEquivalence(t *testing.T) {
+	db, qs := testDB(t)
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+	if view == nil {
+		t.Fatal("A'B'C'D view not materialized")
+	}
+	rng := rand.New(rand.NewSource(98))
+
+	paper := []*query.Query{qs["Q5"], qs["Q6"], qs["Q7"], qs["Q8"]}
+	for trial := 0; trial < 8; trial++ {
+		var group []*query.Query
+		switch trial {
+		case 0: // single query (union aliases its bitmap)
+			group = paper[:1]
+		case 1: // the paper's index set
+			group = paper
+		default: // random sets, 2–5 queries
+			group = randIndexQueries(t, db, rng, 2+rng.Intn(4))
+		}
+
+		scalarEnv := NewEnv(db)
+		scalarEnv.NoVectorIndex = true
+		var scalarSt Stats
+		baseline, err := SharedIndex(scalarEnv, view, group, &scalarSt)
+		if err != nil {
+			t.Fatalf("trial %d scalar: %v", trial, err)
+		}
+
+		for _, workers := range []int{1, 2, 4, 8} {
+			env := NewEnv(db)
+			env.Parallelism = workers
+			env.MorselPages = 1 + rng.Intn(3)
+			var st Stats
+			results, err := SharedIndex(env, view, group, &st)
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			checkIdentical(t, results, baseline)
+			if scanCounters(st) != scanCounters(scalarSt) {
+				t.Fatalf("trial %d workers=%d: counters %v, scalar %v",
+					trial, workers, scanCounters(st), scanCounters(scalarSt))
+			}
+			// Per-query own stats must route identically too.
+			for i := range results {
+				if g, w := scanCounters(results[i].Own), scanCounters(baseline[i].Own); g != w {
+					t.Fatalf("trial %d workers=%d %s: own counters %v, scalar %v",
+						trial, workers, group[i].Name, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedMixedVectorScalarEquivalence: the mixed scan's vectorized
+// bitmap filters against the per-tuple Get loop, at every width.
+func TestSharedMixedVectorScalarEquivalence(t *testing.T) {
+	db, qs := testDB(t)
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+	rng := rand.New(rand.NewSource(99))
+
+	for trial := 0; trial < 4; trial++ {
+		hash := []*query.Query{qs["Q3"]}
+		index := randIndexQueries(t, db, rng, 1+rng.Intn(3))
+		if trial == 0 {
+			index = []*query.Query{qs["Q7"], qs["Q8"]}
+		}
+
+		scalarEnv := NewEnv(db)
+		scalarEnv.NoVectorIndex = true
+		var scalarSt Stats
+		baseHash, baseIndex, err := SharedMixed(scalarEnv, view, hash, index, &scalarSt)
+		if err != nil {
+			t.Fatalf("trial %d scalar: %v", trial, err)
+		}
+
+		for _, workers := range []int{1, 2, 4, 8} {
+			env := NewEnv(db)
+			env.Parallelism = workers
+			env.MorselPages = 1
+			var st Stats
+			gotHash, gotIndex, err := SharedMixed(env, view, hash, index, &st)
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			checkIdentical(t, gotHash, baseHash)
+			checkIdentical(t, gotIndex, baseIndex)
+			if scanCounters(st) != scanCounters(scalarSt) {
+				t.Fatalf("trial %d workers=%d: counters %v, scalar %v",
+					trial, workers, scanCounters(st), scanCounters(scalarSt))
+			}
+		}
+	}
+}
+
+// TestSharedIndexSpillEquivalence: a tight budget forces the probe
+// workers' aggregation tables through the spill path; results must
+// match the ungoverned scalar run and the broker must drain.
+func TestSharedIndexSpillEquivalence(t *testing.T) {
+	db, qs := testDB(t)
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+	group := []*query.Query{qs["Q5"], qs["Q6"], qs["Q7"], qs["Q8"]}
+
+	scalarEnv := NewEnv(db)
+	scalarEnv.NoVectorIndex = true
+	var baseSt Stats
+	baseline, err := SharedIndex(scalarEnv, view, group, &baseSt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		env, broker := budgetedEnv(t, db, 1<<12)
+		env.Parallelism = workers
+		env.MorselPages = 1
+		var st Stats
+		results, err := SharedIndex(env, view, group, &st)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		checkIdentical(t, results, baseline)
+		checkDrained(t, broker)
+	}
+}
+
+// TestSharedIndexEmptyUnion drives the vectorized probe with an
+// all-zero union: no page may be pinned, no counter may move, and —
+// matching the scalar path, which never polls an empty union — no
+// cancellation checkpoint may fire.
+func TestSharedIndexEmptyUnion(t *testing.T) {
+	db, qs := testDB(t)
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+	env := NewEnv(db)
+	env.Ctx = canceledCtx() // would abort at the first checkpoint
+
+	var st Stats
+	cache := newLookupCache(env, &st)
+	defer cache.close()
+	p, err := newQueryPipeline(env, &st, cache, qs["Q5"], view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.close()
+
+	empty := bitmap.New(view.Rows())
+	ps := &probeShared{
+		view:      view,
+		union:     empty,
+		bitmaps:   []*bitmap.Bitset{empty},
+		residuals: [][]int{nil},
+		tpp:       int64(view.Heap.TuplesPerPage()),
+		rows:      view.Rows(),
+	}
+	w := newProbeWorker(view, []*queryPipeline{p})
+	pages := (ps.rows + ps.tpp - 1) / ps.tpp
+	before := db.Pool.Stats()
+	if err := ps.probePages(env, w, &st, 0, pages); err != nil {
+		t.Fatalf("empty union probe: %v", err)
+	}
+	if st.TuplesFetched != 0 || st.TuplesAgg != 0 || st.BitTests != 0 {
+		t.Fatalf("empty union moved counters: fetched=%d agg=%d tests=%d",
+			st.TuplesFetched, st.TuplesAgg, st.BitTests)
+	}
+	after := db.Pool.Stats()
+	if pins := (after.Reads() + after.Hits) - (before.Reads() + before.Hits); pins != 0 {
+		t.Fatalf("empty union pinned %d pages", pins)
+	}
+}
+
+// TestSharedIndexDetachMidProbe cancels one query's context partway
+// through a parallel vectorized probe (via a disk-read hook, so the
+// cancellation lands with workers in flight): the dead query comes
+// back detached, the survivor stays oracle-correct.
+func TestSharedIndexDetachMidProbe(t *testing.T) {
+	db, qs := testDB(t)
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+	if err := db.ColdReset(); err != nil {
+		t.Fatal(err)
+	}
+	dead, live := qs["Q5"], qs["Q6"]
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	disk := view.Heap.File().Disk()
+	var reads atomic.Int64
+	disk.SetFault(func(op string, page uint32) error {
+		if op == "read" && reads.Add(1) == 4 {
+			cancel()
+		}
+		return nil
+	})
+	defer disk.SetFault(nil)
+
+	env := NewEnv(db)
+	env.Parallelism = 4
+	env.MorselPages = 1
+	env.QueryCtx = func(q *query.Query) context.Context {
+		if q == dead {
+			return ctx
+		}
+		return context.Background()
+	}
+
+	var st Stats
+	rs, err := SharedIndex(env, view, []*query.Query{dead, live}, &st)
+	if err != nil {
+		t.Fatalf("SharedIndex: %v", err)
+	}
+	if !errors.Is(rs[0].Err, context.Canceled) {
+		t.Fatalf("dead query's err = %v, want context.Canceled", rs[0].Err)
+	}
+	if rs[1].Err != nil {
+		t.Fatalf("surviving query's result has error: %v", rs[1].Err)
+	}
+	disk.SetFault(nil)
+	env.QueryCtx = nil
+	checkAgainstOracle(t, env, rs[1])
+}
+
+// TestSharedIndexVectorDiskFault: a read fault during the page-batched
+// fetch must surface from the vectorized probe at every width, and the
+// broker must drain afterwards.
+func TestSharedIndexVectorDiskFault(t *testing.T) {
+	db, qs := testDB(t)
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+	boom := errors.New("injected disk fault")
+	group := []*query.Query{qs["Q5"], qs["Q6"]}
+
+	for _, workers := range []int{1, 4} {
+		if err := db.ColdReset(); err != nil {
+			t.Fatal(err)
+		}
+		view.Heap.File().Disk().SetFault(func(op string, page uint32) error {
+			if op == "read" {
+				return boom
+			}
+			return nil
+		})
+		env, broker := budgetedEnv(t, db, 1<<30)
+		env.Parallelism = workers
+		var st Stats
+		if _, err := SharedIndex(env, view, group, &st); !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want injected fault", workers, err)
+		}
+		view.Heap.File().Disk().SetFault(nil)
+		checkDrained(t, broker)
+	}
+	if err := db.ColdReset(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedIndexAllDetachedStopsEarly: with every pipeline detached
+// before the probe starts, the vectorized pass stops at its first
+// checkpoint instead of fetching the whole union.
+func TestSharedIndexAllDetachedStopsEarly(t *testing.T) {
+	db, qs := testDB(t)
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+	env := NewEnv(db)
+	env.Parallelism = 4
+	env.MorselPages = 1
+	env.QueryCtx = func(*query.Query) context.Context { return canceledCtx() }
+
+	var st Stats
+	rs, err := SharedIndex(env, view, []*query.Query{qs["Q5"], qs["Q6"]}, &st)
+	if err != nil {
+		t.Fatalf("SharedIndex: %v", err)
+	}
+	for i, r := range rs {
+		if r.Err == nil {
+			t.Fatalf("result %d of an all-canceled pass has no error", i)
+		}
+	}
+	if st.TuplesFetched != 0 {
+		t.Fatalf("all pipelines detached but the pass fetched %d tuples", st.TuplesFetched)
+	}
+}
+
+// TestRouteLoopAllocs pins the vectorized probe's steady-state
+// allocation rate at zero, mirroring TestFoldLoopAllocs: once the
+// pipelines are warm and the pool holds the union's pages, re-running
+// the entire probe must not allocate.
+func TestRouteLoopAllocs(t *testing.T) {
+	db, qs := testDB(t)
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+	env := NewEnv(db)
+
+	var st Stats
+	cache := newLookupCache(env, &st)
+	defer cache.close()
+	group := []*query.Query{qs["Q5"], qs["Q6"], qs["Q7"], qs["Q8"]}
+	pipelines := make([]*queryPipeline, len(group))
+	bitmaps := make([]*bitmap.Bitset, len(group))
+	residuals := make([][]int, len(group))
+	for i, q := range group {
+		p, err := newQueryPipeline(env, &st, cache, q, view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.close()
+		pipelines[i] = p
+		bs, residual, err := pipelineBitmap(env, view, p, &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitmaps[i] = bs
+		residuals[i] = residual
+	}
+	union := bitmap.New(view.Rows())
+	union.CopyFrom(bitmaps[0])
+	for _, bs := range bitmaps[1:] {
+		bs.OrInto(union)
+	}
+	ps := &probeShared{
+		view: view, union: union, bitmaps: bitmaps, residuals: residuals,
+		tpp: int64(view.Heap.TuplesPerPage()), rows: view.Rows(),
+	}
+	w := newProbeWorker(view, pipelines)
+	pages := (ps.rows + ps.tpp - 1) / ps.tpp
+
+	probe := func() {
+		var pst Stats
+		if err := ps.probePages(env, w, &pst, 0, pages); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe() // warm-up: pool pages resident, tables grown, scratch sized
+	if allocs := testing.AllocsPerRun(5, probe); allocs != 0 {
+		t.Fatalf("steady-state probe pass allocates %v objects, want 0", allocs)
+	}
+	for _, p := range pipelines {
+		if p.ioErr != nil {
+			t.Fatal(p.ioErr)
+		}
+	}
+}
+
+// FuzzSelVecExpand fuzzes the word→selection-vector kernels against
+// the per-bit oracles: arbitrary union/query words and an arbitrary
+// sub-word range must expand and route exactly like bit-at-a-time
+// iteration.
+func FuzzSelVecExpand(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint16(0), uint16(128))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), uint64(0x5555555555555555), uint16(3), uint16(190))
+	f.Add(uint64(1)<<63, uint64(1), uint64(1)<<63, uint64(1)<<63, uint16(63), uint16(65))
+	f.Fuzz(func(t *testing.T, u0, u1, u2, q0 uint64, a, b uint16) {
+		const n = 192 // three words
+		union := bitmap.New(n)
+		q := bitmap.New(n)
+		fill := func(dst *bitmap.Bitset, w uint64, wi int) {
+			for tz := 0; tz < 64; tz++ {
+				if w&(1<<uint(tz)) != 0 {
+					dst.Set(int64(wi*64 + tz))
+				}
+			}
+		}
+		fill(union, u0, 0)
+		fill(union, u1, 1)
+		fill(union, u2, 2)
+		fill(q, q0, 0)
+		fill(q, u1&q0, 1) // correlated middle word
+		fill(q, ^u2, 2)   // anti-correlated last word
+
+		from := int64(a) % n
+		to := from + 1 + int64(b)%(n-from)
+
+		uw, w0 := maskedWords(nil, union.Words(), from, to)
+		sel := expandWords(nil, uw, w0, from)
+		if want := naiveExpand(union, from, to); !eqInt32(sel, want) {
+			t.Fatalf("expand [%d,%d): got %v, want %v", from, to, sel, want)
+		}
+		hits := routeWords(nil, uw, q.Words(), w0)
+		if want := naiveRoute(union, q, from, to); !eqInt32(hits, want) {
+			t.Fatalf("route [%d,%d): got %v, want %v", from, to, hits, want)
+		}
+		// Routed slots must index into the expanded selection.
+		for _, h := range hits {
+			if int(h) >= len(sel) {
+				t.Fatalf("routed slot %d out of batch of %d", h, len(sel))
+			}
+		}
+	})
+}
+
+// BenchmarkBitmapRoute isolates the routing kernel: expand one page's
+// union words and route them to 4 query bitmaps, against the scalar
+// per-bit equivalent.
+func BenchmarkBitmapRoute(b *testing.B) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(7))
+	union := bitmap.New(n)
+	queries := make([]*bitmap.Bitset, 4)
+	for i := range queries {
+		queries[i] = bitmap.New(n)
+	}
+	for i := int64(0); i < n; i++ {
+		if rng.Float64() < 0.5 {
+			union.Set(i)
+			queries[rng.Intn(4)].Set(i)
+		}
+	}
+	const pageRows = 170 // one 4KiB page of 24-byte tuples
+	b.Run("vectorized", func(b *testing.B) {
+		uwords := make([]uint64, 0, pageRows/64+2)
+		sel := make([]int32, 0, pageRows)
+		hits := make([]int32, 0, pageRows)
+		b.ReportAllocs()
+		var routed int64
+		for i := 0; i < b.N; i++ {
+			from := int64(i*pageRows) % (n - pageRows)
+			var w0 int
+			uwords, w0 = maskedWords(uwords, union.Words(), from, from+pageRows)
+			sel = expandWords(sel[:0], uwords, w0, from)
+			for _, q := range queries {
+				hits = routeWords(hits[:0], uwords, q.Words(), w0)
+				routed += int64(len(hits))
+			}
+		}
+		reportRouted(b, routed)
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		var routed int64
+		for i := 0; i < b.N; i++ {
+			from := int64(i*pageRows) % (n - pageRows)
+			for r := from; r < from+pageRows; r++ {
+				if !union.Get(r) {
+					continue
+				}
+				for _, q := range queries {
+					if q.Get(r) {
+						routed++
+					}
+				}
+			}
+		}
+		reportRouted(b, routed)
+	})
+}
+
+func reportRouted(b *testing.B, routed int64) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(routed)/s, "routed/s")
+	}
+}
+
+// BenchmarkFetchBatches compares the production paged fetch loop —
+// word expansion into a selection vector plus one FetchPage into a
+// reused batch, exactly the probe worker's data path — against the
+// per-row FetchRows callback, on a warm pool over a half-dense row
+// set. The paged variant must not allocate.
+func BenchmarkFetchBatches(b *testing.B) {
+	db, _ := testDB(b)
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+	heap := view.Heap
+	rows := heap.Count()
+	sel := bitmap.New(rows)
+	rng := rand.New(rand.NewSource(11))
+	for i := int64(0); i < rows; i++ {
+		if rng.Float64() < 0.5 {
+			sel.Set(i)
+		}
+	}
+	tpp := int64(heap.TuplesPerPage())
+	pages := heap.DataPages()
+	// Warm the pool.
+	if err := heap.FetchBatches(sel.Iterator(), func(*table.Batch, []int32) error { return nil }); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("paged", func(b *testing.B) {
+		batch := heap.MakeBatch()
+		uwords := make([]uint64, 0, tpp/64+2)
+		pageSel := make([]int32, 0, tpp)
+		b.ReportAllocs()
+		var fetched int64
+		for i := 0; i < b.N; i++ {
+			for pg := int64(0); pg < pages; pg++ {
+				from := pg * tpp
+				to := from + tpp
+				if to > rows {
+					to = rows
+				}
+				var w0 int
+				uwords, w0 = maskedWords(uwords, sel.Words(), from, to)
+				pageSel = expandWords(pageSel[:0], uwords, w0, from)
+				if len(pageSel) == 0 {
+					continue
+				}
+				if err := heap.FetchPage(batch, pg, pageSel); err != nil {
+					b.Fatal(err)
+				}
+				fetched += int64(len(pageSel))
+			}
+		}
+		reportRouted(b, fetched)
+	})
+	b.Run("per-row", func(b *testing.B) {
+		b.ReportAllocs()
+		var fetched int64
+		for i := 0; i < b.N; i++ {
+			err := heap.FetchRows(sel.Iterator(), func(row int64, keys []int32, ms []float64) error {
+				fetched++
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportRouted(b, fetched)
+	})
+}
+
+// TestProbeKernelBenchRuns smokes the probe-kernel harness in both
+// representations and checks they fetch the same union.
+func TestProbeKernelBenchRuns(t *testing.T) {
+	db, qs := testDB(t)
+	view := db.ViewByLevels([]int{1, 1, 1, 0})
+	group := []*query.Query{qs["Q5"], qs["Q6"], qs["Q7"], qs["Q8"]}
+
+	var tuples [2]int64
+	for i, scalar := range []bool{false, true} {
+		env := NewEnv(db)
+		env.NoVectorIndex = scalar
+		r, err := ProbeKernelBench(env, view, group, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Vectorized != !scalar {
+			t.Fatalf("scalar=%v ran vectorized=%v", scalar, r.Vectorized)
+		}
+		if r.Passes != 2 || r.Tuples <= 0 || r.TuplesPerSec <= 0 {
+			t.Fatalf("scalar=%v: implausible result %+v", scalar, r)
+		}
+		if r.Routed < r.Tuples { // every union tuple belongs to >=1 query
+			t.Fatalf("scalar=%v: routed %d < fetched %d", scalar, r.Routed, r.Tuples)
+		}
+		tuples[i] = r.Tuples
+	}
+	if tuples[0] != tuples[1] {
+		t.Fatalf("representations fetched different unions: %d vs %d", tuples[0], tuples[1])
+	}
+}

@@ -184,6 +184,15 @@ type Env struct {
 	// Merge memory per partition is roughly the final group footprint
 	// divided by the fanout.
 	SpillFanout int
+	// NoVectorIndex reverts the index star-join operators to the scalar
+	// tuple-at-a-time probe loop: per-bit union iteration, per-row
+	// fetch callbacks, and a scalar bitmap Get per tuple per query,
+	// instead of the word-at-a-time routing kernel and page-batched
+	// fetch (route.go). Results and every deterministic counter are
+	// identical either way; the switch exists for the equivalence suite
+	// and the idx benchmark's ablation baseline. The scalar probe always
+	// runs serially.
+	NoVectorIndex bool
 	// NoPackedKeys disables the packed-key open-addressing fold kernel,
 	// forcing every pipeline onto the legacy byte-key aggregation map.
 	// Results are identical either way; the switch exists for ablation

@@ -27,6 +27,13 @@ type Estimator struct {
 	// assumption, when statistics are available. On by default; the
 	// skew ablation disables it.
 	UseStats bool
+	// VectorIndex prices the vectorized index-probe data path (exec's
+	// route.go): bitmap routing is one word AND per 64 tuples instead of
+	// a scalar test per tuple, so the scan-regime filter term and the
+	// probe-regime re-test term are charged per bitmap word rather than
+	// per tuple. On for the full model; paper mode keeps the per-tuple
+	// pricing so Tests 4–7 reproduce the paper's plan choices.
+	VectorIndex bool
 	// CostEvals counts cost-model evaluations (StandaloneCost and
 	// ClassCost calls) — the "number of global plans searched" currency
 	// of the paper's §8 time/space trade-off discussion.
@@ -53,7 +60,7 @@ type Estimator struct {
 // conversion enabled. Its plan space is a strict superset of the
 // paper's and finds plans the paper's optimizer cannot.
 func NewEstimator(db *star.Database) *Estimator {
-	return &Estimator{DB: db, Model: cost.Default(), FilterConversion: true, UseStats: true}
+	return &Estimator{DB: db, Model: cost.Default(), FilterConversion: true, UseStats: true, VectorIndex: true}
 }
 
 // NewPaperEstimator returns an estimator confined to the paper's plan
@@ -252,6 +259,7 @@ func (e *Estimator) ClassCost(c *Class) float64 {
 			return math.Inf(1)
 		}
 	}
+	words := float64((v.Rows() + 63) / 64)
 
 	// Scan regime: per-plan marginal cost on top of the shared scan.
 	scanShared := mod.ScanIO(v.Pages())
@@ -263,8 +271,14 @@ func (e *Estimator) ClassCost(c *Class) float64 {
 		indexCPU := math.Inf(1)
 		if e.FilterConversion && e.hasUsableIndex(q, v) {
 			k := e.indexedSelRows(q, v)
+			// The bitmap-filter test over the scanned stream: per tuple
+			// scalar, per 64-tuple word vectorized.
+			filter := mod.BitTest * float64(v.Rows())
+			if e.VectorIndex {
+				filter = mod.BitmapWord * words
+			}
 			indexCPU = e.buildCost(q) + e.bitmapCost(q, v) +
-				mod.BitTest*float64(v.Rows()) + mod.FetchCPU*k + mod.AggCPU*e.selRows(q, v)
+				filter + mod.FetchCPU*k + mod.AggCPU*e.selRows(q, v)
 		}
 		if indexCPU < hashCPU {
 			scanMethods[i] = IndexSJ
@@ -285,7 +299,6 @@ func (e *Estimator) ClassCost(c *Class) float64 {
 		}
 	}
 	if allIndex {
-		words := float64((v.Rows() + 63) / 64)
 		// Union selectivity: 1 - prod(1 - sel_i).
 		miss := 1.0
 		probeTotal = 0
@@ -299,10 +312,16 @@ func (e *Estimator) ClassCost(c *Class) float64 {
 		}
 		unionRows := float64(v.Rows()) * (1 - miss)
 		if len(c.Plans) > 1 {
-			// OR-ing the per-query bitmaps and re-testing each fetched
-			// tuple against each query's bitmap.
+			// OR-ing the per-query bitmaps, then routing each fetched
+			// tuple to its queries: a scalar bitmap test per fetched
+			// tuple per query, or — vectorized — one word AND per union
+			// word per query.
 			probeTotal += mod.BitmapWord * words * float64(len(c.Plans)-1)
-			probeTotal += mod.BitTest * unionRows * float64(len(c.Plans))
+			if e.VectorIndex {
+				probeTotal += mod.BitmapWord * words * float64(len(c.Plans))
+			} else {
+				probeTotal += mod.BitTest * unionRows * float64(len(c.Plans))
+			}
 		}
 		probeTotal += e.probeIO(v, unionRows)
 	}

@@ -92,16 +92,28 @@ func bitmapMemory(v *star.View) int64 {
 }
 
 // aggTableCopies is how many copies of each member's aggregation table
-// a class pass holds at its peak: one for the serial or probe-regime
-// pass, and under a Workers-wide pool one per scan worker plus the
-// primary table they merge into (the workers' tables are still resident
-// while the first merges absorb them). Lookups and bitmaps are shared
-// read-only across scan workers and are not multiplied.
+// a class pass holds at its peak: one for the serial pass, and under a
+// Workers-wide pool one per worker plus the primary table they merge
+// into (the workers' tables are still resident while the first merges
+// absorb them). Both regimes fan out now — scans and the vectorized
+// union probe claim morsels from the same pool — so both multiply.
+// Lookups and bitmaps are shared read-only across workers and are not
+// multiplied.
 func (e *Estimator) aggTableCopies(c *Class) int64 {
-	if e.Workers <= 1 || c.Regime == ProbeRegime {
+	if e.Workers <= 1 {
 		return 1
 	}
 	return int64(e.Workers) + 1
+}
+
+// memProbeBufBytes mirrors exec's probeBufBytes: one probe worker's
+// page batch (4-byte keys + 8-byte measures per tuple) plus its two
+// selection vectors and the masked-word scratch.
+func memProbeBufBytes(v *star.View) int64 {
+	tpp := int64(v.Heap.TuplesPerPage())
+	nk := int64(v.Heap.Schema().NumKeys())
+	nm := int64(v.Heap.Schema().NumMeasures())
+	return tpp*(4*nk+8*nm) + 8*tpp + (tpp/64+2)*8
 }
 
 // ClassMemory estimates the operator-state footprint of evaluating
@@ -127,8 +139,17 @@ func (e *Estimator) ClassMemory(c *Class) int64 {
 		}
 	}
 	total += int64(bitmaps) * bitmapMemory(v)
-	if c.Regime == ProbeRegime && len(c.Plans) > 1 {
-		total += bitmapMemory(v) // the union bitmap
+	if c.Regime == ProbeRegime {
+		if len(c.Plans) > 1 {
+			total += bitmapMemory(v) // the union bitmap
+		}
+		// One fetch batch + routing scratch per probe worker (exec's
+		// probeWorker buffers, reserved on the bitmaps grant).
+		workers := int64(1)
+		if e.Workers > 1 {
+			workers = int64(e.Workers)
+		}
+		total += workers * memProbeBufBytes(v)
 	}
 	return total
 }

@@ -428,6 +428,18 @@ func (p *Pool) ResetStats() {
 // fetches of the same page queue on the shard and find the directory
 // entry when they wake — a page is never read twice concurrently.
 func (p *Pool) Fetch(f *File, page uint32) (*Page, error) {
+	pg := new(Page)
+	if err := p.FetchInto(f, page, pg); err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// FetchInto pins a page like Fetch but fills a caller-owned Page value
+// instead of allocating one, so tight fetch loops (the vectorized index
+// probe's page-batched reads) stay allocation-free: the caller keeps
+// one Page on its stack and reuses it pin after pin.
+func (p *Pool) FetchInto(f *File, page uint32, out *Page) error {
 	key := PageKey{File: f.id, Page: page}
 	s := p.shardOf(key)
 	s.mu.Lock()
@@ -443,12 +455,13 @@ func (p *Pool) Fetch(f *File, page uint32) (*Page, error) {
 			f.ioPrefetchHits.Add(1)
 			f.notePrefetchHit(page)
 		}
-		return &Page{key: key, frame: fr, pool: p}, nil
+		*out = Page{key: key, frame: fr, pool: p}
+		return nil
 	}
 	fr, retried, err := p.reserveLocked(s)
 	if err != nil {
 		s.mu.Unlock()
-		return nil, err
+		return err
 	}
 	if retried {
 		if exist, ok := s.dir[key]; ok {
@@ -466,14 +479,15 @@ func (p *Pool) Fetch(f *File, page uint32) (*Page, error) {
 				f.ioPrefetchHits.Add(1)
 				f.notePrefetchHit(page)
 			}
-			return &Page{key: key, frame: exist, pool: p}, nil
+			*out = Page{key: key, frame: exist, pool: p}
+			return nil
 		}
 	}
 	if err := f.disk.ReadPage(page, fr.buf); err != nil {
 		fr.pins.Store(0)
 		fr.valid = false
 		s.mu.Unlock()
-		return nil, err
+		return err
 	}
 	seq, run := f.noteRead(page)
 	if seq {
@@ -494,7 +508,8 @@ func (p *Pool) Fetch(f *File, page uint32) (*Page, error) {
 	if run >= prefetchMinRun {
 		p.maybePrefetch(f, int64(page)+1)
 	}
-	return &Page{key: key, frame: fr, pool: p}, nil
+	*out = Page{key: key, frame: fr, pool: p}
+	return nil
 }
 
 // hitLocked pins fr as a pool hit under the shard lock.

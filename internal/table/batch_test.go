@@ -2,6 +2,7 @@ package table
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -115,5 +116,141 @@ func TestBatchBuffersAreReused(t *testing.T) {
 	wantRow := int64(2) * int64(h.TuplesPerPage())
 	if first[0] != int32(wantRow) {
 		t.Fatalf("retained slice holds key %d, want %d (buffers must be reused)", first[0], wantRow)
+	}
+}
+
+func TestFetchBatchesMatchesFetchRows(t *testing.T) {
+	const n = 2500
+	pool, h := newHeap(t, testSchema())
+	appendN(t, h, n)
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Row sets exercising page boundaries, singletons, dense runs, and
+	// cross-page strides.
+	tpp := int64(h.TuplesPerPage())
+	rowSets := [][]int64{
+		{},
+		{0},
+		{n - 1},
+		{0, 1, 2, tpp - 1, tpp, tpp + 1, 2*tpp - 1, 2 * tpp, n - 1},
+	}
+	var dense, stride []int64
+	for r := int64(0); r < n; r++ {
+		dense = append(dense, r)
+		if r%97 == 0 {
+			stride = append(stride, r)
+		}
+	}
+	rowSets = append(rowSets, dense, stride)
+
+	iter := func(rows []int64) func() int64 {
+		i := 0
+		return func() int64 {
+			if i == len(rows) {
+				return -1
+			}
+			r := rows[i]
+			i++
+			return r
+		}
+	}
+
+	for si, rows := range rowSets {
+		type tuple struct {
+			row  int64
+			keys []int32
+			ms   []float64
+		}
+		var want []tuple
+		err := h.FetchRows(iter(rows), func(row int64, keys []int32, measures []float64) error {
+			want = append(want, tuple{row, append([]int32(nil), keys...), append([]float64(nil), measures...)})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("set %d: FetchRows: %v", si, err)
+		}
+
+		pool.ResetStats()
+		var got []tuple
+		pages := 0
+		err = h.FetchBatches(iter(rows), func(b *Batch, sel []int32) error {
+			pages++
+			if b.N != len(sel) {
+				return fmt.Errorf("batch N=%d, sel len=%d", b.N, len(sel))
+			}
+			for i, s := range sel {
+				keys, ms := b.Row(i)
+				got = append(got, tuple{b.Start + int64(s), append([]int32(nil), keys...), append([]float64(nil), ms...)})
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("set %d: FetchBatches: %v", si, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("set %d: FetchBatches %d tuples, FetchRows %d", si, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].row != want[i].row {
+				t.Fatalf("set %d tuple %d: row %d, want %d", si, i, got[i].row, want[i].row)
+			}
+			for k := range want[i].keys {
+				if got[i].keys[k] != want[i].keys[k] {
+					t.Fatalf("set %d row %d: key %d = %d, want %d", si, got[i].row, k, got[i].keys[k], want[i].keys[k])
+				}
+			}
+			for m := range want[i].ms {
+				if got[i].ms[m] != want[i].ms[m] {
+					t.Fatalf("set %d row %d: measure %d = %v, want %v", si, got[i].row, m, got[i].ms[m], want[i].ms[m])
+				}
+			}
+		}
+		// One pin (at most one physical read) per distinct page.
+		distinct := make(map[int64]bool)
+		for _, r := range rows {
+			distinct[r/tpp] = true
+		}
+		if pages != len(distinct) {
+			t.Fatalf("set %d: fn called %d times, want %d pages", si, pages, len(distinct))
+		}
+	}
+}
+
+func TestFetchPageErrors(t *testing.T) {
+	_, h := newHeap(t, testSchema())
+	appendN(t, h, 100) // less than one full page at 24B tuples
+	b := h.MakeBatch()
+	if err := h.FetchPage(b, 5, []int32{0}); !errors.Is(err, ErrRowOutOfRange) {
+		t.Fatalf("FetchPage past EOF err = %v, want ErrRowOutOfRange", err)
+	}
+	if err := h.FetchPage(b, -1, []int32{0}); !errors.Is(err, ErrRowOutOfRange) {
+		t.Fatalf("FetchPage(-1) err = %v, want ErrRowOutOfRange", err)
+	}
+	// Selecting a slot past the row count on the last page fails.
+	if err := h.FetchPage(b, 0, []int32{100}); !errors.Is(err, ErrRowOutOfRange) {
+		t.Fatalf("FetchPage slot past count err = %v, want ErrRowOutOfRange", err)
+	}
+	// Empty selection succeeds without touching the pool.
+	if err := h.FetchPage(b, 0, nil); err != nil {
+		t.Fatalf("FetchPage empty sel: %v", err)
+	}
+	if b.N != 0 {
+		t.Fatalf("empty-sel batch N = %d", b.N)
+	}
+	// FetchBatches propagates out-of-range rows from the iterator.
+	rows := []int64{50, 150}
+	i := 0
+	err := h.FetchBatches(func() int64 {
+		if i == len(rows) {
+			return -1
+		}
+		r := rows[i]
+		i++
+		return r
+	}, func(b *Batch, sel []int32) error { return nil })
+	if !errors.Is(err, ErrRowOutOfRange) {
+		t.Fatalf("FetchBatches out-of-range err = %v, want ErrRowOutOfRange", err)
 	}
 }

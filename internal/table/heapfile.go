@@ -316,6 +316,89 @@ func (h *HeapFile) ScanRangeBatches(from, to int64, fn func(b *Batch) error) err
 	return nil
 }
 
+// MakeBatch returns a Batch sized for one data page of the heap, for
+// use with FetchPage. Callers reuse it across pages so the steady-state
+// fetch loop performs no allocation.
+func (h *HeapFile) MakeBatch() *Batch {
+	nk, nm := h.schema.NumKeys(), h.schema.NumMeasures()
+	return &Batch{
+		Keys:     make([]int32, h.tpp*nk),
+		Measures: make([]float64, h.tpp*nm),
+		nk:       nk,
+		nm:       nm,
+	}
+}
+
+// FetchPage decodes the selected slots of one data page into b, pinning
+// the page exactly once. page is the 0-based data page index and sel
+// holds ascending page-relative slot numbers, so tuple i of the batch
+// is row b.Start+int64(sel[i]). b must come from MakeBatch (or be at
+// least as large); it is filled densely (b.N = len(sel)) and the page
+// is unpinned before returning, so batches never alias pool frames.
+func (h *HeapFile) FetchPage(b *Batch, page int64, sel []int32) error {
+	first := page * int64(h.tpp)
+	if page < 0 || first >= h.count {
+		return fmt.Errorf("%w: page %d of %d", ErrRowOutOfRange, page, h.DataPages())
+	}
+	b.Start = first
+	b.N = len(sel)
+	if len(sel) == 0 {
+		return nil
+	}
+	if last := first + int64(sel[len(sel)-1]); last >= h.count {
+		return fmt.Errorf("%w: %d of %d", ErrRowOutOfRange, last, h.count)
+	}
+	var p storage.Page // stack-held pin: the probe loop must not allocate
+	if err := h.pool.FetchInto(h.file, uint32(page)+1, &p); err != nil {
+		return err
+	}
+	data := p.Data()
+	nk, nm := b.nk, b.nm
+	for i, s := range sel {
+		decodeTuple(data[int(s)*h.size:], b.Keys[i*nk:(i+1)*nk], b.Measures[i*nm:(i+1)*nm])
+	}
+	p.Unpin()
+	return nil
+}
+
+// FetchBatches reads the rows produced by next (ascending, -1 when
+// exhausted) like FetchRows, but a page at a time: each page's rows are
+// collected into a selection vector of page slots, decoded with one pin
+// (FetchPage), and handed to fn as a batch — tuple i of the batch is
+// row b.Start+int64(sel[i]). The batch and selection vector are reused
+// between calls; fn must copy anything it retains.
+func (h *HeapFile) FetchBatches(next func() int64, fn func(b *Batch, sel []int32) error) error {
+	b := h.MakeBatch()
+	sel := make([]int32, 0, h.tpp)
+	page := int64(-1)
+	flush := func() error {
+		if page < 0 || len(sel) == 0 {
+			return nil
+		}
+		if err := h.FetchPage(b, page, sel); err != nil {
+			return err
+		}
+		return fn(b, sel)
+	}
+	for {
+		row := next()
+		if row < 0 {
+			return flush()
+		}
+		if row >= h.count {
+			return fmt.Errorf("%w: %d of %d", ErrRowOutOfRange, row, h.count)
+		}
+		if pg := row / int64(h.tpp); pg != page {
+			if err := flush(); err != nil {
+				return err
+			}
+			page = pg
+			sel = sel[:0]
+		}
+		sel = append(sel, int32(row%int64(h.tpp)))
+	}
+}
+
 // FetchRow reads a single row by number. keys and measures must have the
 // schema's lengths. Random access goes through the pool, so consecutive
 // fetches on the same page cost one physical read.

@@ -638,9 +638,14 @@ type QueryResult struct {
 
 // Stats summarizes the work an Answer took.
 type Stats struct {
-	PageReads        int64
-	TuplesScanned    int64
-	TuplesFetched    int64
+	PageReads     int64
+	TuplesScanned int64
+	TuplesFetched int64
+	// BitTests counts per-tuple bitmap membership tests on the index
+	// star-join paths (probe routing and scan-side bitmap filters). The
+	// count is the same whether the engine routed word-at-a-time or
+	// tuple-at-a-time — it is the logical tests, not the instructions.
+	BitTests         int64
 	SimulatedSeconds float64 // on the paper's 1998 hardware model
 	WallNanos        int64
 
@@ -983,6 +988,7 @@ func statsOut(st exec.Stats) Stats {
 		PageReads:        st.IO.Reads(),
 		TuplesScanned:    st.TuplesScanned,
 		TuplesFetched:    st.TuplesFetched,
+		BitTests:         st.BitTests,
 		SimulatedSeconds: st.SimulatedSeconds(cost.Default()),
 		WallNanos:        int64(st.Wall),
 		PeakMemoryBytes:  st.PeakMemory,
