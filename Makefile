@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race race-dag fuzz-smoke bench go-bench scan-bench serve-bench mem-bench cache-bench dag-bench agg-bench pool-bench idx-bench clean
+.PHONY: check build vet fmt test race race-dag fuzz-smoke bench go-bench scan-bench serve-bench mem-bench cache-bench dag-bench agg-bench pool-bench idx-bench mut-bench clean
 
 # The full gate: compile everything, vet, check formatting, run the
 # suite in shuffled order, race-test the concurrent packages (fast
@@ -28,10 +28,13 @@ race:
 
 # Focused race gate for the concurrent layers: the worker pool and
 # task-graph executor, the memory broker, the result cache, the
-# sharded buffer pool, and the page-batched fetch / bitmap routing
-# layers under the probe worker pool.
+# sharded buffer pool, the page-batched fetch / bitmap routing layers
+# under the probe worker pool, the snapshot-isolated catalog (star,
+# epoch reclamation in storage) with the core executor above it, and
+# the facade-level snapshot torture test.
 race-dag:
-	$(GO) test -race ./internal/dag/... ./internal/exec/... ./internal/sched/... ./internal/mem/... ./internal/rescache/... ./internal/storage/... ./internal/table/... ./internal/bitmap/...
+	$(GO) test -race ./internal/dag/... ./internal/exec/... ./internal/sched/... ./internal/mem/... ./internal/rescache/... ./internal/storage/... ./internal/table/... ./internal/bitmap/... ./internal/core/... ./internal/star/...
+	$(GO) test -race -run 'TestSnapshotTorture|TestSnapshotReclamation' .
 
 # Short deterministic runs of the native fuzz targets (packed-key
 # codec, spill record codec, selection-vector expansion) — regression
@@ -45,7 +48,7 @@ fuzz-smoke:
 # mem and cache experiments (all seeded deterministically; they write
 # BENCH_scan.json, BENCH_serve.json, BENCH_mem.json and
 # BENCH_cache.json).
-bench: go-bench scan-bench serve-bench mem-bench cache-bench dag-bench agg-bench pool-bench idx-bench
+bench: go-bench scan-bench serve-bench mem-bench cache-bench dag-bench agg-bench pool-bench idx-bench mut-bench
 
 # Paper experiment benchmarks (Tests 1-7 etc.).
 go-bench:
@@ -96,5 +99,13 @@ idx-bench:
 	$(GO) test ./internal/exec -run '^$$' -bench 'BenchmarkBitmapRoute|BenchmarkFetchBatches' -benchmem
 	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-idxdb -scale 0.1 -exp idx -json BENCH_idx.json
 
+# Maintenance concurrency: snapshot-pinned vs serialized (legacy locked)
+# query latency while Compact+Refresh run in flight; gates a >= 5x p99
+# improvement under continuous maintenance (>= 3x at higher client
+# counts, where single-core scheduler time-sharing floors the tail) and
+# zero leaked files after close; writes BENCH_mut.json.
+mut-bench:
+	$(GO) run ./cmd/mdxbench -dir /tmp/mdxopt-mutdb -scale 0.1 -exp mut -json BENCH_mut.json
+
 clean:
-	rm -rf /tmp/mdxopt-servedb /tmp/mdxopt-scandb /tmp/mdxopt-memdb /tmp/mdxopt-cachedb /tmp/mdxopt-dagdb /tmp/mdxopt-aggdb /tmp/mdxopt-pooldb /tmp/mdxopt-idxdb
+	rm -rf /tmp/mdxopt-servedb /tmp/mdxopt-scandb /tmp/mdxopt-memdb /tmp/mdxopt-cachedb /tmp/mdxopt-dagdb /tmp/mdxopt-aggdb /tmp/mdxopt-pooldb /tmp/mdxopt-idxdb /tmp/mdxopt-mutdb

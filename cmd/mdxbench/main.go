@@ -30,8 +30,8 @@ func main() {
 	log.SetPrefix("mdxbench: ")
 	dir := flag.String("dir", "mdxbenchdb", "database directory (built if missing)")
 	scale := flag.Float64("scale", 0.1, "scale factor (1.0 = the paper's 2M rows)")
-	exp := flag.String("exp", "all", "experiment: all, table1, test1..test7, study, ablations, serve, scan, mem, cache, dag, agg, pool, idx")
-	jsonOut := flag.String("json", "", "write the serve/scan/mem/cache/dag/agg/pool/idx experiment's report to this JSON file")
+	exp := flag.String("exp", "all", "experiment: all, table1, test1..test7, study, ablations, serve, scan, mem, cache, dag, agg, pool, idx, mut")
+	jsonOut := flag.String("json", "", "write the serve/scan/mem/cache/dag/agg/pool/idx/mut experiment's report to this JSON file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the experiment) to this file")
 	flag.Parse()
@@ -108,6 +108,12 @@ func main() {
 	}
 	if *exp == "idx" {
 		if err := runIdx(os.Stdout, *dir, *scale, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *exp == "mut" {
+		if err := runMut(os.Stdout, *dir, *scale, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 		return

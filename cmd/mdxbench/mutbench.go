@@ -1,0 +1,429 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdxopt"
+	"mdxopt/internal/workload"
+)
+
+// The mut experiment measures what the snapshot-isolated catalog buys:
+// query latency while maintenance (Compact of the indexed A'B'C'D view,
+// which also rebuilds its three bitmap join indexes, plus Refresh) runs
+// continuously. Each cell races N closed-loop query clients against the
+// mutator for a fixed window under one of two concurrency regimes —
+// "snapshot" (queries pin published epochs and never block) and
+// "locked" (OpenOptions.SerializedMutations: the legacy reader/writer
+// lock, where every Compact stalls every in-flight query). The sweep
+// crosses mutation cadence (back-to-back vs a 10ms gap) with client
+// counts. The gates: with maintenance running back-to-back, snapshot
+// p99 query latency must beat the locked baseline by >= 5x at one
+// client — the cell that isolates lock stalls, since a single reader
+// sees almost no run-queue delay — and by >= 3x at every client count.
+// (On a single-CPU host the multi-client snapshot p99 is floored by
+// readers time-sharing the core with each other and refetching the
+// replaced view's pages cold after each publish; that delay is not
+// blocking and hits both modes' readers alike.) Tracked memory stays
+// within the budget and the broker
+// drains to zero in every cell; Compact preserves aggregates, so every
+// answer in every cell must equal the quiescent reference; and after
+// the snapshot-mode cells close, no replaced heap or index file may
+// survive on disk.
+
+type mutConfig struct {
+	Scale      float64 `json:"scale"`
+	Clients    []int   `json:"clients"`
+	CadencesMS []int   `json:"mutation_cadences_ms"`
+	WindowMS   int     `json:"measure_window_ms"`
+	PoolFrames int     `json:"pool_frames"`
+	Budget     int64   `json:"memory_budget_bytes"`
+}
+
+// mutCell is one (mode, cadence, clients) measurement.
+type mutCell struct {
+	Mode      string  `json:"mode"` // "snapshot" or "locked"
+	CadenceMS int     `json:"mutation_cadence_ms"`
+	Clients   int     `json:"clients"`
+	Queries   int     `json:"queries"`
+	MutOps    int64   `json:"mutation_ops"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+
+	Publishes      int64 `json:"publishes"`
+	ReclaimedFiles int64 `json:"reclaimed_files"`
+	RetiredAtClose int   `json:"retired_at_close"` // before Close force-drains
+
+	PeakBytes     int64 `json:"peak_bytes"`
+	WithinBudget  bool  `json:"peak_within_budget"`
+	DrainedToZero bool  `json:"drained_to_zero"`
+	AnswersOK     bool  `json:"answers_match_reference"`
+}
+
+// mutRatio is the headline comparison at one sweep point.
+type mutRatio struct {
+	CadenceMS   int     `json:"mutation_cadence_ms"`
+	Clients     int     `json:"clients"`
+	P99LockedMS float64 `json:"p99_locked_ms"`
+	P99SnapMS   float64 `json:"p99_snapshot_ms"`
+	Ratio       float64 `json:"ratio"`
+}
+
+type mutReport struct {
+	Config mutConfig  `json:"config"`
+	Cells  []mutCell  `json:"cells"`
+	Ratios []mutRatio `json:"ratios"`
+}
+
+// mutSrcs is the query mix: the paper's selective probe-regime queries,
+// served from the very view (A'B'C'D and its bitmap indexes) the
+// mutator is continuously replacing. Short queries keep the p99 a
+// measure of maintenance interference rather than of the queries' own
+// execution time.
+func mutSrcs() []string {
+	base := workload.MDX()
+	return []string{base["Q5"], base["Q6"], base["Q7"], base["Q8"]}
+}
+
+// mutCanon serializes an answer's values deterministically (rows sorted
+// by member tuple) for comparison against the quiescent reference.
+func mutCanon(ans *mdxopt.Answer) string {
+	var b strings.Builder
+	for _, qr := range ans.Queries {
+		fmt.Fprintf(&b, "%s %s\n", qr.GroupBy, qr.Aggregate)
+		rows := make([]string, len(qr.Rows))
+		for i, r := range qr.Rows {
+			rows[i] = strings.Join(r.Members, "|") + "=" + strconv.FormatFloat(r.Value, 'g', -1, 64)
+		}
+		sort.Strings(rows)
+		for _, r := range rows {
+			b.WriteString(r)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func mutOpen(dir string, cfg mutConfig, serialized bool) (*mdxopt.DB, error) {
+	return mdxopt.OpenWith(dir, mdxopt.OpenOptions{
+		PoolFrames:          cfg.PoolFrames,
+		MemoryBudget:        cfg.Budget,
+		SerializedMutations: serialized,
+	})
+}
+
+// mutTarget picks the maintenance target: the indexed A'B'C'D view if
+// present (Compact then also rebuilds its bitmap indexes, the costliest
+// mutation), else the first materialized view.
+func mutTarget(db *mdxopt.DB) ([]string, error) {
+	views := db.Views()
+	if len(views) < 2 {
+		return nil, fmt.Errorf("mut: database has no materialized views")
+	}
+	for _, v := range views[1:] {
+		if v.Name == "A'B'C'D" {
+			return v.Levels, nil
+		}
+	}
+	return views[1].Levels, nil
+}
+
+// runMutCell races clients closed-loop query loops against a continuous
+// Refresh+Compact mutator for the configured window.
+func runMutCell(dir string, cfg mutConfig, mode string, cadence time.Duration, clients int, refs map[string]string) (mutCell, error) {
+	cell := mutCell{Mode: mode, CadenceMS: int(cadence / time.Millisecond), Clients: clients}
+	db, err := mutOpen(dir, cfg, mode == "locked")
+	if err != nil {
+		return cell, err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			db.Close()
+		}
+	}()
+	target, err := mutTarget(db)
+	if err != nil {
+		return cell, err
+	}
+	srcs := mutSrcs()
+	// Warm the pool and plan caches before the clock starts.
+	for _, src := range srcs {
+		if _, err := db.QueryWith(src, mdxopt.Options{}); err != nil {
+			return cell, err
+		}
+	}
+
+	stop := make(chan struct{})
+	var mutErr error
+	var mutOps atomic.Int64
+	var mwg, rwg sync.WaitGroup
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.Compact(target...); err != nil {
+				mutErr = err
+				return
+			}
+			if err := db.Refresh(); err != nil {
+				mutErr = err
+				return
+			}
+			mutOps.Add(2)
+			if cadence > 0 {
+				time.Sleep(cadence)
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(time.Duration(cfg.WindowMS) * time.Millisecond)
+	latencies := make([][]time.Duration, clients)
+	mismatches := make([]int, clients)
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		rwg.Add(1)
+		go func(c int) {
+			defer rwg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				src := srcs[(c+i)%len(srcs)]
+				t0 := time.Now()
+				ans, err := db.QueryWith(src, mdxopt.Options{})
+				if err != nil {
+					errs <- fmt.Errorf("mut %s client %d: %w", mode, c, err)
+					return
+				}
+				latencies[c] = append(latencies[c], time.Since(t0))
+				if mutCanon(ans) != refs[src] {
+					mismatches[c]++
+				}
+			}
+		}(c)
+	}
+	// Readers own the deadline; stop the mutator once they all return.
+	rwg.Wait()
+	close(stop)
+	mwg.Wait()
+	select {
+	case err := <-errs:
+		return cell, err
+	default:
+	}
+	if mutErr != nil {
+		return cell, mutErr
+	}
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	if len(all) == 0 {
+		return cell, fmt.Errorf("mut %s cadence=%v clients=%d: no queries completed", mode, cadence, clients)
+	}
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(all)-1))
+		return float64(all[i].Microseconds()) / 1e3
+	}
+	cell.Queries = len(all)
+	cell.MutOps = mutOps.Load()
+	cell.P50MS = pct(0.50)
+	cell.P99MS = pct(0.99)
+	cell.AnswersOK = true
+	for _, m := range mismatches {
+		if m > 0 {
+			cell.AnswersOK = false
+		}
+	}
+	ms := db.MemoryStats()
+	cell.PeakBytes = ms.Peak
+	cell.WithinBudget = cfg.Budget == 0 || ms.Peak <= cfg.Budget
+	cell.DrainedToZero = ms.Used == 0
+	mnt := db.MaintenanceStats()
+	cell.Publishes = mnt.Publishes
+	cell.ReclaimedFiles = mnt.ReclaimedFiles
+	cell.RetiredAtClose = mnt.RetiredFiles
+	closed = true
+	return cell, db.Close()
+}
+
+// mutCheckNoLeaks verifies every heap/index file on disk is referenced
+// by the manifest after the last Close force-drained the reclaimer.
+func mutCheckNoLeaks(dir string) error {
+	blob, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return err
+	}
+	var meta struct {
+		DimTables []string `json:"dim_tables"`
+		Views     []struct {
+			File    string            `json:"file"`
+			Indexes map[string]string `json:"indexes"`
+		} `json:"views"`
+	}
+	if err := json.Unmarshal(blob, &meta); err != nil {
+		return err
+	}
+	referenced := map[string]bool{}
+	for _, f := range meta.DimTables {
+		referenced[f] = true
+	}
+	for _, v := range meta.Views {
+		referenced[v.File] = true
+		for _, f := range v.Indexes {
+			referenced[f] = true
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".heap") && !strings.HasSuffix(name, ".bmx") {
+			continue
+		}
+		if !referenced[name] {
+			return fmt.Errorf("mut: leaked file %s (on disk, not in manifest)", name)
+		}
+	}
+	return nil
+}
+
+// runMut builds (or reuses) the benchmark database, sweeps mode x
+// cadence x clients, prints the grid, enforces the gates, and optionally
+// writes the JSON report.
+func runMut(w io.Writer, dir string, scale float64, jsonPath string) error {
+	// The pool is sized to hold the working set: the cells compare
+	// lock-induced stalls, not page-eviction churn from Compact's scan
+	// traffic (the scan experiment covers pool pressure).
+	cfg := mutConfig{
+		Scale:      scale,
+		Clients:    []int{1, 4, 8},
+		CadencesMS: []int{0, 10},
+		WindowMS:   600,
+		PoolFrames: 8192,
+		Budget:     64 << 20,
+	}
+
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		start := time.Now()
+		db, err := mdxopt.CreateSample(dir, scale)
+		if err != nil {
+			return err
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "built database in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	// Quiescent reference answers: Compact and Refresh preserve
+	// aggregates, so every answer in every cell must match these.
+	ref, err := mutOpen(dir, cfg, false)
+	if err != nil {
+		return err
+	}
+	refs := map[string]string{}
+	for _, src := range mutSrcs() {
+		ans, err := ref.QueryWith(src, mdxopt.Options{})
+		if err != nil {
+			ref.Close()
+			return err
+		}
+		refs[src] = mutCanon(ans)
+	}
+	if err := ref.Close(); err != nil {
+		return err
+	}
+
+	rep := mutReport{Config: cfg}
+	fmt.Fprintf(w, "mut: scale %g, %dms windows, budget %dMiB, continuous Compact(A'B'C'D)+Refresh\n",
+		cfg.Scale, cfg.WindowMS, cfg.Budget>>20)
+	fmt.Fprintf(w, "  %-9s %9s %8s %8s %8s %9s %9s %7s %5s\n",
+		"mode", "cadence", "clients", "queries", "mutops", "p50 ms", "p99 ms", "peakKiB", "ok")
+	for _, cadMS := range cfg.CadencesMS {
+		cadence := time.Duration(cadMS) * time.Millisecond
+		for _, clients := range cfg.Clients {
+			var p99 [2]float64
+			for mi, mode := range []string{"locked", "snapshot"} {
+				cell, err := runMutCell(dir, cfg, mode, cadence, clients, refs)
+				if err != nil {
+					return err
+				}
+				rep.Cells = append(rep.Cells, cell)
+				p99[mi] = cell.P99MS
+				ok := "yes"
+				if !cell.WithinBudget || !cell.DrainedToZero || !cell.AnswersOK {
+					ok = "NO"
+				}
+				fmt.Fprintf(w, "  %-9s %7dms %8d %8d %8d %9.2f %9.2f %7d %5s\n",
+					mode, cadMS, clients, cell.Queries, cell.MutOps, cell.P50MS, cell.P99MS, cell.PeakBytes>>10, ok)
+			}
+			ratio := 0.0
+			if p99[1] > 0 {
+				ratio = p99[0] / p99[1]
+			}
+			rep.Ratios = append(rep.Ratios, mutRatio{
+				CadenceMS: cadMS, Clients: clients,
+				P99LockedMS: p99[0], P99SnapMS: p99[1], Ratio: ratio,
+			})
+			fmt.Fprintf(w, "  %-9s %7dms %8d  p99 locked/snapshot = %.1fx\n", "ratio", cadMS, clients, ratio)
+		}
+	}
+	if err := mutCheckNoLeaks(dir); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "no leaked files after close\n")
+
+	for _, c := range rep.Cells {
+		if !c.WithinBudget {
+			return fmt.Errorf("mut: %s cadence=%dms clients=%d: peak %d exceeds budget %d", c.Mode, c.CadenceMS, c.Clients, c.PeakBytes, cfg.Budget)
+		}
+		if !c.DrainedToZero {
+			return fmt.Errorf("mut: %s cadence=%dms clients=%d: broker not drained", c.Mode, c.CadenceMS, c.Clients)
+		}
+		if !c.AnswersOK {
+			return fmt.Errorf("mut: %s cadence=%dms clients=%d: answers diverged from quiescent reference", c.Mode, c.CadenceMS, c.Clients)
+		}
+	}
+	for _, r := range rep.Ratios {
+		if r.CadenceMS != 0 {
+			continue
+		}
+		want := 3.0
+		if r.Clients == 1 {
+			want = 5.0
+		}
+		if r.Ratio < want {
+			return fmt.Errorf("mut: clients=%d: p99 improvement %.1fx under continuous maintenance, want >= %gx (locked %.2fms, snapshot %.2fms)",
+				r.Clients, r.Ratio, want, r.P99LockedMS, r.P99SnapMS)
+		}
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

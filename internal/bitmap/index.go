@@ -63,7 +63,9 @@ func BuildColumnBitmaps(h *table.HeapFile, col int) (map[int32]*Bitset, error) {
 	}
 	out := make(map[int32]*Bitset)
 	n := h.Count()
+	var y storage.Yielder
 	err := h.Scan(func(row int64, keys []int32, measures []float64) error {
+		y.Tick()
 		v := keys[col]
 		bs, ok := out[v]
 		if !ok {
@@ -125,10 +127,12 @@ func Create(pool *storage.Pool, path, colName string, nbits int64, bitmaps map[i
 	meta.Unpin()
 
 	perPage := storage.PageSize / 8
+	var y storage.Yielder
 	for _, v := range values {
 		remaining := bitmaps[v].Words()
 		pages := int(pagesPerBitmap(nbits))
 		for p := 0; p < pages; p++ {
+			y.Tick()
 			page, err := pool.NewPage(file)
 			if err != nil {
 				return err

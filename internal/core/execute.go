@@ -330,7 +330,7 @@ func nodeCost(est *plan.Estimator, f func(*plan.Estimator) int64) int64 {
 // the fallback path when a lookup was not hoisted — with lookup sharing
 // off, concurrent classes re-reading one dimension table may attribute
 // the same read to more than one class; totals remain upper bounds).
-func classFiles(db *star.Database, c *plan.Class) []*storage.File {
+func classFiles(db *star.Snapshot, c *plan.Class) []*storage.File {
 	files := []*storage.File{c.View.Heap.File()}
 	for _, ix := range c.View.Indexes {
 		if ix != nil {

@@ -91,7 +91,7 @@ func checkPlanInvariants(t *testing.T, db *star.Database, g *plan.Global, querie
 			t.Fatalf("plan uses stale view %s", c.View.Name)
 		}
 		for _, p := range c.Plans {
-			if p.Query.Agg != query.Sum && c.View != db.Base() && !c.View.MultiAgg() {
+			if p.Query.Agg != query.Sum && !c.View.IsBase() && !c.View.MultiAgg() {
 				t.Fatalf("%v query %s planned on sum-only view %s", p.Query.Agg, p.Query.Name, c.View.Name)
 			}
 		}

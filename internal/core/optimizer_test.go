@@ -199,7 +199,7 @@ func TestTest6Shape(t *testing.T) {
 		if len(g.Classes) != 1 {
 			t.Fatalf("%s: %d classes, want 1", alg, len(g.Classes))
 		}
-		if g.Classes[0].View != indexed {
+		if g.Classes[0].View.Name != indexed.Name {
 			t.Fatalf("%s picked %s, want %s", alg, g.Classes[0].View.Name, indexed.Name)
 		}
 		for _, p := range g.Classes[0].Plans {

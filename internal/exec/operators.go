@@ -97,7 +97,7 @@ func checkAnswerable(env *Env, view *star.View, queries []*query.Query) error {
 		if !q.AnswerableFrom(view.Levels) {
 			return fmt.Errorf("exec: view %s cannot answer %s", view.Name, q)
 		}
-		if q.Agg != query.Sum && view != env.DB.Base() && !view.MultiAgg() {
+		if q.Agg != query.Sum && !view.IsBase() && !view.MultiAgg() {
 			return fmt.Errorf("exec: view %s lacks aggregate information for %s", view.Name, q)
 		}
 	}

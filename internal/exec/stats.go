@@ -125,10 +125,12 @@ func (s Stats) String() string {
 		s.PeakMemory, s.SpillBytes, s.SpillPartitions, s.Wall)
 }
 
-// Env carries what operators need: the database (dimension tables, views,
-// indexes, buffer pool) and execution options.
+// Env carries what operators need: a catalog snapshot (dimension
+// tables, views, indexes, buffer pool) and execution options. The
+// snapshot is immutable, so every pass of one Env evaluates against the
+// same catalog state no matter what mutations publish meanwhile.
 type Env struct {
-	DB *star.Database
+	DB *star.Snapshot
 	// ShareLookups enables sharing identical dimension lookup tables
 	// between the queries of one shared-scan operator (§3.1's second
 	// sharing opportunity). On by default; the ablation benchmark turns
@@ -213,9 +215,11 @@ type Env struct {
 	IOFiles []*storage.File
 }
 
-// NewEnv returns an Env with default options.
-func NewEnv(db *star.Database) *Env {
-	return &Env{DB: db, ShareLookups: true}
+// NewEnv returns an Env with default options, capturing a snapshot of
+// db — a fresh freeze of a live *star.Database, or the given
+// *star.Snapshot itself (pinned snapshots come from star.Database.Pin).
+func NewEnv(db star.Catalog) *Env {
+	return &Env{DB: db.Snapshot(), ShareLookups: true}
 }
 
 // checkEvery is how many tuples an operator processes between

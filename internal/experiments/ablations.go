@@ -219,7 +219,9 @@ func (r *Runner) AblationCompressedIndexes() (*AblationResult, error) {
 	})
 
 	// Pass 2: rebuild the same indexes EWAH-compressed, measure, then
-	// restore the original format.
+	// restore the original format. Each swap publishes new snapshots, so
+	// the runner's open-time Env (whose frozen views still reference the
+	// replaced, since-reclaimed index files) must be re-frozen.
 	swap := func(compressed bool) error {
 		dims := []int{0, 1, 2}
 		for _, dim := range dims {
@@ -230,6 +232,7 @@ func (r *Runner) AblationCompressedIndexes() (*AblationResult, error) {
 				return err
 			}
 		}
+		r.Env = exec.NewEnv(r.DB)
 		return nil
 	}
 	if err := swap(true); err != nil {

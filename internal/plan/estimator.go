@@ -13,7 +13,7 @@ import (
 // Estimator prices plans with the §5.1 cost model. All estimates are in
 // simulated microseconds (see internal/cost).
 type Estimator struct {
-	DB    *star.Database
+	DB    *star.Snapshot
 	Model *cost.Model
 	// FilterConversion allows scan-regime class members with usable
 	// indexes to run as bitmap filters over the shared scan (§3.3's
@@ -59,8 +59,8 @@ type Estimator struct {
 // NewEstimator returns the full-model estimator with the §3.3 filter
 // conversion enabled. Its plan space is a strict superset of the
 // paper's and finds plans the paper's optimizer cannot.
-func NewEstimator(db *star.Database) *Estimator {
-	return &Estimator{DB: db, Model: cost.Default(), FilterConversion: true, UseStats: true, VectorIndex: true}
+func NewEstimator(db star.Catalog) *Estimator {
+	return &Estimator{DB: db.Snapshot(), Model: cost.Default(), FilterConversion: true, UseStats: true, VectorIndex: true}
 }
 
 // NewPaperEstimator returns an estimator confined to the paper's plan
@@ -68,8 +68,8 @@ func NewEstimator(db *star.Database) *Estimator {
 // Table 2 experiments (Tests 4–7) use it to reproduce the paper's
 // algorithm comparison; the extension benchmarks compare it against the
 // full model.
-func NewPaperEstimator(db *star.Database) *Estimator {
-	return &Estimator{DB: db, Model: cost.Default(), UseStats: true}
+func NewPaperEstimator(db star.Catalog) *Estimator {
+	return &Estimator{DB: db.Snapshot(), Model: cost.Default(), UseStats: true}
 }
 
 // Feasible reports whether method m can evaluate q from view v: the view

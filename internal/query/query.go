@@ -218,13 +218,14 @@ func (q *Query) AnswerableFrom(viewLevels []int) bool {
 
 // SupportedBy reports whether the stored view can compute this query:
 // the view's levels must derive the query's, the view must be fresh with
-// respect to the base table, and for aggregates other than Sum the view
-// must either be the base table or carry the multi-aggregate layout.
-func (q *Query) SupportedBy(db *star.Database, v *star.View) bool {
-	if !star.Derives(v.Levels, q.Levels) || !db.Fresh(v) {
+// respect to the snapshot's base table, and for aggregates other than
+// Sum the view must either be the base table or carry the
+// multi-aggregate layout.
+func (q *Query) SupportedBy(snap *star.Snapshot, v *star.View) bool {
+	if !star.Derives(v.Levels, q.Levels) || !snap.Fresh(v) {
 		return false
 	}
-	if q.Agg == Sum || v == db.Base() {
+	if q.Agg == Sum || v.IsBase() {
 		return true
 	}
 	return v.MultiAgg()

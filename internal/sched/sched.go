@@ -106,6 +106,10 @@ type Outcome struct {
 	// least one pass (class) with this one's; 0 means every pass was
 	// private even if the query was batched.
 	SharedWith int
+	// SnapshotEpoch is the catalog snapshot epoch the batch executed
+	// against: every result in the batch reflects exactly that
+	// published catalog state, regardless of mutations in flight.
+	SnapshotEpoch uint64
 	// Err, when set, voids the rest of the outcome.
 	Err error
 }
@@ -383,6 +387,10 @@ func Exec(env *exec.Env, planFn PlanFunc, admit AdmitFunc, subs []*Submission, o
 	results, classStats, perQuery := ex.Results, ex.Classes, ex.PerQuery
 
 	planText := g.Describe()
+	var epoch uint64
+	if env.DB != nil {
+		epoch = env.DB.Epoch
+	}
 	// classStats covers g.Classes followed by one entry per cache-served
 	// query; origin-index both so cache rollups demultiplex like classes.
 	classOrigins := make([][]int, len(classStats))
@@ -405,6 +413,7 @@ func Exec(env *exec.Env, planFn PlanFunc, admit AdmitFunc, subs []*Submission, o
 			WorkerPeak:       ex.WorkerPeak,
 			DAGParallelPeak:  ex.DAGParallelPeak,
 			EffectiveWorkers: ex.EffectiveWorkers,
+			SnapshotEpoch:    epoch,
 		}
 		offset += len(qs)
 		var ferr error

@@ -8,6 +8,10 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"mdxopt/internal/bitmap"
 	"mdxopt/internal/storage"
@@ -48,6 +52,11 @@ func (v *View) String() string {
 // Database is an on-disk star database: dimension tables, the base fact
 // table, materialized group-by views, and bitmap join indexes, all served
 // through one buffer pool.
+//
+// The exported fields are the *live*, mutable catalog; mutations
+// serialize on an internal lock and publish immutable Snapshots of it
+// (see snapshot.go). Concurrent readers never touch the live fields:
+// they pin a published snapshot instead.
 type Database struct {
 	Dir       string
 	Pool      *storage.Pool
@@ -57,9 +66,167 @@ type Database struct {
 	// Stats holds base-table member frequencies (may be nil); see
 	// stats.go. RefreshStats computes them, Save persists them.
 	Stats *Stats
+
+	// mutMu serializes mutations against each other. Readers do not
+	// take it: they pin published snapshots.
+	mutMu sync.Mutex
+	// epochs tracks the published epoch, reader pins, and retired files
+	// awaiting reclamation.
+	epochs *storage.EpochTable
+	// published is the latest published snapshot; stored under the
+	// epoch table's lock by publishLocked so Pin never observes an
+	// epoch without its snapshot.
+	published atomic.Pointer[Snapshot]
+	// pendingRetire accumulates files replaced by the mutation in
+	// progress; they are handed to the epoch table at the next publish.
+	pendingRetire []storage.RetiredFile
+	// fileSeq numbers replacement files (see nextFileName) so a rebuilt
+	// index or compacted heap never reuses a path the pool still serves
+	// to older snapshots.
+	fileSeq          uint64
+	lastPublishNanos atomic.Int64
 }
 
 const metaFile = "meta.json"
+
+// snapshotAt freezes the live catalog into an immutable Snapshot at the
+// given epoch. Cheap: it clones view structs and map headers, not data.
+func (db *Database) snapshotAt(epoch uint64) *Snapshot {
+	views := make([]*View, len(db.Views))
+	for i, v := range db.Views {
+		views[i] = v.freeze()
+	}
+	dims := make([]*table.HeapFile, len(db.DimTables))
+	for i, h := range db.DimTables {
+		dims[i] = h.Freeze()
+	}
+	return &Snapshot{
+		Epoch:     epoch,
+		Dir:       db.Dir,
+		Pool:      db.Pool,
+		Schema:    db.Schema,
+		DimTables: dims,
+		Views:     views,
+		Stats:     db.Stats,
+	}
+}
+
+// publishLocked publishes the live state as the successor snapshot and
+// hands the mutation's retired files to the epoch table. Callers hold
+// mutMu.
+func (db *Database) publishLocked() {
+	start := time.Now()
+	retire := db.pendingRetire
+	db.pendingRetire = nil
+	db.epochs.Publish(retire, func(epoch uint64) {
+		db.published.Store(db.snapshotAt(epoch))
+	})
+	db.lastPublishNanos.Store(time.Since(start).Nanoseconds())
+}
+
+// retireLocked queues a replaced file for reclamation at the next
+// publish. Callers hold mutMu.
+func (db *Database) retireLocked(path string) {
+	db.pendingRetire = append(db.pendingRetire, storage.RetiredFile{Pool: db.Pool, Path: path})
+}
+
+// Publish publishes the current live state as a new snapshot. The
+// catalog-mutating methods publish on their own; Publish is for callers
+// that extended heaps directly through appenders (fact loaders) and
+// want the appended rows visible to new readers.
+func (db *Database) Publish() {
+	db.mutMu.Lock()
+	defer db.mutMu.Unlock()
+	db.publishLocked()
+}
+
+// Snapshot freezes the current live state into a fresh, unpinned
+// snapshot, satisfying Catalog. It is meant for single-threaded
+// embedders (tests, benchmarks, experiments); the concurrent serving
+// path uses Pin, which reference-counts the published snapshot against
+// file reclamation.
+func (db *Database) Snapshot() *Snapshot {
+	return db.snapshotAt(db.epochs.Current())
+}
+
+// Pin returns the latest *published* snapshot with its epoch pinned:
+// files it references cannot be reclaimed until the release function
+// runs. The pin is taken before the snapshot pointer is loaded, so a
+// concurrent publish can hand the reader a newer snapshot than the
+// pinned epoch — never an older one — and files either snapshot
+// references are protected either way.
+func (db *Database) Pin() (*Snapshot, func()) {
+	_, unpin := db.epochs.Pin()
+	return db.published.Load(), unpin
+}
+
+// MaintainStats reports the snapshot lifecycle's counters.
+type MaintainStats struct {
+	Epoch            uint64 // latest published epoch
+	Publishes        int64  // snapshots published since open
+	LastPublishNanos int64  // wall time of the most recent publish
+	PinnedEpochs     int    // distinct epochs currently pinned by readers
+	Pins             int    // outstanding reader pins
+	RetiredFiles     int    // replaced files awaiting reclamation
+	ReclaimedFiles   int64  // replaced files unlinked since open
+}
+
+// MaintainStats snapshots the epoch table's counters.
+func (db *Database) MaintainStats() MaintainStats {
+	s := db.epochs.Stats()
+	return MaintainStats{
+		Epoch:            s.Current,
+		Publishes:        s.Publishes,
+		LastPublishNanos: db.lastPublishNanos.Load(),
+		PinnedEpochs:     len(s.PinnedEpochs),
+		Pins:             s.Pins,
+		RetiredFiles:     s.Retired,
+		ReclaimedFiles:   s.Reclaimed,
+	}
+}
+
+// nextFileName generates a fresh versioned file name ("base.gN.ext")
+// for a replacement heap or index file. Replacements never reuse a live
+// path: the buffer pool registers files by path, and older snapshots
+// keep reading the retired file until reclamation.
+func (db *Database) nextFileName(base, ext string) string {
+	for {
+		db.fileSeq++
+		name := fmt.Sprintf("%s.g%d%s", base, db.fileSeq, ext)
+		path := filepath.Join(db.Dir, name)
+		if _, ok := db.Pool.Registered(path); ok {
+			continue
+		}
+		if _, err := os.Stat(path); err == nil {
+			continue
+		}
+		return name
+	}
+}
+
+// noteFileSeq advances fileSeq past the generation number embedded in a
+// manifest file name, so names generated after reopening never collide
+// with ones from earlier incarnations.
+func (db *Database) noteFileSeq(name string) {
+	rest := name
+	for {
+		i := strings.Index(rest, ".g")
+		if i < 0 {
+			return
+		}
+		rest = rest[i+2:]
+		j := 0
+		for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+			j++
+		}
+		if j == 0 {
+			continue
+		}
+		if n, err := strconv.ParseUint(rest[:j], 10, 64); err == nil && n > db.fileSeq {
+			db.fileSeq = n
+		}
+	}
+}
 
 // metadata serialization types
 type dimJSON struct {
@@ -104,6 +271,7 @@ func Create(dir string, schema *Schema, poolFrames int) (*Database, error) {
 		Dir:    dir,
 		Pool:   storage.NewPool(poolFrames),
 		Schema: schema,
+		epochs: storage.NewEpochTable(),
 	}
 	// Dimension tables: one row per base member carrying its codes at
 	// every level.
@@ -135,6 +303,7 @@ func Create(dir string, schema *Schema, poolFrames int) (*Database, error) {
 		return nil, err
 	}
 	db.Views = append(db.Views, base)
+	db.publishLocked()
 	return db, nil
 }
 
@@ -225,14 +394,28 @@ func equalLevels(a, b []int) bool {
 // MaterializeMulti stores the multi-aggregate layout instead. Returns
 // the new view.
 func (db *Database) Materialize(levels []int) (*View, error) {
-	return db.materialize(levels, false)
+	db.mutMu.Lock()
+	defer db.mutMu.Unlock()
+	v, err := db.materialize(levels, false)
+	if err != nil {
+		return nil, err
+	}
+	db.publishLocked()
+	return v, nil
 }
 
 // MaterializeMulti is Materialize with the multi-aggregate layout (sum,
 // count, min, max per group), which lets COUNT/MIN/MAX/AVG queries be
 // answered from the view.
 func (db *Database) MaterializeMulti(levels []int) (*View, error) {
-	return db.materialize(levels, true)
+	db.mutMu.Lock()
+	defer db.mutMu.Unlock()
+	v, err := db.materialize(levels, true)
+	if err != nil {
+		return nil, err
+	}
+	db.publishLocked()
+	return v, nil
 }
 
 func (db *Database) materialize(levels []int, multi bool) (*View, error) {
@@ -256,7 +439,9 @@ func (db *Database) materialize(levels []int, multi bool) (*View, error) {
 	agg := make(map[string][4]float64)
 	keyBuf := make([]byte, 4*nd)
 	rolled := make([]int32, nd)
+	var y storage.Yielder
 	err = src.Heap.Scan(func(row int64, keys []int32, measures []float64) error {
+		y.Tick()
 		for i := 0; i < nd; i++ {
 			rolled[i] = db.Schema.Dims[i].RollUp(keys[i], src.Levels[i], levels[i])
 			binary.LittleEndian.PutUint32(keyBuf[i*4:], uint32(rolled[i]))
@@ -296,7 +481,7 @@ func (db *Database) cheapestSource(levels []int, multi bool) *View {
 		if !Derives(v.Levels, levels) || !db.Fresh(v) {
 			continue
 		}
-		if multi && v != db.Base() && !v.MultiAgg() {
+		if multi && !v.IsBase() && !v.MultiAgg() {
 			continue
 		}
 		if best == nil || v.Rows() < best.Rows() {
@@ -331,14 +516,33 @@ func (db *Database) BuildIndex(v *View, dim int) error {
 // dim of view v, EWAH-compressed when compressed is set. The format is
 // recorded in the file itself; Open dispatches transparently.
 func (db *Database) BuildIndexFormat(v *View, dim int, compressed bool) error {
+	db.mutMu.Lock()
+	defer db.mutMu.Unlock()
+	if err := db.buildIndexLocked(v, dim, compressed); err != nil {
+		return err
+	}
+	db.publishLocked()
+	return nil
+}
+
+func (db *Database) buildIndexLocked(v *View, dim int, compressed bool) error {
 	if dim < 0 || dim >= db.Schema.NumDims() {
 		return fmt.Errorf("star: dimension %d out of range", dim)
 	}
 	if v.Indexes[dim] != nil {
 		return fmt.Errorf("star: %s already has an index on %s", v.Name, db.Schema.Dims[dim].Name)
 	}
-	file := "idx_" + sanitizeName(v.Name) + "_" + strconv.Itoa(dim) + ".bmx"
+	// The canonical name serves first builds; rebuilds version the name
+	// because older snapshots still read the retired file at the old
+	// path (the pool registers files by path).
+	base := "idx_" + sanitizeName(v.Name) + "_" + strconv.Itoa(dim)
+	file := base + ".bmx"
 	path := filepath.Join(db.Dir, file)
+	_, registered := db.Pool.Registered(path)
+	if _, err := os.Stat(path); err == nil || registered {
+		file = db.nextFileName(base, ".bmx")
+		path = filepath.Join(db.Dir, file)
+	}
 	build := bitmap.BuildAndCreate
 	if compressed {
 		build = bitmap.BuildAndCreateCompressed
@@ -356,8 +560,15 @@ func (db *Database) BuildIndexFormat(v *View, dim int, compressed bool) error {
 }
 
 // Save writes table metadata and the database manifest, then flushes the
-// buffer pool so everything is durable.
+// buffer pool so everything is durable. The current live state is
+// published first (covering rows appended directly through appenders),
+// and retired files no longer pinned by any reader are reclaimed. Save
+// must not race in-flight queries: their pinned pages would fail the
+// flush.
 func (db *Database) Save() error {
+	db.mutMu.Lock()
+	defer db.mutMu.Unlock()
+	db.publishLocked()
 	for _, h := range db.DimTables {
 		if err := h.Close(); err != nil {
 			return err
@@ -397,6 +608,9 @@ func (db *Database) Save() error {
 	if err := os.WriteFile(filepath.Join(db.Dir, metaFile), blob, 0o644); err != nil {
 		return err
 	}
+	if err := db.epochs.Reclaim(); err != nil {
+		return err
+	}
 	return db.Pool.FlushAll()
 }
 
@@ -430,7 +644,7 @@ func OpenWith(dir string, pool storage.PoolOpts) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &Database{Dir: dir, Pool: storage.NewPoolWith(pool), Schema: schema}
+	db := &Database{Dir: dir, Pool: storage.NewPoolWith(pool), Schema: schema, epochs: storage.NewEpochTable()}
 	for i, file := range meta.DimTables {
 		h, err := table.Open(db.Pool, filepath.Join(dir, file), schema.DimTableSchema(i))
 		if err != nil {
@@ -486,6 +700,13 @@ func OpenWith(dir string, pool storage.PoolOpts) (*Database, error) {
 		}
 		db.Stats = st
 	}
+	for _, vj := range meta.Views {
+		db.noteFileSeq(vj.File)
+		for _, f := range vj.Indexes {
+			db.noteFileSeq(f)
+		}
+	}
+	db.publishLocked()
 	return db, nil
 }
 
@@ -500,9 +721,14 @@ func (db *Database) ColdReset() error {
 	return db.Pool.FlushAll()
 }
 
-// Close saves and closes all files. The database is unusable afterwards.
+// Close saves and closes all files, force-draining any files still
+// awaiting reclamation (no reader can be live). The database is
+// unusable afterwards.
 func (db *Database) Close() error {
 	if err := db.Save(); err != nil {
+		return err
+	}
+	if err := db.epochs.ForceDrain(); err != nil {
 		return err
 	}
 	return db.Pool.CloseFiles()

@@ -4,11 +4,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
-	"os"
 	"path/filepath"
 	"sort"
 
 	"mdxopt/internal/bitmap"
+	"mdxopt/internal/storage"
 	"mdxopt/internal/table"
 )
 
@@ -35,7 +35,7 @@ func (v *View) RefreshedRows() int64 { return v.refreshedRows }
 // Fresh reports whether the view reflects every row of the base table.
 // The base view is always fresh.
 func (db *Database) Fresh(v *View) bool {
-	if v == db.Base() {
+	if v.IsBase() {
 		return true
 	}
 	return v.refreshedRows == db.Base().Rows()
@@ -55,8 +55,13 @@ func (db *Database) StaleViews() []*View {
 // Refresh folds base-table rows appended since each view's last refresh
 // into that view, rebuilds the affected bitmap join indexes, and
 // recomputes the base-table statistics (so selectivity estimates track
-// the loaded data). Views that are already fresh are untouched.
+// the loaded data). Views that are already fresh are untouched. The
+// result is published as one successor snapshot; readers pinned to
+// older snapshots keep their pre-refresh views (frozen heaps hide the
+// appended delta groups, retired index files outlive the rebuild).
 func (db *Database) Refresh() error {
+	db.mutMu.Lock()
+	defer db.mutMu.Unlock()
 	baseRows := db.Base().Rows()
 	for _, v := range db.Views[1:] {
 		if v.refreshedRows == baseRows {
@@ -66,7 +71,11 @@ func (db *Database) Refresh() error {
 			return fmt.Errorf("star: refresh %s: %w", v.Name, err)
 		}
 	}
-	return db.RefreshStats()
+	if err := db.refreshStatsLocked(); err != nil {
+		return err
+	}
+	db.publishLocked()
+	return nil
 }
 
 func (db *Database) refreshView(v *View, baseRows int64) error {
@@ -79,7 +88,7 @@ func (db *Database) refreshView(v *View, baseRows int64) error {
 		return err
 	}
 	v.refreshedRows = baseRows
-	return db.rebuildIndexes(v)
+	return db.rebuildIndexesLocked(v)
 }
 
 // aggregateBase aggregates base rows with row number >= from up to the
@@ -90,7 +99,9 @@ func (db *Database) aggregateBase(levels []int, from int64) (map[string][4]float
 	agg := make(map[string][4]float64)
 	keyBuf := make([]byte, 4*nd)
 	base := db.Base()
+	var y storage.Yielder
 	err := base.Heap.Scan(func(row int64, keys []int32, measures []float64) error {
+		y.Tick()
 		if row < from {
 			return nil
 		}
@@ -124,7 +135,9 @@ func appendGroups(heap *table.HeapFile, nd int, agg map[string][4]float64, multi
 	}
 	app := heap.NewAppender()
 	outKeys := make([]int32, nd)
+	var y storage.Yielder
 	for _, k := range sorted {
+		y.Tick()
 		for i := 0; i < nd; i++ {
 			outKeys[i] = int32(binary.LittleEndian.Uint32([]byte(k)[i*4:]))
 		}
@@ -143,16 +156,23 @@ func appendGroups(heap *table.HeapFile, nd int, agg map[string][4]float64, multi
 }
 
 // Compact fully re-aggregates a materialized view, merging the duplicate
-// group rows left behind by Refresh, rewrites the view's heap file, and
-// rebuilds its indexes.
+// group rows left behind by Refresh, and rebuilds its indexes. The
+// replacement heap and index files are built under fresh versioned
+// names off to the side; the old files are retired, staying readable
+// for snapshots pinned before the compaction published, and are
+// unlinked once the last such reader drains.
 func (db *Database) Compact(v *View) error {
-	if v == db.Base() {
+	db.mutMu.Lock()
+	defer db.mutMu.Unlock()
+	if v.IsBase() {
 		return fmt.Errorf("star: cannot compact the base table")
 	}
 	nd := db.Schema.NumDims()
 	agg := make(map[string][4]float64)
 	keyBuf := make([]byte, 4*nd)
+	var y storage.Yielder
 	err := v.Heap.Scan(func(row int64, keys []int32, measures []float64) error {
+		y.Tick()
 		for i := 0; i < nd; i++ {
 			binary.LittleEndian.PutUint32(keyBuf[i*4:], uint32(keys[i]))
 		}
@@ -163,57 +183,56 @@ func (db *Database) Compact(v *View) error {
 		return err
 	}
 
-	// Build the replacement heap under a temporary name, then swap it
-	// over the old file.
-	tmpPath := filepath.Join(db.Dir, v.file+".compact")
-	os.Remove(tmpPath)
-	tmp, err := table.Create(db.Pool, tmpPath, v.Heap.Schema())
+	// Build the replacement heap under a fresh versioned name and swap
+	// the view's pointer; renaming over the live path would hijack the
+	// pool registration snapshots still read through.
+	newFile := db.nextFileName("view_"+sanitizeName(v.Name), ".heap")
+	replacement, err := table.Create(db.Pool, filepath.Join(db.Dir, newFile), v.Heap.Schema())
 	if err != nil {
 		return err
 	}
-	if err := appendGroups(tmp, nd, agg, v.MultiAgg(), true); err != nil {
+	if err := appendGroups(replacement, nd, agg, v.MultiAgg(), true); err != nil {
 		return err
 	}
-	if err := db.Pool.CloseFile(tmp.File()); err != nil {
+	oldPath := v.Heap.Path()
+	v.Heap = replacement
+	v.file = newFile
+	db.retireLocked(oldPath)
+	if err := db.rebuildIndexesLocked(v); err != nil {
 		return err
 	}
-	if err := db.Pool.CloseFile(v.Heap.File()); err != nil {
-		return err
-	}
-	livePath := filepath.Join(db.Dir, v.file)
-	if err := os.Rename(tmpPath, livePath); err != nil {
-		return err
-	}
-	reopened, err := table.Open(db.Pool, livePath, v.Heap.Schema())
-	if err != nil {
-		return err
-	}
-	v.Heap = reopened
-	return db.rebuildIndexes(v)
+	db.publishLocked()
+	return nil
 }
 
-// DropIndex removes dimension dim's bitmap join index from v, deleting
-// its file.
+// DropIndex removes dimension dim's bitmap join index from v. The index
+// file is retired, not deleted: snapshots published before the drop
+// keep probing it until they drain.
 func (db *Database) DropIndex(v *View, dim int) error {
+	db.mutMu.Lock()
+	defer db.mutMu.Unlock()
+	if err := db.dropIndexLocked(v, dim); err != nil {
+		return err
+	}
+	db.publishLocked()
+	return nil
+}
+
+func (db *Database) dropIndexLocked(v *View, dim int) error {
 	ix := v.Indexes[dim]
 	if ix == nil {
 		return fmt.Errorf("star: %s has no index on dimension %d", v.Name, dim)
 	}
-	file := v.indexFiles[dim]
-	if err := db.Pool.CloseFile(ix.File()); err != nil {
-		return err
-	}
-	if err := os.Remove(filepath.Join(db.Dir, file)); err != nil && !os.IsNotExist(err) {
-		return err
-	}
+	db.retireLocked(filepath.Join(db.Dir, v.indexFiles[dim]))
 	delete(v.Indexes, dim)
 	delete(v.indexFiles, dim)
 	return nil
 }
 
-// rebuildIndexes drops and rebuilds every bitmap join index of v,
-// preserving each index's storage format.
-func (db *Database) rebuildIndexes(v *View) error {
+// rebuildIndexesLocked drops and rebuilds every bitmap join index of v,
+// preserving each index's storage format. Rebuilt indexes land in fresh
+// versioned files; the replaced ones are retired.
+func (db *Database) rebuildIndexesLocked(v *View) error {
 	dims := make([]int, 0, len(v.Indexes))
 	for dim := range v.Indexes {
 		dims = append(dims, dim)
@@ -221,10 +240,10 @@ func (db *Database) rebuildIndexes(v *View) error {
 	sort.Ints(dims)
 	for _, dim := range dims {
 		_, compressed := v.Indexes[dim].(*bitmap.CIndex)
-		if err := db.DropIndex(v, dim); err != nil {
+		if err := db.dropIndexLocked(v, dim); err != nil {
 			return err
 		}
-		if err := db.BuildIndexFormat(v, dim, compressed); err != nil {
+		if err := db.buildIndexLocked(v, dim, compressed); err != nil {
 			return err
 		}
 	}

@@ -84,8 +84,21 @@ func (s *Stats) Frac(d *Dimension, dim, level int, members []int32) float64 {
 }
 
 // RefreshStats recomputes and installs base-table statistics on the
-// database; Save persists them.
+// database, publishing a successor snapshot; Save persists them.
 func (db *Database) RefreshStats() error {
+	db.mutMu.Lock()
+	defer db.mutMu.Unlock()
+	if err := db.refreshStatsLocked(); err != nil {
+		return err
+	}
+	db.publishLocked()
+	return nil
+}
+
+// refreshStatsLocked recomputes statistics into a fresh Stats value
+// (snapshots hold the pointer, so it is never mutated in place).
+// Callers hold mutMu.
+func (db *Database) refreshStatsLocked() error {
 	st, err := db.ComputeStats()
 	if err != nil {
 		return err

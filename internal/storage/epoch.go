@@ -1,0 +1,223 @@
+package storage
+
+import (
+	"os"
+	"sort"
+	"sync"
+)
+
+// Epoch-based reclamation.
+//
+// The snapshot-isolated catalog (internal/star) never deletes a file a
+// reader might still hold: mutations build replacement heap and index
+// files off to the side, publish a successor snapshot, and *retire* the
+// replaced files here. A retired file stays registered with the buffer
+// pool and present on disk until every reader pinned to an epoch that
+// could still reference it has drained; only then is it flushed,
+// deregistered, and unlinked.
+//
+// The protocol is a refcounted epoch table:
+//
+//   - Pin marks the *current* epoch referenced; the returned release
+//     function drops the reference. Readers pin before loading the
+//     published snapshot pointer, so a file retired by any later publish
+//     is always protected by the pin.
+//   - Publish advances the epoch under the table lock, installs the
+//     successor snapshot (the install callback stores the new pointer),
+//     and records the mutation's replaced files with the new epoch as
+//     their retire epoch.
+//   - A file retired at epoch E is reclaimable once no pin older than E
+//     remains: every snapshot that could reference it has been
+//     unpinned. Reclamation runs opportunistically after every unpin and
+//     publish; ForceDrain (close) reclaims unconditionally.
+//
+// Reclamation is fault-tolerant: if flushing or unlinking a retired
+// file fails (the pool's disk manager supports fault injection), the
+// entry stays queued and the next reclamation attempt retries it.
+
+// RetiredFile names one replaced file awaiting reclamation: the path it
+// is registered under in pool.
+type RetiredFile struct {
+	Pool *Pool
+	Path string
+}
+
+// retiredEntry is a RetiredFile tagged with the epoch whose publish
+// retired it.
+type retiredEntry struct {
+	RetiredFile
+	epoch uint64
+}
+
+// EpochTable tracks the published epoch, per-epoch reader pins, and
+// retired files awaiting reclamation. The zero value is not usable; use
+// NewEpochTable.
+type EpochTable struct {
+	mu        sync.Mutex
+	current   uint64
+	pins      map[uint64]int
+	retired   []retiredEntry
+	publishes int64
+	reclaimed int64
+}
+
+// NewEpochTable returns an epoch table at epoch 0 with nothing pinned
+// or retired.
+func NewEpochTable() *EpochTable {
+	return &EpochTable{pins: map[uint64]int{}}
+}
+
+// Pin references the current epoch. The returned release function is
+// idempotent and must be called when the reader drains; release
+// triggers a reclamation pass.
+func (t *EpochTable) Pin() (uint64, func()) {
+	t.mu.Lock()
+	epoch := t.current
+	t.pins[epoch]++
+	t.mu.Unlock()
+	var once sync.Once
+	return epoch, func() {
+		once.Do(func() {
+			t.mu.Lock()
+			t.pins[epoch]--
+			if t.pins[epoch] <= 0 {
+				delete(t.pins, epoch)
+			}
+			t.reclaimLocked(false)
+			t.mu.Unlock()
+		})
+	}
+}
+
+// Publish advances to the next epoch, runs install with the new epoch
+// number while the table lock is held (the callback atomically stores
+// the successor snapshot pointer, so a Pin can never observe an epoch
+// without its snapshot), queues the mutation's replaced files for
+// reclamation, and attempts an immediate reclamation pass. It returns
+// the new epoch.
+func (t *EpochTable) Publish(retired []RetiredFile, install func(epoch uint64)) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.current++
+	t.publishes++
+	if install != nil {
+		install(t.current)
+	}
+	for _, r := range retired {
+		t.retired = append(t.retired, retiredEntry{RetiredFile: r, epoch: t.current})
+	}
+	t.reclaimLocked(false)
+	return t.current
+}
+
+// Current returns the published epoch.
+func (t *EpochTable) Current() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.current
+}
+
+// Reclaim runs one reclamation pass, unlinking every retired file whose
+// retire epoch is no longer protected by a pin. It returns the first
+// error encountered; failed entries stay queued for retry.
+func (t *EpochTable) Reclaim() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reclaimLocked(false)
+}
+
+// ForceDrain reclaims every retired file regardless of pins. Used on
+// close, when no reader can be live.
+func (t *EpochTable) ForceDrain() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reclaimLocked(true)
+}
+
+// minProtected returns the oldest pinned epoch, or the current epoch
+// when nothing is pinned. A retired entry with epoch <= minProtected
+// predates every live reader's snapshot and is safe to unlink.
+func (t *EpochTable) minProtected() uint64 {
+	min := t.current
+	for e := range t.pins {
+		if e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+func (t *EpochTable) reclaimLocked(force bool) error {
+	if len(t.retired) == 0 {
+		return nil
+	}
+	min := t.minProtected()
+	var firstErr error
+	kept := t.retired[:0]
+	for _, r := range t.retired {
+		if !force && r.epoch > min {
+			kept = append(kept, r)
+			continue
+		}
+		if err := r.unlink(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			kept = append(kept, r)
+			continue
+		}
+		t.reclaimed++
+	}
+	// Zero the tail so dropped entries don't pin their pools.
+	for i := len(kept); i < len(t.retired); i++ {
+		t.retired[i] = retiredEntry{}
+	}
+	t.retired = kept
+	return firstErr
+}
+
+// unlink deregisters the retired file from its pool — discarding its
+// dirty pages rather than flushing them, since the file is being
+// deleted — then removes it from disk. Either step failing leaves the
+// entry queued.
+func (r retiredEntry) unlink() error {
+	if r.Pool != nil {
+		if f, ok := r.Pool.Registered(r.Path); ok {
+			if err := r.Pool.DiscardFile(f); err != nil {
+				return err
+			}
+		}
+	}
+	if err := os.Remove(r.Path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// EpochStats snapshots the table's counters.
+type EpochStats struct {
+	Current      uint64   // published epoch
+	Publishes    int64    // snapshots published
+	PinnedEpochs []uint64 // distinct epochs currently pinned, ascending
+	Pins         int      // total outstanding pins
+	Retired      int      // files awaiting reclamation
+	Reclaimed    int64    // files unlinked so far
+}
+
+// Stats reports the table's current state.
+func (t *EpochTable) Stats() EpochStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := EpochStats{
+		Current:   t.current,
+		Publishes: t.publishes,
+		Retired:   len(t.retired),
+		Reclaimed: t.reclaimed,
+	}
+	for e, n := range t.pins {
+		s.PinnedEpochs = append(s.PinnedEpochs, e)
+		s.Pins += n
+	}
+	sort.Slice(s.PinnedEpochs, func(i, j int) bool { return s.PinnedEpochs[i] < s.PinnedEpochs[j] })
+	return s
+}

@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// dirtyFile creates a page file with one dirty cached page so reclaiming
+// it must drop live pool state, not just unlink a path.
+func dirtyFile(t *testing.T, p *Pool, path string) *File {
+	t.Helper()
+	f, err := p.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := p.NewPage(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.Data()[0] = 0xAB
+	pg.MarkDirty()
+	pg.Unpin()
+	return f
+}
+
+func TestEpochTablePinBlocksReclaim(t *testing.T) {
+	dir := t.TempDir()
+	p := NewPool(16)
+	path := filepath.Join(dir, "old.heap")
+	dirtyFile(t, p, path)
+
+	et := NewEpochTable()
+	epoch, unpin := et.Pin()
+	if epoch != 0 {
+		t.Fatalf("initial pin epoch = %d, want 0", epoch)
+	}
+	next := et.Publish([]RetiredFile{{Pool: p, Path: path}}, nil)
+	if next != 1 {
+		t.Fatalf("publish epoch = %d, want 1", next)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("retired file unlinked while its epoch was pinned: %v", err)
+	}
+	if s := et.Stats(); s.Retired != 1 || s.Pins != 1 {
+		t.Fatalf("stats = %+v, want 1 retired, 1 pin", s)
+	}
+
+	unpin()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("retired file still on disk after last pin drained: %v", err)
+	}
+	if _, ok := p.Registered(path); ok {
+		t.Fatal("retired file still registered with the pool")
+	}
+	if s := et.Stats(); s.Retired != 0 || s.Reclaimed != 1 {
+		t.Fatalf("stats = %+v, want 0 retired, 1 reclaimed", s)
+	}
+	unpin() // idempotent
+}
+
+func TestEpochTableLaterPinDoesNotProtectOlderRetire(t *testing.T) {
+	dir := t.TempDir()
+	p := NewPool(16)
+	path := filepath.Join(dir, "old.heap")
+	dirtyFile(t, p, path)
+
+	et := NewEpochTable()
+	et.Publish([]RetiredFile{{Pool: p, Path: path}}, nil) // epoch 1, nothing pinned
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("unpinned retired file should reclaim at publish: %v", err)
+	}
+
+	// A pin taken after the publish must not resurrect protection for
+	// files retired at or before its epoch.
+	path2 := filepath.Join(dir, "old2.heap")
+	dirtyFile(t, p, path2)
+	_, unpin := et.Pin() // pins epoch 1
+	et.Publish([]RetiredFile{{Pool: p, Path: path2}}, nil)
+	if _, err := os.Stat(path2); err != nil {
+		t.Fatal("file retired at epoch 2 must survive an epoch-1 pin")
+	}
+	unpin()
+	if _, err := os.Stat(path2); !os.IsNotExist(err) {
+		t.Fatal("file not reclaimed after the epoch-1 pin drained")
+	}
+}
+
+func TestEpochTableReclaimRetriesAfterFailure(t *testing.T) {
+	dir := t.TempDir()
+	p := NewPool(16)
+	path := filepath.Join(dir, "old.heap")
+	f := dirtyFile(t, p, path)
+
+	// Hold a pin on one of the file's pages so deregistration fails.
+	pg, err := p.Fetch(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	et := NewEpochTable()
+	et.Publish([]RetiredFile{{Pool: p, Path: path}}, nil)
+	// Deregistration fails on the pinned page, so the entry must stay
+	// queued and the file must stay on disk and registered.
+	if s := et.Stats(); s.Retired != 1 || s.Reclaimed != 0 {
+		t.Fatalf("stats after failed reclaim = %+v, want entry kept", s)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("file removed despite failed deregistration: %v", err)
+	}
+	if err := et.Reclaim(); err == nil {
+		t.Fatal("Reclaim succeeded with a pinned page outstanding")
+	}
+
+	// Reclamation discards the file's dirty pages rather than flushing
+	// them (the file is being deleted), so a write fault must not block
+	// the retry once the page is unpinned.
+	boom := errors.New("injected write fault")
+	f.Disk().SetFault(func(op string, page uint32) error {
+		if op == "write" {
+			return boom
+		}
+		return nil
+	})
+	pg.Unpin()
+	if err := et.Reclaim(); err != nil {
+		t.Fatalf("Reclaim after unpinning the page: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("file not unlinked after the pinned page was released")
+	}
+	if _, ok := p.Registered(path); ok {
+		t.Fatal("retired file still registered with the pool")
+	}
+	if s := et.Stats(); s.Retired != 0 || s.Reclaimed != 1 {
+		t.Fatalf("stats = %+v, want 1 reclaimed", s)
+	}
+}
+
+func TestEpochTableForceDrainIgnoresPins(t *testing.T) {
+	dir := t.TempDir()
+	p := NewPool(16)
+	path := filepath.Join(dir, "old.heap")
+	dirtyFile(t, p, path)
+
+	et := NewEpochTable()
+	_, unpin := et.Pin()
+	defer unpin()
+	et.Publish([]RetiredFile{{Pool: p, Path: path}}, nil)
+	if err := et.ForceDrain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("ForceDrain left the retired file on disk")
+	}
+}
+
+func TestEpochTablePublishInstallRunsUnderLock(t *testing.T) {
+	et := NewEpochTable()
+	var installed uint64
+	et.Publish(nil, func(e uint64) { installed = e })
+	if installed != 1 {
+		t.Fatalf("install saw epoch %d, want 1", installed)
+	}
+	if cur := et.Current(); cur != 1 {
+		t.Fatalf("Current() = %d, want 1", cur)
+	}
+}

@@ -331,12 +331,35 @@ func (p *Pool) register(disk *DiskManager) *File {
 	return f
 }
 
+// Registered returns the File currently registered under path, if any.
+// Epoch reclamation uses it to close retired files by path without
+// reopening them.
+func (p *Pool) Registered(path string) (*File, bool) {
+	p.fmu.RLock()
+	defer p.fmu.RUnlock()
+	f, ok := p.byPath[path]
+	return f, ok
+}
+
 // CloseFile flushes and drops every cached page of f, deregisters it and
 // closes its backing file, so the path can be removed, renamed over, or
 // reopened. Fails if any of f's pages is pinned. In-flight readahead on
 // f is waited out first; the caller must not race CloseFile against its
 // own fetches or appends on the same file.
 func (p *Pool) CloseFile(f *File) error {
+	return p.closeFile(f, true)
+}
+
+// DiscardFile is CloseFile without writeback: dirty pages are dropped on
+// the floor. For files about to be unlinked — epoch reclamation of
+// replaced heap and index files — flushing under the pool-wide lock
+// would make every concurrent fetch wait out disk writes for data that
+// is being deleted.
+func (p *Pool) DiscardFile(f *File) error {
+	return p.closeFile(f, false)
+}
+
+func (p *Pool) closeFile(f *File, flush bool) error {
 	p.fmu.RLock()
 	registered := p.files[f.id] == f
 	p.fmu.RUnlock()
@@ -360,13 +383,14 @@ func (p *Pool) CloseFile(f *File) error {
 			if !fr.valid || fr.key.File != f.id {
 				continue
 			}
-			if fr.dirty.Load() {
+			if flush && fr.dirty.Load() {
 				if err := fr.writeBack(&s.stats); err != nil {
 					p.unlockAll()
 					f.closing.Store(false)
 					return err
 				}
 			}
+			fr.dirty.Store(false)
 			delete(s.dir, fr.key)
 			fr.valid = false
 			fr.referenced.Store(false)

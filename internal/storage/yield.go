@@ -1,0 +1,28 @@
+package storage
+
+import "runtime"
+
+// Yielder cooperatively yields the processor at a fixed work interval.
+// Long-running maintenance loops (view compaction and refresh
+// aggregation, replacement-heap writes, bitmap index rebuilds) tick it
+// once per row or page so that on saturated or single-CPU hosts
+// concurrent snapshot-pinned queries — which wait on the scheduler,
+// never on a lock — are not parked behind the maintenance goroutine's
+// full forced-preemption slice. Query hot paths do not tick: their work
+// units are short enough that forced preemption bounds them already.
+type Yielder struct{ n uint32 }
+
+// yieldEvery trades overhead against latency: at typical per-row costs
+// a maintenance loop yields every few hundred microseconds, amortizing
+// the scheduler call to noise while keeping its uninterrupted slices
+// well under the runtime's ~10ms forced preemption.
+const yieldEvery = 4096
+
+// Tick counts one unit of work and yields the processor every
+// yieldEvery ticks.
+func (y *Yielder) Tick() {
+	y.n++
+	if y.n%yieldEvery == 0 {
+		runtime.Gosched()
+	}
+}

@@ -87,6 +87,19 @@ func Open(pool *storage.Pool, path string, schema Schema) (*HeapFile, error) {
 	}, nil
 }
 
+// Freeze returns a read-only clone of the heap bounded at the current
+// row count. The clone shares the underlying file and buffer pool but
+// its count never changes, so it never observes rows appended to the
+// original afterwards: snapshot readers scan through a frozen clone
+// while a live appender extends the heap, and the two touch disjoint
+// bytes (appends write only slots at or past the frozen bound, and the
+// metadata page is read only at Open). Appending through a frozen clone
+// is a caller error.
+func (h *HeapFile) Freeze() *HeapFile {
+	c := *h
+	return &c
+}
+
 // Schema returns the table's schema.
 func (h *HeapFile) Schema() Schema { return h.schema }
 

@@ -84,16 +84,33 @@ type SchemaSpec struct {
 // DB is an open mdxopt database.
 //
 // Queries (Query, QueryWith, QueryContext, Explain) may be issued
-// concurrently from multiple goroutines. Mutations — Materialize,
+// concurrently from multiple goroutines, and they never block on
+// maintenance: each request pins the latest published catalog snapshot
+// (an immutable epoch-numbered copy of the schema, view set, and index
+// set) and evaluates entirely against it. Mutations — Materialize,
 // MaterializeMulti, BuildBitmapIndex, Refresh, Compact, and a Loader's
-// Close — are serialized internally against each other and against
-// in-flight queries: a mutation waits for running queries to finish and
-// blocks new ones until it completes. The only remaining caller
-// obligation is the Loader itself: its Add/AddCodes calls must not run
-// concurrently with queries or other mutations (Close marks the safe
-// point).
+// Close — are serialized against each other, build their replacement
+// heap and index files off to the side, and atomically publish a
+// successor snapshot when they are consistent; replaced files are
+// retired and reclaimed only after the last request pinned to an older
+// epoch drains (Close force-drains). Every answer reports the epoch it
+// ran against in Stats.SnapshotEpoch, and results are byte-identical
+// per pinned epoch. The remaining caller obligations: a Loader's
+// Add/AddCodes calls must not run concurrently with mutations or other
+// loaders (loaded facts become visible to queries atomically at Close),
+// and Options.ColdCache queries must not race mutations (the pool flush
+// they perform is incompatible with concurrent maintenance I/O).
+// OpenOptions.SerializedMutations restores the legacy regime — mutations
+// take an exclusive lock and stall queries — as an A/B baseline.
 type DB struct {
 	db *star.Database
+
+	// serialized restores the legacy locked maintenance regime
+	// (OpenOptions.SerializedMutations): queries take stateMu.RLock for
+	// their whole run and mutations take stateMu.Lock, so maintenance
+	// stalls the serving path. Off by default: the snapshot path above
+	// never blocks queries on mutations.
+	serialized bool
 
 	// mem is the process-wide memory broker governing operator state
 	// (OpenOptions.MemoryBudget). Always non-nil; with no budget it
@@ -112,19 +129,20 @@ type DB struct {
 	// rescache method is nil-safe.
 	rescache *rescache.Cache
 
-	// stateMu serializes database mutations (writers) against queries
-	// (readers).
+	// stateMu is the legacy reader/writer lock, used only with
+	// SerializedMutations. On the snapshot path neither queries nor
+	// mutations take it: the publish pointer is guarded inside
+	// star.Database's epoch table.
 	stateMu sync.RWMutex
 
-	// Plan cache: optimized global plans keyed by (MDX text, options),
-	// invalidated whenever the database mutates (loads, refreshes,
-	// materializations, index changes) and whenever the result cache's
-	// contents change (plans may embed cache entries, and a plan built
-	// against an emptier cache must be redone once results are cached).
+	// Plan cache: optimized global plans keyed by (MDX text, options).
+	// An entry is valid only for the catalog snapshot epoch and
+	// result-cache epoch it was built against — a plan may embed cache
+	// entries and view choices that a mutation or cache insert
+	// invalidates — so hits require both epochs to match the request's.
 	// Guarded by mu. batchCache is the cross-request analogue, keyed by
 	// batch composition.
 	mu         sync.Mutex
-	gen        uint64
 	planCache  map[string]*cachedPlan
 	batchCache map[string]*cachedBatch
 	planHits   int64
@@ -139,16 +157,16 @@ type DB struct {
 }
 
 type cachedPlan struct {
-	gen     uint64
-	epoch   uint64 // result-cache epoch the plan was built against
+	epoch   uint64 // catalog snapshot epoch the plan was built against
+	rcEpoch uint64 // result-cache epoch the plan was built against
 	lastUse uint64 // cacheTick of the last hit, for LRU eviction
 	queries []*query.Query
 	global  *plan.Global
 }
 
 type cachedBatch struct {
-	gen     uint64
 	epoch   uint64
+	rcEpoch uint64
 	lastUse uint64
 	// perPos holds the query set of each submission in the key's sorted
 	// order; the global plan references exactly these objects.
@@ -180,21 +198,38 @@ func evictOldest[V interface{ lastUsed() uint64 }](m map[string]V) {
 }
 
 // invalidate discards cached plans and cached results after a database
-// mutation.
+// mutation. Epoch-keyed validity would age the entries out lazily; the
+// eager drop just frees their memory at once.
 func (d *DB) invalidate() {
 	d.mu.Lock()
-	d.gen++
 	d.planCache = nil
 	d.batchCache = nil
 	d.mu.Unlock()
 	d.rescache.Invalidate()
 }
 
-// curGen reads the current database generation.
-func (d *DB) curGen() uint64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.gen
+// pin acquires the catalog snapshot one request runs against. On the
+// snapshot path it pins the latest published epoch (release drops the
+// pin, allowing retired-file reclamation); with SerializedMutations it
+// takes the legacy read lock for the request's duration instead and
+// freezes the live state.
+func (d *DB) pin() (*star.Snapshot, func()) {
+	if d.serialized {
+		d.stateMu.RLock()
+		return d.db.Snapshot(), d.stateMu.RUnlock
+	}
+	return d.db.Pin()
+}
+
+// mutLock brackets one mutation: a no-op on the snapshot path (the
+// star layer serializes mutations and publishes atomically), the legacy
+// exclusive lock with SerializedMutations.
+func (d *DB) mutLock() func() {
+	if d.serialized {
+		d.stateMu.Lock()
+		return d.stateMu.Unlock
+	}
+	return func() {}
 }
 
 // PlanCacheHits reports how many requests were answered with a cached
@@ -367,6 +402,14 @@ type OpenOptions struct {
 	// entries are evicted by cost-weighted LRU under pressure; any
 	// mutation invalidates all entries. 0 (default) disables the cache.
 	ResultCacheBudget int64
+
+	// SerializedMutations restores the pre-snapshot concurrency regime:
+	// queries hold a read lock for their whole run and mutations hold
+	// the write lock, so maintenance blocks (and is blocked by) every
+	// in-flight query. Kept as an A/B ablation baseline for measuring
+	// what snapshot isolation buys; off (default) pins published
+	// snapshots and never blocks queries on maintenance.
+	SerializedMutations bool
 }
 
 // OpenWith opens an existing database directory with explicit options.
@@ -391,7 +434,7 @@ func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 	if workers == 0 {
 		workers = opts.ExecWorkers
 	}
-	d := &DB{db: db, mem: mem.New(opts.MemoryBudget), spillDir: opts.SpillDir, execWorkers: workers}
+	d := &DB{db: db, mem: mem.New(opts.MemoryBudget), spillDir: opts.SpillDir, execWorkers: workers, serialized: opts.SerializedMutations}
 	if opts.ResultCacheBudget > 0 {
 		d.rescache = rescache.New(opts.ResultCacheBudget, d.mem)
 	}
@@ -468,8 +511,8 @@ func (d *DB) Materialize(levelNames ...string) error {
 	if err != nil {
 		return err
 	}
-	d.stateMu.Lock()
-	defer d.stateMu.Unlock()
+	unlock := d.mutLock()
+	defer unlock()
 	if _, err := d.db.Materialize(levels); err != nil {
 		return err
 	}
@@ -485,8 +528,8 @@ func (d *DB) MaterializeMulti(levelNames ...string) error {
 	if err != nil {
 		return err
 	}
-	d.stateMu.Lock()
-	defer d.stateMu.Unlock()
+	unlock := d.mutLock()
+	defer unlock()
 	if _, err := d.db.MaterializeMulti(levels); err != nil {
 		return err
 	}
@@ -512,8 +555,8 @@ func (d *DB) buildIndex(dim string, levelNames []string, compressed bool) error 
 	if err != nil {
 		return err
 	}
-	d.stateMu.Lock()
-	defer d.stateMu.Unlock()
+	unlock := d.mutLock()
+	defer unlock()
 	v := d.db.ViewByLevels(levels)
 	if v == nil {
 		return fmt.Errorf("mdxopt: group-by %v is not materialized", levelNames)
@@ -544,10 +587,11 @@ func (d *DB) StaleViews() []string {
 // rebuilds affected bitmap join indexes. Refreshed views may hold
 // several rows per group (results stay exact); Compact merges them.
 func (d *DB) Refresh() error {
-	d.stateMu.Lock()
-	defer d.stateMu.Unlock()
+	unlock := d.mutLock()
+	defer unlock()
+	err := d.db.Refresh()
 	d.invalidate()
-	return d.db.Refresh()
+	return err
 }
 
 // Compact fully re-aggregates the group-by identified by level names,
@@ -557,8 +601,8 @@ func (d *DB) Compact(levelNames ...string) error {
 	if err != nil {
 		return err
 	}
-	d.stateMu.Lock()
-	defer d.stateMu.Unlock()
+	unlock := d.mutLock()
+	defer unlock()
 	v := d.db.ViewByLevels(levels)
 	if v == nil {
 		return fmt.Errorf("mdxopt: group-by %v is not materialized", levelNames)
@@ -610,14 +654,17 @@ func (l *Loader) AddCodes(codes []int32, measure float64) error {
 	return l.app.Append(codes, []float64{measure})
 }
 
-// Close flushes the loader and invalidates cached plans (materialized
-// views are now stale and plan choices may change). It serializes with
-// in-flight queries like the other mutations.
+// Close flushes the loader, publishes a snapshot with the enlarged base
+// table and invalidates cached plans (materialized views are now stale
+// and plan choices may change). Snapshots pinned before Close keep
+// seeing the old row count.
 func (l *Loader) Close() error {
-	l.db.stateMu.Lock()
-	defer l.db.stateMu.Unlock()
+	unlock := l.db.mutLock()
+	defer unlock()
+	err := l.app.Close()
+	l.db.db.Publish()
 	l.db.invalidate()
-	return l.app.Close()
+	return err
 }
 
 // ResultRow is one group of a query result, with member names at the
@@ -689,6 +736,16 @@ type Stats struct {
 	ResultCacheHits      int64
 	ResultCacheMisses    int64
 	ResultCacheEvictions int64
+
+	// SnapshotEpoch is the catalog snapshot epoch this request ran
+	// against. Two answers with the same epoch saw byte-identical
+	// catalog state; a larger epoch means at least one mutation
+	// published in between. RetiredFiles is how many replaced heap and
+	// index files were awaiting reclamation (still pinned by some
+	// in-flight epoch) when the answer was assembled — a liveness gauge
+	// for the epoch-based reclaimer, not an error indicator.
+	SnapshotEpoch uint64
+	RetiredFiles  int
 }
 
 // ClassStats is the work one plan class's shared pass performed.
@@ -744,87 +801,83 @@ func (d *DB) QueryContext(ctx context.Context, src string, opts Options) (*Answe
 	if opts.Batching {
 		return d.queryBatched(ctx, src)
 	}
-	d.stateMu.RLock()
-	defer d.stateMu.RUnlock()
-	queries, g, gen, err := d.plan(src, opts)
+	snap, release := d.pin()
+	defer release()
+	queries, g, err := d.plan(snap, src, opts)
 	if err != nil {
 		return nil, err
 	}
-	return d.run(ctx, queries, g, opts, gen)
+	return d.run(ctx, snap, queries, g, opts)
 }
 
-// plan parses and optimizes src, consulting the plan cache. It returns
-// the database generation the plan is valid for (stable while the
-// caller holds stateMu).
-func (d *DB) plan(src string, opts Options) ([]*query.Query, *plan.Global, uint64, error) {
+// plan parses and optimizes src against the pinned snapshot, consulting
+// the plan cache. A cached entry is reused only when it was built
+// against the same catalog snapshot epoch and result-cache epoch.
+func (d *DB) plan(snap *star.Snapshot, src string, opts Options) ([]*query.Query, *plan.Global, error) {
 	key := fmt.Sprintf("%s|%s|%t", src, opts.Algorithm, opts.PaperPlanSpace)
-	epoch := d.rescache.Epoch()
+	rcEpoch := d.rescache.Epoch()
 	d.mu.Lock()
 	if c, ok := d.planCache[key]; ok {
-		if c.gen == d.gen && c.epoch == epoch {
+		if c.epoch == snap.Epoch && c.rcEpoch == rcEpoch {
 			d.planHits++
 			d.cacheTick++
 			c.lastUse = d.cacheTick
-			gen := d.gen
 			d.mu.Unlock()
-			return c.queries, c.global, gen, nil
+			return c.queries, c.global, nil
 		}
 		delete(d.planCache, key)
 	}
-	gen := d.gen
 	d.mu.Unlock()
 
-	queries, err := mdx.ParseAndTranslate(d.db.Schema, src)
+	queries, err := mdx.ParseAndTranslate(snap.Schema, src)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, err
 	}
 	if len(queries) == 0 {
-		return nil, nil, 0, errors.New("mdxopt: expression denotes no queries")
+		return nil, nil, errors.New("mdxopt: expression denotes no queries")
 	}
-	g, _, err := d.optimize(queries, opts, gen)
+	g, _, err := d.optimize(snap, queries, opts)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, err
 	}
 	d.mu.Lock()
-	if d.gen == gen {
-		if d.planCache == nil {
-			d.planCache = make(map[string]*cachedPlan)
-		}
-		if len(d.planCache) >= maxCachedPlans {
-			evictOldest(d.planCache)
-		}
-		d.cacheTick++
-		d.planCache[key] = &cachedPlan{gen: gen, epoch: epoch, lastUse: d.cacheTick, queries: queries, global: g}
+	if d.planCache == nil {
+		d.planCache = make(map[string]*cachedPlan)
 	}
+	if len(d.planCache) >= maxCachedPlans {
+		evictOldest(d.planCache)
+	}
+	d.cacheTick++
+	d.planCache[key] = &cachedPlan{epoch: snap.Epoch, rcEpoch: rcEpoch, lastUse: d.cacheTick, queries: queries, global: g}
 	d.mu.Unlock()
-	return queries, g, gen, nil
+	return queries, g, nil
 }
 
 // Explain parses and optimizes an MDX expression, returning the global
 // plan without executing it.
 func (d *DB) Explain(src string, opts Options) (string, error) {
-	d.stateMu.RLock()
-	defer d.stateMu.RUnlock()
-	queries, err := mdx.ParseAndTranslate(d.db.Schema, src)
+	snap, release := d.pin()
+	defer release()
+	queries, err := mdx.ParseAndTranslate(snap.Schema, src)
 	if err != nil {
 		return "", err
 	}
-	g, _, err := d.optimize(queries, opts, d.curGen())
+	g, _, err := d.optimize(snap, queries, opts)
 	if err != nil {
 		return "", err
 	}
 	return g.Describe(), nil
 }
 
-func (d *DB) optimize(queries []*query.Query, opts Options, gen uint64) (*plan.Global, *plan.Estimator, error) {
+func (d *DB) optimize(snap *star.Snapshot, queries []*query.Query, opts Options) (*plan.Global, *plan.Estimator, error) {
 	var est *plan.Estimator
 	if opts.PaperPlanSpace {
-		est = plan.NewPaperEstimator(d.db)
+		est = plan.NewPaperEstimator(snap)
 	} else {
-		est = plan.NewEstimator(d.db)
+		est = plan.NewEstimator(snap)
 	}
 	est.Cache = d.rescache
-	est.Gen = gen
+	est.Gen = snap.Epoch
 	alg := core.Algorithm(opts.Algorithm)
 	if opts.Algorithm == "" {
 		alg = core.GG
@@ -836,13 +889,13 @@ func (d *DB) optimize(queries []*query.Query, opts Options, gen uint64) (*plan.G
 	return g, est, nil
 }
 
-func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, opts Options, gen uint64) (*Answer, error) {
+func (d *DB) run(ctx context.Context, snap *star.Snapshot, queries []*query.Query, g *plan.Global, opts Options) (*Answer, error) {
 	if opts.ColdCache {
-		if err := d.db.ColdReset(); err != nil {
+		if err := snap.ColdReset(); err != nil {
 			return nil, err
 		}
 	}
-	env := exec.NewEnv(d.db)
+	env := exec.NewEnv(snap)
 	env.Ctx = ctx
 	env.Mem = d.mem
 	if opts.MemoryBudget > 0 {
@@ -851,13 +904,13 @@ func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, op
 	env.SpillDir = d.spillDir
 	var st exec.Stats
 	workers := d.effectiveWorkers(opts.Workers, opts.ExecWorkers, opts.Parallelism)
-	ex, err := core.Run(env, g, queries, &st, d.execOptions(workers, env.Mem))
+	ex, err := core.Run(env, g, queries, &st, d.execOptions(snap, workers, env.Mem))
 	if err != nil {
 		return nil, err
 	}
 	results := ex.Results
 	d.noteCacheUse(g, len(queries))
-	evicted := d.putResults(queries, results, ex.PerQuery, gen)
+	evicted := d.putResults(queries, results, ex.PerQuery, snap.Epoch)
 	ans := &Answer{Plan: g.Describe()}
 	for _, cs := range ex.Classes {
 		ans.Classes = append(ans.Classes, classStatsOut(cs))
@@ -870,6 +923,8 @@ func (d *DB) run(ctx context.Context, queries []*query.Query, g *plan.Global, op
 	ans.Stats.WorkerPeak = ex.WorkerPeak
 	ans.Stats.DAGParallelPeak = ex.DAGParallelPeak
 	ans.Stats.EffectiveWorkers = ex.EffectiveWorkers
+	ans.Stats.SnapshotEpoch = snap.Epoch
+	ans.Stats.RetiredFiles = d.db.MaintainStats().RetiredFiles
 	d.cacheCounters(&ans.Stats, results, evicted)
 	return ans, nil
 }
@@ -914,11 +969,11 @@ func composeWorkers(workers, execWorkers, parallelism int) int {
 // parallel, per-pass memory admission against broker with the
 // optimizer's footprint estimates, priced per worker (scan fan-out
 // multiplies resident aggregation tables).
-func (d *DB) execOptions(workers int, broker *mem.Broker) core.ExecOptions {
+func (d *DB) execOptions(snap *star.Snapshot, workers int, broker *mem.Broker) core.ExecOptions {
 	if workers <= 1 {
 		return core.ExecOptions{}
 	}
-	est := plan.NewEstimator(d.db)
+	est := plan.NewEstimator(snap)
 	est.Workers = workers
 	return core.ExecOptions{
 		Workers: workers,
@@ -945,10 +1000,10 @@ func (d *DB) noteCacheUse(g *plan.Global, totalQueries int) {
 // putResults admits finished results into the result cache (including
 // rollup-served ones — rolling a cached entry up seeds the coarser
 // group-by as its own entry) and returns how many entries were evicted
-// to make room. gen must be the database generation the results were
+// to make room. epoch must be the snapshot epoch the results were
 // computed at, or older: a stale-marked entry never answers a probe, so
-// capturing gen before execution is always safe.
-func (d *DB) putResults(queries []*query.Query, results []*exec.Result, perQ []exec.Stats, gen uint64) int64 {
+// the epoch pinned before execution is always safe.
+func (d *DB) putResults(queries []*query.Query, results []*exec.Result, perQ []exec.Stats, epoch uint64) int64 {
 	if d.rescache == nil {
 		return 0
 	}
@@ -962,7 +1017,7 @@ func (d *DB) putResults(queries []*query.Query, results []*exec.Result, perQ []e
 		for j, grp := range r.Groups {
 			rows[j] = rescache.Row{Keys: grp.Keys, Value: grp.Value}
 		}
-		evicted += d.rescache.Put(queries[i], gen, rows, perQ[i].SimulatedMicros(model))
+		evicted += d.rescache.Put(queries[i], epoch, rows, perQ[i].SimulatedMicros(model))
 	}
 	return evicted
 }
@@ -1175,6 +1230,45 @@ type ResultCacheStats struct {
 	Rejected  int64 // results refused (oversize, or eviction could not make room)
 }
 
+// MaintenanceStats snapshots the catalog's snapshot lifecycle: how many
+// epochs have been published, what readers are pinning, and how the
+// epoch-based file reclaimer is keeping up.
+type MaintenanceStats struct {
+	// SnapshotEpoch is the latest published epoch; queries starting now
+	// run against it.
+	SnapshotEpoch uint64
+	// Publishes counts snapshots published since Open (every mutation
+	// publishes exactly one successor).
+	Publishes int64
+	// LastPublishMicros is how long the most recent publish held the
+	// catalog's internal lock — the window invisible to queries, since
+	// readers pin before and after it, never during.
+	LastPublishMicros int64
+	// PinnedEpochs is how many distinct epochs in-flight requests are
+	// currently pinning; Pins the outstanding pin count.
+	PinnedEpochs int
+	Pins         int
+	// RetiredFiles is how many replaced heap/index files await
+	// reclamation (protected by some pinned epoch); ReclaimedFiles how
+	// many have been unlinked since Open.
+	RetiredFiles   int
+	ReclaimedFiles int64
+}
+
+// MaintenanceStats reports the snapshot lifecycle's counters since Open.
+func (d *DB) MaintenanceStats() MaintenanceStats {
+	s := d.db.MaintainStats()
+	return MaintenanceStats{
+		SnapshotEpoch:     s.Epoch,
+		Publishes:         s.Publishes,
+		LastPublishMicros: s.LastPublishNanos / 1000,
+		PinnedEpochs:      s.PinnedEpochs,
+		Pins:              s.Pins,
+		RetiredFiles:      s.RetiredFiles,
+		ReclaimedFiles:    s.ReclaimedFiles,
+	}
+}
+
 // ResultCacheStats reports the result cache's accounting since Open.
 func (d *DB) ResultCacheStats() ResultCacheStats {
 	s := d.rescache.Stats()
@@ -1211,15 +1305,13 @@ func (d *DB) queryBatched(ctx context.Context, src string) (*Answer, error) {
 	if len(queries) == 0 {
 		return nil, errors.New("mdxopt: expression denotes no queries")
 	}
-	// Capture the generation before submitting: results are computed at
-	// this generation or newer, and marking a cache entry with an older
-	// generation is safe (it just never answers a probe).
-	gen := d.curGen()
 	out, err := d.ensureBatcher().Submit(ctx, src, queries)
 	if err != nil {
 		return nil, err
 	}
-	evicted := d.putResults(out.Queries, out.Results, out.PerQuery, gen)
+	// Results were computed against the snapshot the batch pinned; the
+	// outcome carries its epoch so cache entries are marked exactly.
+	evicted := d.putResults(out.Queries, out.Results, out.PerQuery, out.SnapshotEpoch)
 	ans := &Answer{
 		Plan:       out.Plan,
 		Batched:    true,
@@ -1241,13 +1333,16 @@ func (d *DB) queryBatched(ctx context.Context, src string) (*Answer, error) {
 	ans.Stats.WorkerPeak = out.WorkerPeak
 	ans.Stats.DAGParallelPeak = out.DAGParallelPeak
 	ans.Stats.EffectiveWorkers = out.EffectiveWorkers
+	ans.Stats.SnapshotEpoch = out.SnapshotEpoch
+	ans.Stats.RetiredFiles = d.db.MaintainStats().RetiredFiles
 	d.cacheCounters(&ans.Stats, out.Results, evicted)
 	return ans, nil
 }
 
-// runBatchSubs evaluates one admitted batch: it holds the read lock (so
-// mutations wait out the batch), prepares the execution environment,
-// and hands the cross-request pipeline to sched.Exec. Admission is
+// runBatchSubs evaluates one admitted batch: it pins the published
+// snapshot (so mutations proceed concurrently and the whole batch sees
+// one consistent catalog), prepares the execution environment, and
+// hands the cross-request pipeline to sched.Exec. Admission is
 // memory-aware: the planned batch's footprint is estimated with the
 // optimizer's memory model and claimed from the broker before
 // execution, deferring the batch (not erroring it) while concurrent
@@ -1256,10 +1351,10 @@ func (d *DB) runBatchSubs(subs []*sched.Submission) {
 	d.schedMu.Lock()
 	cfg := d.batchCfg
 	d.schedMu.Unlock()
-	d.stateMu.RLock()
-	defer d.stateMu.RUnlock()
+	snap, release := d.pin()
+	defer release()
 	if cfg.ColdCache {
-		if err := d.db.ColdReset(); err != nil {
+		if err := snap.ColdReset(); err != nil {
 			for _, sub := range subs {
 				sub.Finish(&sched.Outcome{Err: err})
 			}
@@ -1267,17 +1362,17 @@ func (d *DB) runBatchSubs(subs []*sched.Submission) {
 		}
 	}
 	workers := composeWorkers(cfg.Workers, cfg.ExecWorkers, cfg.Parallelism)
-	env := exec.NewEnv(d.db)
+	env := exec.NewEnv(snap)
 	env.Mem = d.mem
 	env.SpillDir = d.spillDir
 	planFn := func(subQ [][]*query.Query, keys []string) ([][]*query.Query, *plan.Global, error) {
-		return d.planBatch(cfg, subQ, keys)
+		return d.planBatch(cfg, snap, subQ, keys)
 	}
 	var est *plan.Estimator
 	if cfg.PaperPlanSpace {
-		est = plan.NewPaperEstimator(d.db)
+		est = plan.NewPaperEstimator(snap)
 	} else {
-		est = plan.NewEstimator(d.db)
+		est = plan.NewEstimator(snap)
 	}
 	est.Workers = workers
 	admit := func(ctx context.Context, g *plan.Global) (func(), error) {
@@ -1304,7 +1399,7 @@ func (d *DB) runBatchSubs(subs []*sched.Submission) {
 // mix of concurrent requests replans nothing, while any new mix
 // optimizes fresh. On a hit the submissions' freshly parsed queries are
 // replaced by the cached ones the stored plan references.
-func (d *DB) planBatch(cfg BatchConfig, subQueries [][]*query.Query, keys []string) ([][]*query.Query, *plan.Global, error) {
+func (d *DB) planBatch(cfg BatchConfig, snap *star.Snapshot, subQueries [][]*query.Query, keys []string) ([][]*query.Query, *plan.Global, error) {
 	order := make([]int, len(keys))
 	for i := range order {
 		order[i] = i
@@ -1321,10 +1416,10 @@ func (d *DB) planBatch(cfg BatchConfig, subQueries [][]*query.Query, keys []stri
 		total += len(qs)
 	}
 
-	epoch := d.rescache.Epoch()
+	rcEpoch := d.rescache.Epoch()
 	d.mu.Lock()
 	if c, ok := d.batchCache[ckey]; ok {
-		valid := c.gen == d.gen && c.epoch == epoch && len(c.perPos) == len(order)
+		valid := c.epoch == snap.Epoch && c.rcEpoch == rcEpoch && len(c.perPos) == len(order)
 		if valid {
 			for p, i := range order {
 				if len(c.perPos[p]) != len(subQueries[i]) {
@@ -1346,11 +1441,10 @@ func (d *DB) planBatch(cfg BatchConfig, subQueries [][]*query.Query, keys []stri
 			d.noteCacheUse(g, total)
 			return out, g, nil
 		}
-		if c.gen != d.gen || c.epoch != epoch {
+		if c.epoch != snap.Epoch || c.rcEpoch != rcEpoch {
 			delete(d.batchCache, ckey)
 		}
 	}
-	gen := d.gen
 	d.mu.Unlock()
 
 	// Optimize the merged set in composition order so equal batches
@@ -1361,21 +1455,19 @@ func (d *DB) planBatch(cfg BatchConfig, subQueries [][]*query.Query, keys []stri
 		perPos[p] = subQueries[i]
 		merged = append(merged, subQueries[i]...)
 	}
-	g, _, err := d.optimize(merged, Options{Algorithm: cfg.Algorithm, PaperPlanSpace: cfg.PaperPlanSpace}, gen)
+	g, _, err := d.optimize(snap, merged, Options{Algorithm: cfg.Algorithm, PaperPlanSpace: cfg.PaperPlanSpace})
 	if err != nil {
 		return nil, nil, err
 	}
 	d.mu.Lock()
-	if d.gen == gen {
-		if d.batchCache == nil {
-			d.batchCache = make(map[string]*cachedBatch)
-		}
-		if len(d.batchCache) >= maxCachedPlans {
-			evictOldest(d.batchCache)
-		}
-		d.cacheTick++
-		d.batchCache[ckey] = &cachedBatch{gen: gen, epoch: epoch, lastUse: d.cacheTick, perPos: perPos, global: g}
+	if d.batchCache == nil {
+		d.batchCache = make(map[string]*cachedBatch)
 	}
+	if len(d.batchCache) >= maxCachedPlans {
+		evictOldest(d.batchCache)
+	}
+	d.cacheTick++
+	d.batchCache[ckey] = &cachedBatch{epoch: snap.Epoch, rcEpoch: rcEpoch, lastUse: d.cacheTick, perPos: perPos, global: g}
 	d.mu.Unlock()
 	d.noteCacheUse(g, total)
 	return subQueries, g, nil
